@@ -1,0 +1,138 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+The paper motivates several structural decisions without separate
+charts; these benchmarks quantify each one in the reproduction:
+
+* **two phases vs Phase 1 all the way up** — Phase 1 alone is
+  O(nk log n) work; stopping at m and pipelining Phase 2 is what makes
+  the algorithm work-efficient (Section 2.2's first reason);
+* **per-thread grain x** — the auto-tuner's trade-off between chunk
+  count (waves, carries) and per-chunk overheads;
+* **pipeline depth c** — the look-back window: depth 1 serializes
+  chunk completion, depth 32 hides it (measured on the functional
+  simulator's wait counters);
+* **optimization passes individually** — which §3.1 pass buys what on
+  a decaying filter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.recurrence import Recurrence
+from repro.core.signature import Signature
+from repro.gpusim.executor import SimulatedPLR
+from repro.gpusim.spec import MachineSpec
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.optimizer import OptimizationConfig
+from repro.plr.phase1 import phase1
+from repro.plr.phase2 import phase2
+from repro.plr.solver import PLRSolver
+
+N = 1 << 19
+RECURRENCE = Recurrence.parse("(0.04: 1.6, -0.64)")
+
+
+def _values(n=N, dtype=np.float32, seed=3):
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        return rng.integers(-50, 50, n).astype(dtype)
+    return rng.standard_normal(n).astype(dtype)
+
+
+@pytest.mark.benchmark(group="ablation-two-phases")
+def test_two_phase_pipeline(benchmark):
+    """The shipped design: Phase 1 to m = 4096, then Phase 2."""
+    sig = Signature.parse("(1: 2, -1)")
+    values = _values(dtype=np.int32)
+    table = CorrectionFactorTable.build(sig, 4096, np.int32)
+
+    def run():
+        padded = np.zeros(-(-values.size // 4096) * 4096, np.int32)
+        padded[: values.size] = values
+        return phase2(phase1(padded, table, 1), table)
+
+    out = benchmark(run)
+    assert out.shape[1] == 4096
+
+
+@pytest.mark.benchmark(group="ablation-two-phases")
+def test_phase1_only_all_the_way(benchmark):
+    """The ablated design: keep doubling to n (O(nk log n) work).
+
+    Needs a factor table as long as the whole input — exactly the
+    overhead ("the larger the chunk size, the more correction factors
+    need to be loaded") Phase 2 exists to avoid.
+    """
+    sig = Signature.parse("(1: 2, -1)")
+    values = _values(dtype=np.int32)
+    table = CorrectionFactorTable.build(sig, values.size, np.int32)
+
+    def run():
+        return phase1(values.copy(), table, 1)
+
+    out = benchmark(run)
+    assert out.shape == (1, values.size)
+
+
+@pytest.mark.benchmark(group="ablation-grain")
+@pytest.mark.parametrize("x", [1, 2, 4, 8, 11])
+def test_grain_sweep(benchmark, x):
+    """Throughput vs the per-thread grain x (chunk m = 1024x)."""
+    sig = Signature.parse("(1: 1)")
+    values = _values(dtype=np.int32)
+    table = CorrectionFactorTable.build(sig, 1024 * x, np.int32)
+
+    def run():
+        m = 1024 * x
+        padded = np.zeros(-(-values.size // m) * m, np.int32)
+        padded[: values.size] = values
+        return phase2(phase1(padded, table, x), table)
+
+    out = benchmark(run)
+    benchmark.extra_info["x"] = x
+    assert out.size >= values.size
+
+
+@pytest.mark.benchmark(group="ablation-lookback")
+@pytest.mark.parametrize("depth", [1, 4, 32])
+def test_lookback_depth(benchmark, depth):
+    """Pipeline depth on the functional simulator: deeper look-back
+    means fewer busy-wait steps for the same schedule."""
+    machine = MachineSpec.small_test_gpu()
+    rec = Recurrence.parse("(1: 1)")
+    values = _values(n=4000, dtype=np.int32)
+
+    def run():
+        sim = SimulatedPLR(rec, machine, seed=7, max_lookback=depth)
+        return sim.run(values)
+
+    result = benchmark(run)
+    benchmark.extra_info["depth"] = depth
+    benchmark.extra_info["wait_steps"] = result.schedule_wait_steps
+    expected = np.cumsum(values, dtype=np.int32)
+    np.testing.assert_array_equal(result.output, expected)
+
+
+@pytest.mark.benchmark(group="ablation-passes")
+@pytest.mark.parametrize(
+    "label,config",
+    [
+        ("all-on", OptimizationConfig()),
+        ("no-truncation", OptimizationConfig(truncate_decayed=False)),
+        ("no-buffering", OptimizationConfig(buffer_in_shared=False)),
+        ("all-off", OptimizationConfig.disabled()),
+    ],
+)
+def test_optimization_passes(benchmark, label, config):
+    """Individual §3.1 passes on the 2-stage low-pass filter.
+
+    In the executable solver only decay truncation changes the work
+    actually done (the others shape generated code and the cost
+    model); the modeled effect of each is in Figure 10.
+    """
+    values = _values()
+    solver = PLRSolver(RECURRENCE, optimization=config)
+    out = benchmark(solver.solve, values)
+    benchmark.extra_info["config"] = label
+    reference = PLRSolver(RECURRENCE).solve(values)
+    np.testing.assert_allclose(out, reference, rtol=1e-4, atol=1e-5)

@@ -1,0 +1,85 @@
+"""Benchmarks for the future-work extensions.
+
+Not part of the paper's evaluation — these cover the implemented
+future-work features so their costs are visible: streaming overhead vs
+one-shot solving, batched-2D throughput vs row-at-a-time, and the
+semiring solver vs its serial oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.plr.nd import solve_batch, summed_area_table
+from repro.plr.semiring import MaxPlus, semiring_serial, semiring_solve
+from repro.plr.solver import PLRSolver
+from repro.plr.streaming import StreamingSolver
+
+
+@pytest.mark.benchmark(group="ext-streaming")
+def test_streaming_blocks(benchmark):
+    rng = np.random.default_rng(0)
+    total = rng.standard_normal(1 << 20).astype(np.float32)
+    blocks = np.split(total, 16)
+
+    def run():
+        stream = StreamingSolver("(0.2: 0.8)")
+        return stream.push_many(blocks)
+
+    out = benchmark(run)
+    one_shot = StreamingSolver("(0.2: 0.8)").push(total)
+    np.testing.assert_allclose(out, one_shot, rtol=1e-4, atol=1e-5)
+
+
+@pytest.mark.benchmark(group="ext-streaming")
+def test_streaming_one_shot_reference(benchmark):
+    rng = np.random.default_rng(0)
+    total = rng.standard_normal(1 << 20).astype(np.float32)
+    solver = PLRSolver("(0.2: 0.8)")
+    benchmark(solver.solve, total)
+
+
+@pytest.mark.benchmark(group="ext-batched-2d")
+def test_batched_rows(benchmark):
+    rng = np.random.default_rng(1)
+    image = rng.standard_normal((256, 4096)).astype(np.float32)
+    out = benchmark(solve_batch, image, "(0.2: 0.8)")
+    assert out.shape == image.shape
+
+
+@pytest.mark.benchmark(group="ext-batched-2d")
+def test_row_at_a_time(benchmark):
+    rng = np.random.default_rng(1)
+    image = rng.standard_normal((256, 4096)).astype(np.float32)
+    solver = PLRSolver("(0.2: 0.8)")
+
+    def run():
+        return np.stack([solver.solve(row) for row in image])
+
+    out = benchmark(run)
+    np.testing.assert_allclose(
+        out, solve_batch(image, "(0.2: 0.8)"), rtol=1e-4, atol=1e-5
+    )
+
+
+@pytest.mark.benchmark(group="ext-2d-sat")
+def test_summed_area_table(benchmark):
+    rng = np.random.default_rng(2)
+    image = rng.integers(0, 255, (1024, 1024)).astype(np.int64)
+    sat = benchmark(summed_area_table, image)
+    assert sat[-1, -1] == image.sum()
+
+
+@pytest.mark.benchmark(group="ext-semiring")
+def test_maxplus_parallel(benchmark):
+    rng = np.random.default_rng(3)
+    scores = rng.normal(0, 2, 1 << 18)
+    out = benchmark(semiring_solve, scores, [-1.0, -3.0], MaxPlus(), 256)
+    assert out.shape == scores.shape
+
+
+@pytest.mark.benchmark(group="ext-semiring")
+def test_maxplus_serial_oracle(benchmark):
+    rng = np.random.default_rng(3)
+    scores = rng.normal(0, 2, 1 << 14)  # smaller: python-loop oracle
+    out = benchmark(semiring_serial, scores, [-1.0, -3.0], MaxPlus())
+    assert out.shape == scores.shape

@@ -1,0 +1,50 @@
+"""Figure 1: standard prefix-sum throughput.
+
+Paper claim: PLR, CUB, and SAM all reach memory-copy throughput on
+large inputs; Scan delivers about half; SAM leads on small inputs.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(1: 1)")
+
+
+def test_fig1_modeled_series(capsys):
+    print_modeled_figure("fig1", capsys)
+
+
+@pytest.mark.benchmark(group="fig1-prefix-sum")
+def test_fig1_plr_solver(benchmark, capsys):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig1-prefix-sum")
+def test_fig1_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig1-prefix-sum")
+def test_fig1_cub_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("CUB")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig1-prefix-sum")
+def test_fig1_sam_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("SAM")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

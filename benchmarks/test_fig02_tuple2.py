@@ -1,0 +1,41 @@
+"""Figure 2: two-tuple prefix-sum throughput.
+
+Paper claim: PLR outperforms CUB and SAM by ~30% on large inputs
+(a single scalar order-2 recurrence vs vector/interleaved scans).
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(1: 0, 1)")
+
+
+def test_fig2_modeled_series(capsys):
+    print_modeled_figure("fig2", capsys)
+
+
+@pytest.mark.benchmark(group="fig2-tuple2")
+def test_fig2_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig2-tuple2")
+def test_fig2_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig2-tuple2")
+def test_fig2_cub_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("CUB")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

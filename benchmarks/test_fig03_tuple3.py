@@ -1,0 +1,41 @@
+"""Figure 3: three-tuple prefix-sum throughput.
+
+Paper claim: PLR ~17% faster than the best prior code at large n;
+the advantage is smaller than on 2-tuples (non-power-of-two period).
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(1: 0, 0, 1)")
+
+
+def test_fig3_modeled_series(capsys):
+    print_modeled_figure("fig3", capsys)
+
+
+@pytest.mark.benchmark(group="fig3-tuple3")
+def test_fig3_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig3-tuple3")
+def test_fig3_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig3-tuple3")
+def test_fig3_sam_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("SAM")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

@@ -1,0 +1,41 @@
+"""Figure 4: second-order prefix-sum throughput.
+
+Paper claim: SAM > PLR > CUB; SAM ~50% ahead of PLR; PLR barely
+ahead of CUB (which runs the whole scan twice).
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(1: 2, -1)")
+
+
+def test_fig4_modeled_series(capsys):
+    print_modeled_figure("fig4", capsys)
+
+
+@pytest.mark.benchmark(group="fig4-order2")
+def test_fig4_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig4-order2")
+def test_fig4_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig4-order2")
+def test_fig4_sam_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("SAM")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

@@ -1,0 +1,41 @@
+"""Figure 5: third-order prefix-sum throughput.
+
+Paper claim: ordering unchanged, but SAM's lead shrinks to ~38%
+and PLR's margin over CUB grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(1: 3, -3, 1)")
+
+
+def test_fig5_modeled_series(capsys):
+    print_modeled_figure("fig5", capsys)
+
+
+@pytest.mark.benchmark(group="fig5-order3")
+def test_fig5_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig5-order3")
+def test_fig5_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig5-order3")
+def test_fig5_cub_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("CUB")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

@@ -1,0 +1,42 @@
+"""Figure 6: 1-stage low-pass filter throughput.
+
+Paper claim: PLR reaches memcpy throughput at large n; Rec wins
+below ~1M elements (its re-read still fits the 2 MB L2), PLR above;
+Alg3 trails everywhere (it filters in both directions).
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(0.2: 0.8)")
+
+
+def test_fig6_modeled_series(capsys):
+    print_modeled_figure("fig6", capsys)
+
+
+@pytest.mark.benchmark(group="fig6-lowpass1")
+def test_fig6_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig6-lowpass1")
+def test_fig6_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig6-lowpass1")
+def test_fig6_rec_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("Rec")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

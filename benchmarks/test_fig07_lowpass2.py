@@ -1,0 +1,40 @@
+"""Figure 7: 2-stage low-pass filter throughput.
+
+Paper claim: PLR ~1.88x Rec at 1 GB inputs.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(0.04: 1.6, -0.64)")
+
+
+def test_fig7_modeled_series(capsys):
+    print_modeled_figure("fig7", capsys)
+
+
+@pytest.mark.benchmark(group="fig7-lowpass2")
+def test_fig7_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig7-lowpass2")
+def test_fig7_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig7-lowpass2")
+def test_fig7_rec_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("Rec")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

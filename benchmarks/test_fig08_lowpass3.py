@@ -1,0 +1,41 @@
+"""Figure 8: 3-stage low-pass filter throughput.
+
+Paper claim: every code slows with order; PLR's lead over Rec
+narrows to ~1.58x (higher-order recurrences cost PLR more).
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+RECURRENCE = Recurrence.parse("(0.008: 2.4, -1.92, 0.512)")
+
+
+def test_fig8_modeled_series(capsys):
+    print_modeled_figure("fig8", capsys)
+
+
+@pytest.mark.benchmark(group="fig8-lowpass3")
+def test_fig8_plr_solver(benchmark):
+    values = figure_input(RECURRENCE)
+    solver = PLRSolver(RECURRENCE)
+    run_and_verify(benchmark, solver.solve, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig8-lowpass3")
+def test_fig8_generated_c_kernel(benchmark):
+    values = figure_input(RECURRENCE)
+    kernel = PLRCompiler().compile(RECURRENCE, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, RECURRENCE)
+
+
+@pytest.mark.benchmark(group="fig8-lowpass3")
+def test_fig8_alg3_baseline(benchmark):
+    from repro.baselines import make_code
+
+    values = figure_input(RECURRENCE)
+    code = make_code("Alg3")
+    run_and_verify(benchmark, lambda v: code.compute(v, RECURRENCE), values, RECURRENCE)

@@ -1,0 +1,45 @@
+"""Figure 9: high-pass filter throughput (1/2/3 stages).
+
+Paper claim: only PLR and Scan support multi-coefficient feed-forward
+filters at all; throughput sits a consistent ~17% below the matching
+low-pass filters, independent of the order — the FIR map stage (2) is
+cheap relative to the recursive stage.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, print_modeled_figure, run_and_verify
+from repro.core.recurrence import Recurrence
+from repro.plr.solver import PLRSolver
+
+STAGES = {
+    1: Recurrence.parse("(0.9, -0.9: 0.8)"),
+    2: Recurrence.parse("(0.81, -1.62, 0.81: 1.6, -0.64)"),
+    3: Recurrence.parse("(0.729, -2.187, 2.187, -0.729: 2.4, -1.92, 0.512)"),
+}
+
+
+def test_fig9_modeled_series(capsys):
+    for fid in ("fig9.1", "fig9.2", "fig9.3"):
+        print_modeled_figure(fid, capsys)
+
+
+@pytest.mark.parametrize("stages", [1, 2, 3])
+@pytest.mark.benchmark(group="fig9-highpass")
+def test_fig9_plr_solver(benchmark, stages):
+    recurrence = STAGES[stages]
+    values = figure_input(recurrence)
+    solver = PLRSolver(recurrence)
+    run_and_verify(benchmark, solver.solve, values, recurrence)
+
+
+@pytest.mark.benchmark(group="fig9-highpass")
+def test_fig9_scan_baseline_one_stage(benchmark):
+    from repro.baselines import make_code
+
+    recurrence = STAGES[1]
+    values = figure_input(recurrence)
+    code = make_code("Scan")
+    run_and_verify(
+        benchmark, lambda v: code.compute(v, recurrence), values, recurrence
+    )

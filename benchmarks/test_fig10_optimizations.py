@@ -1,0 +1,60 @@
+"""Figure 10: PLR throughput with and without optimizations.
+
+Paper claim: the factor optimizations help on all eleven recurrences —
+by only ~3% on the higher-order prefix sums (where only shared-memory
+buffering applies) and by more than 2x on the two-stage low-pass
+filter (decay truncation plus buffering).
+
+The measured side times the executable solver with optimizations on
+vs off on the filter where the effect is semantic (decay truncation
+shortens real correction loops), plus the generated-C kernels both
+ways.
+"""
+
+import pytest
+
+from benchmarks.conftest import figure_input, run_and_verify
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.eval.figures import figure10_throughputs
+from repro.eval.report import render_figure10
+from repro.plr.optimizer import OptimizationConfig
+from repro.plr.solver import PLRSolver
+
+LOW_PASS_2 = Recurrence.parse("(0.04: 1.6, -0.64)")
+
+
+def test_fig10_modeled_bars(capsys):
+    bars = figure10_throughputs()
+    with capsys.disabled():
+        print()
+        print(render_figure10(bars))
+
+
+@pytest.mark.benchmark(group="fig10-optimizations")
+def test_fig10_lowpass2_optimized(benchmark):
+    values = figure_input(LOW_PASS_2)
+    solver = PLRSolver(LOW_PASS_2)
+    run_and_verify(benchmark, solver.solve, values, LOW_PASS_2)
+
+
+@pytest.mark.benchmark(group="fig10-optimizations")
+def test_fig10_lowpass2_unoptimized(benchmark):
+    values = figure_input(LOW_PASS_2)
+    solver = PLRSolver(LOW_PASS_2, optimization=OptimizationConfig.disabled())
+    run_and_verify(benchmark, solver.solve, values, LOW_PASS_2)
+
+
+@pytest.mark.benchmark(group="fig10-optimizations")
+def test_fig10_c_kernel_optimized(benchmark):
+    values = figure_input(LOW_PASS_2)
+    kernel = PLRCompiler().compile(LOW_PASS_2, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, LOW_PASS_2)
+
+
+@pytest.mark.benchmark(group="fig10-optimizations")
+def test_fig10_c_kernel_unoptimized(benchmark):
+    values = figure_input(LOW_PASS_2)
+    compiler = PLRCompiler(optimization=OptimizationConfig.disabled())
+    kernel = compiler.compile(LOW_PASS_2, n=values.size, backend="c").kernel
+    run_and_verify(benchmark, kernel, values, LOW_PASS_2)

@@ -1,0 +1,84 @@
+"""Recursive audio filtering: the paper's DSP motivation, end to end.
+
+"IIR filters ... are, for example, used for DC removal, noise
+suppression, wave shaping, and smoothing of discrete-time signals in
+telecommunication and audio applications."
+
+This example designs filters with the library's Smith-formula helpers
+and the z-transform cascade (the offline combination step the paper
+defers to the z-transform), then runs them through the PLR solver on a
+synthetic audio signal:
+
+1. build a noisy signal: a 440 Hz tone + a DC offset + white noise;
+2. remove the noise with a cascaded low-pass filter;
+3. remove the DC offset with a high-pass filter;
+4. quantify the SNR improvement and verify against the serial filter.
+"""
+
+import math
+
+import numpy as np
+
+from repro import PLRSolver, Recurrence, assert_valid, serial_full
+from repro.core.coefficients import high_pass, pole_for_cutoff, single_pole_low_pass
+from repro.core.ztransform import cascade, frequency_response, is_stable, poles
+
+SAMPLE_RATE = 44_100
+TONE_HZ = 440.0
+DURATION_S = 4.0
+
+
+def make_signal(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """A 440 Hz tone buried in white noise, riding on a DC offset."""
+    t = np.arange(int(SAMPLE_RATE * DURATION_S)) / SAMPLE_RATE
+    tone = np.sin(2 * math.pi * TONE_HZ * t).astype(np.float32)
+    noise = 0.8 * rng.standard_normal(t.size).astype(np.float32)
+    dc = np.float32(0.5)
+    return tone, tone + noise + dc
+
+
+def snr_db(reference: np.ndarray, signal: np.ndarray) -> float:
+    noise_power = float(np.mean((signal - reference) ** 2))
+    signal_power = float(np.mean(reference**2))
+    return 10.0 * math.log10(signal_power / noise_power)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    tone, noisy = make_signal(rng)
+    print(f"input SNR: {snr_db(tone + 0.5, noisy):.1f} dB "
+          f"({noisy.size} samples at {SAMPLE_RATE} Hz)")
+
+    # --- design: two-stage low-pass with cutoff above the tone ---------
+    # pole for a -3 dB point at ~1.5 kHz (normalized f = 1500/44100)
+    pole = pole_for_cutoff(1500 / SAMPLE_RATE)
+    one_stage = single_pole_low_pass(pole)
+    two_stage = cascade(one_stage, one_stage)  # the offline z-transform step
+    print(f"low-pass stage:   {one_stage}")
+    print(f"cascaded 2-stage: {two_stage}")
+    assert is_stable(two_stage), "cascade must stay stable"
+    print(f"poles: {[f'{abs(p):.3f}' for p in poles(two_stage)]}")
+
+    # check the passband/stopband like a filter designer would
+    h = frequency_response(two_stage, [TONE_HZ / SAMPLE_RATE, 0.25])
+    print(f"|H| at 440 Hz: {abs(h[0]):.3f}, |H| at Nyquist/2: {abs(h[1]):.4f}")
+
+    # --- run the cascaded filter through the PLR solver ----------------
+    lp = Recurrence(two_stage)
+    smoothed = PLRSolver(lp).solve(noisy)
+    assert_valid(smoothed, serial_full(noisy, two_stage))
+    # The filter has unity DC gain, so the offset survives; SNR is
+    # judged against the DC-shifted tone.
+    print(f"after low-pass:  SNR {snr_db(tone + 0.5, smoothed):.1f} dB")
+
+    # --- DC removal with a gentle high-pass ----------------------------
+    hp = high_pass(1, x=0.999)  # very low cutoff: keeps the tone, kills DC
+    dc_free = PLRSolver(Recurrence(hp)).solve(smoothed)
+    assert_valid(dc_free, serial_full(smoothed, hp))
+    print(f"after high-pass: mean {float(np.mean(dc_free)):+.4f} "
+          f"(was {float(np.mean(smoothed)):+.4f})")
+    print(f"final SNR vs clean tone: {snr_db(tone, dc_free):.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+"""The future-work extensions, exercised end to end.
+
+The paper's closing section lists several directions; this library
+implements four of them, and this example drives each one:
+
+1. **streaming** — seamless block-wise evaluation with carried state
+   (buffered audio / batched logs);
+2. **multiple dimensions** — batched rows, separable 2D filters, and
+   summed-area tables;
+3. **operators other than addition** — recurrences over semirings:
+   a tropical (max, +) sliding-window DP and boolean reachability;
+4. **auto-tuning m and x** — SAM-style tuning of the per-thread grain
+   against the cost model.
+"""
+
+import numpy as np
+
+from repro import Recurrence
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import MachineSpec
+from repro.plr import (
+    BooleanSemiring,
+    MaxPlus,
+    StreamingSolver,
+    semiring_serial,
+    semiring_solve,
+    solve_batch,
+    summed_area_table,
+    tuned_plan,
+)
+from repro.plr.semiring import SlidingWindowDP
+
+
+def streaming_demo(rng: np.random.Generator) -> None:
+    print("== streaming ==")
+    stream = StreamingSolver("(0.04: 1.6, -0.64)")  # 2-stage low-pass
+    total = rng.standard_normal(1_000_000).astype(np.float32)
+    chunks = np.split(total, [100_000, 137_000, 600_000])
+    out = stream.push_many(chunks)
+    one_shot = StreamingSolver("(0.04: 1.6, -0.64)").push(total)
+    worst = float(np.max(np.abs(out - one_shot)))
+    print(
+        f"  4 blocks vs one shot over {total.size} samples: "
+        f"max deviation {worst:.2e}"
+    )
+    checkpoint = stream.state
+    print(f"  checkpointable state: {checkpoint.outputs.size} outputs, "
+          f"{checkpoint.inputs.size} inputs, position {checkpoint.position}")
+
+
+def nd_demo(rng: np.random.Generator) -> None:
+    print("== multiple dimensions ==")
+    image = rng.integers(0, 255, (512, 512)).astype(np.int64)
+    sat = summed_area_table(image)
+    r0, r1, c0, c1 = 100, 399, 50, 349
+    box = (
+        sat[r1, c1]
+        - sat[r0 - 1, c1]
+        - sat[r1, c0 - 1]
+        + sat[r0 - 1, c0 - 1]
+    )
+    assert box == image[r0 : r1 + 1, c0 : c1 + 1].sum()
+    print(f"  512x512 SAT built; O(1) box query verified (sum={box})")
+
+    rows = rng.standard_normal((256, 4096)).astype(np.float32)
+    smoothed = solve_batch(rows, "(0.2: 0.8)")
+    print(f"  batched filtering: {rows.shape[0]} rows x {rows.shape[1]} "
+          f"samples in one vectorized pass -> {smoothed.shape}")
+
+
+def semiring_demo(rng: np.random.Generator) -> None:
+    print("== semirings (operators other than addition) ==")
+    # Tropical DP: best score ending at i with gap penalties.
+    scores = rng.normal(0.0, 2.0, 500_000)
+    dp = SlidingWindowDP((-1.0, -3.0))
+    best = dp.solve(scores)
+    print(f"  (max,+) sliding-window DP over {scores.size} scores: "
+          f"optimum {best.max():.2f}")
+
+    # Boolean reachability: can position i be reached by steps of 2/3
+    # from any seed?
+    seeds = rng.random(10_000) < 0.001
+    reach = semiring_solve(seeds, [False, True, True], BooleanSemiring(), 256)
+    oracle = semiring_serial(seeds, [False, True, True], BooleanSemiring())
+    assert np.array_equal(reach, oracle)
+    print(f"  boolean step-reachability: {int(reach.sum())} of {reach.size} "
+          "positions reachable (verified vs serial)")
+
+    # The tropical correction factors are the semiring n-naccis:
+    from repro.plr.semiring import semiring_correction_factors
+
+    factors = semiring_correction_factors([-1.5], MaxPlus(), 5)
+    print(f"  (max,+) factors of penalty -1.5: {factors[0].tolist()} "
+          "(arithmetic progression = tropical powers)")
+
+
+def autotune_demo() -> None:
+    print("== auto-tuning x (SAM-style) ==")
+    from repro.baselines.base import Workload
+    from repro.baselines.plr_code import PLRCode
+
+    machine = MachineSpec.titan_x()
+    model = CostModel(machine)
+    recurrence = Recurrence.parse("(1: 1)")
+    code = PLRCode()
+
+    def objective(plan):
+        workload = Workload(recurrence, plan.n)
+        return model.time(code.traffic(workload, machine, plan=plan))
+
+    for n in (1 << 16, 1 << 20, 1 << 26):
+        plan = tuned_plan(recurrence.signature, n, objective)
+        print(f"  n=2^{n.bit_length() - 1}: tuned x={plan.values_per_thread} "
+              f"(m={plan.chunk_size})")
+
+
+def frontend_demo(rng: np.random.Generator) -> None:
+    print("== auto-parallelizing a serial loop ==")
+    from repro.codegen.frontend import parallelize
+
+    @parallelize
+    def smooth(x, y, n):
+        for i in range(n):
+            y[i] = 0.2 * x[i] + 0.8 * y[i - 1]
+
+    samples = rng.standard_normal(1_000_000).astype(np.float32)
+    out = smooth(samples)  # the loop body above never runs
+    print(f"  recognized: {smooth.recognized.describe()}")
+    print(f"  parallel result over {samples.size} samples, "
+          f"tail value {out[-1]:.4f}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(2018)
+    streaming_demo(rng)
+    nd_demo(rng)
+    semiring_demo(rng)
+    autotune_demo()
+    frontend_demo(rng)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Driving the GPU machine model: protocol, hierarchy, and faults.
+
+The reproduction's stand-in for the paper's Titan X is a functional
+simulator that really executes PLR's kernel protocol — atomic chunk
+ids, warp shuffles, shared-memory staging, carry flags with fences,
+and the variable look-back — under adversarial block schedules.  This
+example:
+
+1. runs a recurrence on the small test GPU and inspects the look-back
+   distances the pipeline actually used;
+2. shows the communication hierarchy in the block statistics
+   (shuffles vs shared-memory traffic vs barriers);
+3. demonstrates *why the memory fence matters* by injecting a
+   flag-before-data fault and watching the result corrupt;
+4. shows deadlock detection when a block never publishes its carries.
+"""
+
+import numpy as np
+
+from repro import MachineSpec, Recurrence, SimulatedPLR, serial_full
+from repro.core.errors import SimulationError
+from repro.gpusim.executor import ProtocolFault
+
+
+def main() -> None:
+    machine = MachineSpec.small_test_gpu()
+    recurrence = Recurrence.parse("(1: 2, -1)")
+    rng = np.random.default_rng(11)
+    values = rng.integers(-20, 20, size=1500).astype(np.int32)
+    expected = serial_full(values, recurrence.signature)
+
+    # --- 1. healthy run ------------------------------------------------
+    sim = SimulatedPLR(recurrence, machine, values_per_thread=2, seed=1)
+    run = sim.run(values)
+    assert np.array_equal(run.output, expected)
+    distances = run.lookback_distances
+    print(
+        f"healthy run: {len(run.block_stats)} blocks, verified; "
+        f"look-back distances used: min={min(distances)} "
+        f"max={max(distances)} mean={sum(distances) / len(distances):.2f}"
+    )
+    print(
+        f"scheduling: {run.schedule_steps} block-steps, "
+        f"{run.schedule_wait_steps} spent busy-waiting on carry flags"
+    )
+
+    # --- 2. the communication hierarchy --------------------------------
+    stats = run.block_stats[0]
+    print(
+        f"block 0 communication: {stats.shuffles} shuffles (intra-warp), "
+        f"{stats.shared_writes}+{stats.shared_reads} shared-memory ops "
+        f"(cross-warp), {stats.barriers} barriers, "
+        f"{stats.corrections} correction multiply-adds"
+    )
+
+    # --- 3. the fence matters -------------------------------------------
+    corrupted = 0
+    for seed in range(10):
+        faulty = SimulatedPLR(
+            recurrence,
+            machine,
+            values_per_thread=2,
+            seed=seed,
+            fault=ProtocolFault.FLAG_BEFORE_DATA,
+        )
+        if not np.array_equal(faulty.run(values).output, expected):
+            corrupted += 1
+    print(
+        f"flag-before-data fault (missing __threadfence): "
+        f"{corrupted}/10 schedules produced corrupt results"
+    )
+
+    # --- 4. deadlock detection ------------------------------------------
+    dead = SimulatedPLR(
+        recurrence,
+        machine,
+        seed=0,
+        fault=ProtocolFault.NEVER_PUBLISH,
+        deadlock_rounds=100,
+    )
+    try:
+        dead.run(values)
+        raise AssertionError("expected a deadlock")
+    except SimulationError as exc:
+        print(f"never-publish fault detected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Looking over the compiler's shoulder: optimizations made visible.
+
+The PLR compiler's distinguishing feature is that it *specializes* the
+generated code to the correction factors of each recurrence (Section
+3.1).  This example compiles four recurrences from Table 1 and shows
+how differently they come out:
+
+* standard prefix sum  -> every factor is 1: arrays folded to a constant;
+* 2-tuple prefix sum   -> 0/1 factors: conditional adds, no multiplies;
+* 2nd-order prefix sum -> general factors: shared-memory buffering;
+* 2-stage low-pass     -> decaying factors: tails truncated to zero.
+
+It then demonstrates that the optimizations are semantics-preserving
+(optimized and unoptimized kernels agree) and times code generation,
+which the paper reports as ~10 ms.
+"""
+
+import time
+
+import numpy as np
+
+from repro import OptimizationConfig, PLRCompiler, Recurrence, assert_valid
+from repro.plr.optimizer import optimize_factors
+
+SHOWCASES = {
+    "prefix sum": "(1: 1)",
+    "2-tuple prefix sum": "(1: 0, 1)",
+    "2nd-order prefix sum": "(1: 2, -1)",
+    "2-stage low-pass": "(0.04: 1.6, -0.64)",
+}
+
+
+def show_decisions(compiler: PLRCompiler, signature: str) -> None:
+    ir = compiler.build_ir(signature, n=1 << 22)
+    decisions = ", ".join(
+        f"carry{d.carry_index}={d.realization.value}"
+        for d in ir.factor_plan.decisions
+    )
+    stored = ir.factor_plan.stored_factor_words()
+    full = ir.order * ir.chunk_size
+    print(f"  realizations: {decisions}")
+    print(f"  factor words stored: {stored} of {full} unoptimized")
+    # A taste of the specialized CUDA:
+    from repro.codegen.cuda import emit_cuda
+
+    source = emit_cuda(ir)
+    for line in source.splitlines():
+        if "PLR_FACTOR" in line or "decays to zero" in line or "period" in line:
+            print(f"  cuda| {line.strip()}")
+            break
+
+
+def main() -> None:
+    compiler = PLRCompiler()
+    for label, signature in SHOWCASES.items():
+        print(f"{label}: {signature}")
+        show_decisions(compiler, signature)
+        print()
+
+    # --- optimizations are semantics-preserving -------------------------
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(300_000).astype(np.float32)
+    recurrence = Recurrence.parse("(0.04: 1.6, -0.64)")
+    plain = PLRCompiler(optimization=OptimizationConfig.disabled())
+    opt_result = compiler.compile(recurrence, n=values.size, backend="c")
+    plain_result = plain.compile(recurrence, n=values.size, backend="c")
+    assert_valid(opt_result.kernel(values), plain_result.kernel(values))
+    shrink = len(plain_result.source) / len(opt_result.source)
+    print(
+        "optimized and unoptimized C kernels agree; source is "
+        f"{shrink:.1f}x smaller with optimizations on"
+    )
+
+    # --- codegen speed (paper: "roughly 10 ms") -------------------------
+    start = time.perf_counter()
+    compiler.compile("(1: 3, -3, 1)", n=1 << 24, backend="cuda")
+    elapsed = (time.perf_counter() - start) * 1e3
+    print(f"CUDA generation for (1: 3, -3, 1) at n=2^24: {elapsed:.0f} ms")
+
+    # The paper attributes this speed to the n-nacci formulation: the
+    # slow path it replaced (solving the correction equations) exists
+    # in this library too, as the test oracle:
+    from repro.core.nnacci import correction_factors, solved_correction_factors
+    from repro.core import Signature
+
+    sig = Signature.parse("(1: 3, -3, 1)")
+    start = time.perf_counter()
+    fast = correction_factors(sig, 0, 512)
+    fast_ms = (time.perf_counter() - start) * 1e3
+    start = time.perf_counter()
+    slow = solved_correction_factors(sig, 0, 512)
+    slow_ms = (time.perf_counter() - start) * 1e3
+    assert [int(v) for v in slow] == [int(v) for v in fast]
+    print(
+        f"n-nacci factors vs solved equations (512 terms): "
+        f"{fast_ms:.2f} ms vs {slow_ms:.2f} ms, identical values"
+    )
+
+
+if __name__ == "__main__":
+    main()

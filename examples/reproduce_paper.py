@@ -1,0 +1,41 @@
+"""Reproduce the paper's evaluation: every figure and both tables.
+
+Prints the modeled Titan X throughput curves for Figures 1-9, the
+optimization on/off bars of Figure 10, and the memory/L2 accounting of
+Tables 2-3, in a layout meant to be read next to the paper.  Each
+code's executable path is cross-checked against the serial reference
+at a reduced size first, mirroring the paper's per-run validation.
+
+Run with ``python examples/reproduce_paper.py`` (about a minute; pass
+``--fast`` to skip the validation runs).
+"""
+
+import sys
+
+from repro.eval import (
+    figure10_throughputs,
+    figure_definitions,
+    render_figure,
+    render_figure10,
+    render_table,
+    run_experiment,
+    table2_memory_usage,
+    table3_l2_misses,
+)
+
+
+def main() -> None:
+    validate = "--fast" not in sys.argv
+    for fid, definition in sorted(figure_definitions().items()):
+        result = run_experiment(definition, validate=validate)
+        print(render_figure(result))
+        print()
+    print(render_figure10(figure10_throughputs()))
+    print()
+    print(render_table(table2_memory_usage(), "Table 2: Total GPU memory usage (MB)"))
+    print()
+    print(render_table(table3_l2_misses(), "Table 3: L2 read misses (MB)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — Automatic Hierarchical Parallelization of Linear Recurrences.
+
+A from-scratch reproduction of Maleki & Burtscher's PLR system
+(ASPLOS 2018): the signature DSL, the n-nacci correction-factor
+algorithm, the two-phase hierarchical parallelization, the
+domain-specific compiler with its factor optimizations, a GPU machine
+model standing in for the paper's Titan X, the comparison codes (CUB,
+SAM, Scan, Alg3, Rec), and the full evaluation harness for every
+figure and table.
+
+Quick start::
+
+    import numpy as np
+    from repro import Recurrence, PLRSolver
+
+    lowpass = Recurrence.parse("(0.2: 0.8)")     # Table 1's 1-stage filter
+    y = PLRSolver(lowpass).solve(np.random.randn(1_000_000).astype("f4"))
+
+    from repro import PLRCompiler
+    cuda_source = PLRCompiler().compile("(1: 2, -1)").source
+"""
+
+from repro.baselines import RecurrenceCode, Workload, make_code
+from repro.codegen import PLRCompiler
+from repro.core import (
+    FLOAT_TOLERANCE,
+    Recurrence,
+    RecurrenceClass,
+    ReproError,
+    Signature,
+    SignatureError,
+    ValidationError,
+    assert_valid,
+    classify,
+    compare_results,
+    correction_factors,
+    high_pass,
+    low_pass,
+    nnacci,
+    parse_signature,
+    serial_full,
+    table1_signatures,
+)
+from repro.gpusim import CostModel, MachineSpec, SimulatedPLR
+from repro.plr import (
+    CorrectionFactorTable,
+    ExecutionPlan,
+    OptimizationConfig,
+    PLRSolver,
+    plan_execution,
+    plr_solve,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorrectionFactorTable",
+    "CostModel",
+    "ExecutionPlan",
+    "FLOAT_TOLERANCE",
+    "MachineSpec",
+    "OptimizationConfig",
+    "PLRCompiler",
+    "PLRSolver",
+    "Recurrence",
+    "RecurrenceClass",
+    "RecurrenceCode",
+    "ReproError",
+    "Signature",
+    "SignatureError",
+    "SimulatedPLR",
+    "ValidationError",
+    "Workload",
+    "__version__",
+    "assert_valid",
+    "classify",
+    "compare_results",
+    "correction_factors",
+    "high_pass",
+    "low_pass",
+    "make_code",
+    "nnacci",
+    "parse_signature",
+    "plan_execution",
+    "plr_solve",
+    "serial_full",
+    "table1_signatures",
+]

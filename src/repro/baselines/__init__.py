@@ -1,0 +1,44 @@
+"""The comparison codes of the paper's evaluation, plus PLR itself.
+
+Every class here implements :class:`~repro.baselines.base.RecurrenceCode`:
+executable semantics validated against the serial reference, a traffic
+model for the throughput figures, and memory/L2 accounting for
+Tables 2 and 3.
+"""
+
+from repro.baselines.alg3 import Alg3Filter
+from repro.baselines.base import WORD_BYTES, RecurrenceCode, Workload
+from repro.baselines.cub import CubScan, decoupled_lookback_scan
+from repro.baselines.memcpy import MemcpyBound
+from repro.baselines.plr_code import PLRCode
+from repro.baselines.rec import RecFilter
+from repro.baselines.registry import CODE_FACTORIES, all_code_names, make_code
+from repro.baselines.sam import SamScan
+from repro.baselines.scan_blelloch import (
+    BlellochScan,
+    companion_matrix,
+    encode_elements,
+    scan_operator,
+)
+from repro.baselines.serial import SerialReference
+
+__all__ = [
+    "Alg3Filter",
+    "BlellochScan",
+    "CODE_FACTORIES",
+    "CubScan",
+    "MemcpyBound",
+    "PLRCode",
+    "RecFilter",
+    "RecurrenceCode",
+    "SamScan",
+    "SerialReference",
+    "WORD_BYTES",
+    "Workload",
+    "all_code_names",
+    "companion_matrix",
+    "decoupled_lookback_scan",
+    "encode_elements",
+    "make_code",
+    "scan_operator",
+]

@@ -1,0 +1,118 @@
+"""The common interface every evaluated code implements.
+
+The paper compares six codes — PLR, CUB, SAM, Scan, Alg3, Rec — plus a
+memory-copy upper bound, along three axes: throughput (Figures 1-9),
+GPU memory usage (Table 2), and L2 read misses (Table 3).  Each code in
+:mod:`repro.baselines` therefore provides:
+
+* :meth:`RecurrenceCode.compute` — executable semantics on numpy
+  arrays, validated against the serial reference like the paper
+  validates against its serial CPU run;
+* :meth:`RecurrenceCode.traffic` — the resource demands fed to the
+  analytical :class:`~repro.gpusim.cost.CostModel` to produce the
+  throughput curves;
+* :meth:`RecurrenceCode.memory_usage_bytes` — the NVML-style total of
+  Table 2;
+* :meth:`RecurrenceCode.l2_read_miss_bytes` — the nvprof-style misses
+  of Table 3 (None when the code bypasses the L2, like memcpy);
+* :meth:`RecurrenceCode.supports` — the code's domain restrictions
+  (Alg3/Rec accept one non-recursive coefficient; Scan's memory blows
+  up; nothing accepts > 2^30 words).
+
+All byte quantities assume the paper's 32-bit words.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import UnsupportedRecurrenceError
+from repro.core.recurrence import Recurrence
+from repro.gpusim.cost import Traffic
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["WORD_BYTES", "Workload", "RecurrenceCode"]
+
+WORD_BYTES = 4
+"""The paper evaluates 32-bit integer and float words throughout."""
+
+MAX_WORDS = 2**30
+"""No tested code supports inputs above 4 GB (Section 5)."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation point: a recurrence at a given input size."""
+
+    recurrence: Recurrence
+    n: int
+
+    @property
+    def order(self) -> int:
+        return self.recurrence.order
+
+    @property
+    def input_bytes(self) -> int:
+        return self.n * WORD_BYTES
+
+    @property
+    def is_integer(self) -> bool:
+        return self.recurrence.is_integer
+
+
+class RecurrenceCode(abc.ABC):
+    """One evaluated implementation (PLR, a baseline, or memcpy)."""
+
+    #: Short name used in figures and tables ("CUB", "SAM", ...).
+    name: str = "?"
+
+    # ------------------------------------------------------------------
+    def supports(self, workload: Workload, machine: MachineSpec) -> bool:
+        """Whether this code can run the workload at all."""
+        try:
+            self.check_supported(workload, machine)
+        except UnsupportedRecurrenceError:
+            return False
+        return True
+
+    def check_supported(self, workload: Workload, machine: MachineSpec) -> None:
+        """Raise :class:`UnsupportedRecurrenceError` with the reason."""
+        if workload.n < 1:
+            raise UnsupportedRecurrenceError("empty input")
+        if workload.n > MAX_WORDS:
+            raise UnsupportedRecurrenceError(
+                f"{self.name} supports at most 2^30 words, got {workload.n}"
+            )
+        required = self.memory_usage_bytes(workload, machine)
+        if required > machine.global_memory_bytes:
+            raise UnsupportedRecurrenceError(
+                f"{self.name} needs {required / 2**20:.1f} MB for n={workload.n}, "
+                f"machine has {machine.global_memory_bytes / 2**20:.1f} MB"
+            )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def compute(self, values: np.ndarray, recurrence: Recurrence) -> np.ndarray:
+        """Run the code's algorithm; must match the serial reference."""
+
+    @abc.abstractmethod
+    def traffic(self, workload: Workload, machine: MachineSpec) -> Traffic:
+        """Resource demands for the analytical throughput model."""
+
+    @abc.abstractmethod
+    def memory_usage_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        """Total device memory (NVML view) including context overhead."""
+
+    def l2_read_miss_bytes(
+        self, workload: Workload, machine: MachineSpec
+    ) -> int | None:
+        """L2 read misses in bytes (nvprof view); None if unmeasurable."""
+        return None
+
+    # ------------------------------------------------------------------
+    def _io_buffers_bytes(self, workload: Workload) -> int:
+        """Input + output arrays, the part every code allocates."""
+        return 2 * workload.input_bytes

@@ -1,0 +1,159 @@
+"""CUB: the single-pass decoupled-lookback prefix-scan library model.
+
+CUB (Merrill & Garland) is the fastest published scalar prefix sum:
+a work-efficient single pass with 2n data movement.  Its recurrence
+coverage, per the paper:
+
+* standard prefix sum — the native scalar scan;
+* s-tuple prefix sums — "CUB computes a prefix sum on 2-element
+  vectors": the sequence is viewed as packed s-vectors and scanned
+  with element-wise addition;
+* order-r prefix sums — "CUB repeats the entire code": r full passes,
+  each reading and writing all n words, which is why CUB trails SAM
+  and PLR as the order grows (Figures 4-5).
+
+Arbitrary coefficients and IIR filters are outside CUB's domain ("CUB
+and SAM only directly support recurrences whose correction factors are
+all 1").
+
+The executable path implements the decoupled-lookback structure
+honestly at chunk granularity: chunk-local scans, local/inclusive
+prefix publication, carry addition — the same single-pass skeleton
+PLR's Phase 2 adopted, specialized to all-ones correction factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import WORD_BYTES, RecurrenceCode, Workload
+from repro.core.classify import RecurrenceClass
+from repro.core.errors import UnsupportedRecurrenceError
+from repro.core.recurrence import Recurrence
+from repro.gpusim.cost import Traffic
+from repro.gpusim.l2cache import AccessStreamSummary
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["CubScan", "decoupled_lookback_scan"]
+
+_TILE = 2048  # words per scan tile (CUB's grain at 512 threads x 4)
+
+
+def decoupled_lookback_scan(values: np.ndarray) -> np.ndarray:
+    """One single-pass inclusive sum scan, tile-structured like CUB.
+
+    Tiles compute local inclusive scans independently, publish their
+    tile aggregate, and add the running exclusive prefix — the
+    numpy rendering of the decoupled-lookback pipeline (the actual
+    flag/wait protocol is exercised in :mod:`repro.gpusim.executor`).
+    """
+    n = values.size
+    if n == 0:
+        return values.copy()
+    tiles = -(-n // _TILE)
+    padded = np.zeros(tiles * _TILE, dtype=values.dtype)
+    padded[:n] = values
+    grid = padded.reshape(tiles, _TILE)
+    with np.errstate(over="ignore"):
+        local = np.cumsum(grid, axis=1, dtype=values.dtype)
+        aggregates = local[:, -1]
+        exclusive = np.zeros(tiles, dtype=values.dtype)
+        np.cumsum(aggregates[:-1], dtype=values.dtype, out=exclusive[1:])
+        result = local + exclusive[:, None]
+    return result.reshape(-1)[:n]
+
+
+class CubScan(RecurrenceCode):
+    """The CUB model: scalar/vector scans, repeated for higher orders."""
+
+    name = "CUB"
+
+    def check_supported(self, workload: Workload, machine: MachineSpec) -> None:
+        super().check_supported(workload, machine)
+        cls = workload.recurrence.classification
+        if not cls.is_prefix_sum_family:
+            raise UnsupportedRecurrenceError(
+                "CUB only supports prefix sums (scalar, tuple, higher-order); "
+                f"got {workload.recurrence.signature}"
+            )
+
+    # ------------------------------------------------------------------
+    def compute(self, values: np.ndarray, recurrence: Recurrence) -> np.ndarray:
+        cls = recurrence.classification
+        values = np.asarray(values)
+        if cls.kind == RecurrenceClass.TUPLE_PREFIX_SUM and cls.tuple_size > 1:
+            return self._tuple_scan(values, cls.tuple_size)
+        out = values
+        for _ in range(cls.sum_order or 1):
+            out = decoupled_lookback_scan(out)
+        return out
+
+    def _tuple_scan(self, values: np.ndarray, size: int) -> np.ndarray:
+        """Scan of packed s-vectors with element-wise addition."""
+        n = values.size
+        groups = -(-n // size)
+        padded = np.zeros(groups * size, dtype=values.dtype)
+        padded[:n] = values
+        as_vectors = padded.reshape(groups, size)
+        with np.errstate(over="ignore"):
+            scanned = np.cumsum(as_vectors, axis=0, dtype=values.dtype)
+        return scanned.reshape(-1)[:n]
+
+    # ------------------------------------------------------------------
+    def _passes(self, workload: Workload) -> int:
+        cls = workload.recurrence.classification
+        return cls.sum_order or 1
+
+    def traffic(self, workload: Workload, machine: MachineSpec) -> Traffic:
+        n = workload.n
+        cls = workload.recurrence.classification
+        passes = self._passes(workload)
+        tuple_size = cls.tuple_size or 1
+        per_pass = Traffic(
+            hbm_read_bytes=float(workload.input_bytes),
+            hbm_write_bytes=float(workload.input_bytes),
+            # Tile scan cost per element: raking shared-memory scan,
+            # lookback participation, and data rearrangement — roughly
+            # at parity with the bandwidth bound for the scalar path
+            # (CUB hugs memcpy in Figure 1), growing with the tuple
+            # size in the generic vector path ("CUB's and SAM's
+            # throughputs consistently decrease with larger tuple
+            # sizes as they use the same code base").
+            fma_ops=0.0,
+            aux_ops=float(n) * (31.0 + 9.5 * (tuple_size - 1)),
+            l2_read_bytes=float(n // _TILE) * 2 * tuple_size * WORD_BYTES,
+            kernel_launches=2,  # init + scan kernels per pass
+        )
+        total = per_pass
+        for _ in range(passes - 1):
+            total = total + per_pass
+        return total
+
+    def memory_usage_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        # Table 2: "CUB two more megabytes" than the bare buffers —
+        # tile descriptors (aggregate + inclusive prefix + status per
+        # tile) and module code.
+        tiles = -(-workload.n // _TILE)
+        tuple_size = workload.recurrence.classification.tuple_size or 1
+        descriptors = tiles * (2 * tuple_size * WORD_BYTES + 8)
+        module_code = 2 * 1024 * 1024 - descriptors if descriptors < 2 * 1024 * 1024 else 0
+        return (
+            machine.baseline_context_bytes
+            + self._io_buffers_bytes(workload)
+            + descriptors
+            + module_code
+        )
+
+    def l2_read_miss_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        # Table 3: "PLR, CUB, and SAM only incur a tiny amount of
+        # additional L2-cache read misses (less than one megabyte)".
+        summary = AccessStreamSummary(machine)
+        passes = self._passes(workload)
+        summary.cold_pass(workload.input_bytes)
+        for _ in range(passes - 1):
+            # Later passes re-stream the previous output, which exceeds
+            # the L2 for the table's 2^26-word input.
+            summary.repeat_pass(workload.input_bytes)
+        tiles = -(-workload.n // _TILE)
+        summary.resident_structure(tiles * 2 * WORD_BYTES)
+        return summary.total_read_miss_bytes

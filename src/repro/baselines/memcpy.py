@@ -1,0 +1,50 @@
+"""The memory-copy upper bound.
+
+"For reference, the memory-copy throughput is also given, which
+represents an upper bound on the achievable throughput since it just
+copies the input sequence to the output without any computation."
+Any code that reads each input once and writes each output once cannot
+beat it; PLR reaching this bound on prefix sums and 1-stage filters is
+the paper's headline optimality claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import RecurrenceCode, Workload
+from repro.core.recurrence import Recurrence
+from repro.gpusim.cost import Traffic
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["MemcpyBound"]
+
+
+class MemcpyBound(RecurrenceCode):
+    """cudaMemcpyDeviceToDevice over the input buffer."""
+
+    name = "memcpy"
+
+    def compute(self, values: np.ndarray, recurrence: Recurrence) -> np.ndarray:
+        # Not a recurrence solver: the "result" is the input, copied.
+        # Exists so the harness can time/account it uniformly.
+        return np.array(values, copy=True)
+
+    def traffic(self, workload: Workload, machine: MachineSpec) -> Traffic:
+        return Traffic(
+            hbm_read_bytes=workload.input_bytes,
+            hbm_write_bytes=workload.input_bytes,
+            kernel_launches=1,
+        )
+
+    def memory_usage_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        # Table 2: the memcpy program holds only the context plus the
+        # two buffers (109.5 MB + 512 MB for the 2^26-word input).
+        return machine.baseline_context_bytes + self._io_buffers_bytes(workload)
+
+    def l2_read_miss_bytes(
+        self, workload: Workload, machine: MachineSpec
+    ) -> int | None:
+        # "We cannot show cache misses for the memory-copy code because
+        # it does not incur any, i.e., it does not appear to use the L2."
+        return None

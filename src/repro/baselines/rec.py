@@ -1,0 +1,166 @@
+"""Rec: the Chaurasia et al. Halide-generated recursive-filter model.
+
+Chaurasia et al. (HPG 2015) generate tiled recursive-filter GPU code
+from a Halide-based DSL.  The traits the paper measures and we model:
+
+* tiled processing of square 2D inputs with *serial* combination of
+  tile carries ("Chaurasia et al.'s code serially combines the local
+  carries to produce the global carries" — unlike PLR, which
+  parallelizes every stage);
+* not communication-efficient: the input is effectively read twice
+  (Table 3: 528 MB of read misses for a 256 MB input), so Rec wins
+  only while the working set still fits in the 2 MB L2 — "PLR starts
+  outperforming Rec at a size of one million entries, which is the
+  smallest problem size that exceeds the L2 capacity";
+* many small filter kernels over tiles rather than one long filter
+  ("Rec executes many small filter operations on a square input"),
+  which keeps its fixed overhead low on small inputs — Rec is the
+  fastest float code below ~1M elements in Figure 6;
+* at most one non-recursive coefficient, float only, inputs to 1 GB.
+
+The executable path is a genuine tiled two-phase filter over a square
+reshape of the sequence (row-major continuation preserves 1D
+semantics), with the tile carries combined serially.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.base import WORD_BYTES, RecurrenceCode, Workload
+from repro.core.errors import UnsupportedRecurrenceError
+from repro.core.recurrence import Recurrence
+from repro.gpusim.cost import Traffic
+from repro.gpusim.l2cache import AccessStreamSummary
+from repro.gpusim.spec import MachineSpec
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.phase2 import transition_matrix
+
+__all__ = ["RecFilter"]
+
+_TILE = 256  # words per tile (a 16x16 Halide tile, row-major)
+
+
+class RecFilter(RecurrenceCode):
+    """The Rec model: tiled filtering with serial carry combination."""
+
+    name = "Rec"
+
+    max_words = 2**28  # 1 GB of 32-bit words
+
+    def check_supported(self, workload: Workload, machine: MachineSpec) -> None:
+        super().check_supported(workload, machine)
+        sig = workload.recurrence.signature
+        if len(sig.feedforward) > 1:
+            raise UnsupportedRecurrenceError(
+                "Rec supports at most one non-recursive coefficient; "
+                f"got {sig}"
+            )
+        if sig.is_integer:
+            raise UnsupportedRecurrenceError(
+                "Rec is a floating-point image-filtering code"
+            )
+        if workload.n > self.max_words:
+            raise UnsupportedRecurrenceError("Rec only supports inputs up to 1 GB")
+
+    # ------------------------------------------------------------------
+    def compute(self, values: np.ndarray, recurrence: Recurrence) -> np.ndarray:
+        """Tiled filter: local tiles, serial carry chain, final fix-up."""
+        values = np.asarray(values, dtype=np.float32)
+        sig = recurrence.signature
+        scale = np.float32(sig.feedforward[0])
+        feedback = [np.float32(b) for b in sig.feedback]
+        k = len(feedback)
+        n = values.size
+        tiles = -(-n // _TILE)
+        padded = np.zeros(tiles * _TILE, dtype=np.float32)
+        padded[:n] = values * scale
+        grid = padded.reshape(tiles, _TILE)
+
+        # Tile-local filtering (parallel on the GPU; vectorized here
+        # across tiles, serial within a tile like the generated code).
+        out = grid.copy()
+        for i in range(1, _TILE):
+            acc = out[:, i]
+            for j in range(1, min(i, k) + 1):
+                acc = acc + feedback[j - 1] * out[:, i - j]
+            out[:, i] = acc
+
+        # Serial combination of tile carries — Rec's distinguishing
+        # (and non-parallel) stage.
+        table = CorrectionFactorTable.build(
+            recurrence.recursive_signature, _TILE, np.float32
+        )
+        matrix = transition_matrix(table)
+        local = out[:, _TILE - k :][:, ::-1]
+        global_ = np.empty_like(local)
+        global_[0] = local[0]
+        for t in range(1, tiles):
+            global_[t] = local[t] + matrix @ global_[t - 1]
+
+        # Fix-up pass over the tiles with the incoming carries.
+        for j in range(k):
+            out[1:] += table.factors[j][None, :] * global_[:-1, j][:, None]
+        return out.reshape(-1)[:n]
+
+    # ------------------------------------------------------------------
+    def traffic(self, workload: Workload, machine: MachineSpec) -> Traffic:
+        n, k = workload.n, workload.order
+        bytes_in = float(workload.input_bytes)
+        tiles = n / _TILE
+        # The fix-up pass re-reads the input; while it still fits in
+        # the L2 that re-read is (almost) free, beyond it, it goes to
+        # HBM — the paper pins Rec's crossover against PLR to exactly
+        # this point ("one million entries, which is the smallest
+        # problem size that exceeds the L2 capacity").
+        if bytes_in <= machine.l2_cache_bytes:
+            reread_hbm = 0.0
+            reread_l2 = bytes_in
+        else:
+            reread_hbm = bytes_in
+            reread_l2 = 0.0
+        # Rec decomposes filters above order 2 into a cascade of
+        # lower-order passes ("a higher-order filter can be decomposed
+        # into an equivalent set of several lower-order filters"); the
+        # intermediate plane costs extra traffic (partially L2-served).
+        cascade_bytes = float(workload.input_bytes) if k > 2 else 0.0
+        return Traffic(
+            hbm_read_bytes=bytes_in + reread_hbm + cascade_bytes,
+            hbm_write_bytes=bytes_in + bytes_in,  # tile results + final
+            l2_read_bytes=reread_l2 + tiles * 2 * k * WORD_BYTES,
+            fma_ops=2.0 * n * k,
+            aux_ops=1.0 * n,
+            # Many small tiled kernels with little fixed overhead —
+            # Rec's advantage on small inputs in Figures 6-8.
+            kernel_launches=2,
+            serial_hops=min(tiles, 64.0) * 0.05,
+        )
+
+    def memory_usage_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        # Table 2: 17-49 MB extra, ~16 MB per order: per-tile state
+        # arrays in 2D layout.
+        base_extra = 17 * 1024 * 1024 + (workload.order - 1) * 16 * 1024 * 1024
+        return (
+            machine.baseline_context_bytes
+            + self._io_buffers_bytes(workload)
+            + base_extra
+        )
+
+    def l2_read_miss_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        # Table 3: 528-563 MB for a 256 MB input — the fix-up re-read
+        # misses beyond the L2 capacity, plus per-order tile state.
+        summary = AccessStreamSummary(machine)
+        summary.cold_pass(workload.input_bytes)
+        summary.repeat_pass(workload.input_bytes)
+        extra = (16 + 17 * (workload.order - 1)) * 1024 * 1024
+        summary.cold_pass(extra)
+        return summary.total_read_miss_bytes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def square_side(n: int) -> int:
+        """The 2D side length the paper would use (multiple of 32)."""
+        side = int(math.sqrt(n))
+        return max(32, (side // 32) * 32)

@@ -1,0 +1,46 @@
+"""Name -> code lookup used by the evaluation harness and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.alg3 import Alg3Filter
+from repro.baselines.base import RecurrenceCode
+from repro.baselines.cub import CubScan
+from repro.baselines.memcpy import MemcpyBound
+from repro.baselines.plr_code import PLRCode
+from repro.baselines.rec import RecFilter
+from repro.baselines.sam import SamScan
+from repro.baselines.scan_blelloch import BlellochScan
+from repro.baselines.serial import SerialReference
+from repro.core.errors import ReproError
+from repro.plr.optimizer import OptimizationConfig
+
+__all__ = ["CODE_FACTORIES", "make_code", "all_code_names"]
+
+CODE_FACTORIES: dict[str, Callable[[], RecurrenceCode]] = {
+    "memcpy": MemcpyBound,
+    "serial": SerialReference,
+    "Scan": BlellochScan,
+    "CUB": CubScan,
+    "SAM": SamScan,
+    "Alg3": Alg3Filter,
+    "Rec": RecFilter,
+    "PLR": PLRCode,
+    "PLR-noopt": lambda: PLRCode(OptimizationConfig.disabled()),
+}
+
+
+def make_code(name: str) -> RecurrenceCode:
+    """Instantiate an evaluated code by its figure/table name."""
+    try:
+        factory = CODE_FACTORIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown code {name!r}; known: {', '.join(CODE_FACTORIES)}"
+        ) from None
+    return factory()
+
+
+def all_code_names() -> tuple[str, ...]:
+    return tuple(CODE_FACTORIES)

@@ -1,0 +1,53 @@
+"""The serial CPU code, as an evaluated implementation.
+
+The paper uses the serial loop both as the correctness oracle and as
+the implicit CPU comparison point ("the serial code running on a CPU
+has to be slower" than any code transferring 264 GB/s).  Wrapping it in
+the :class:`RecurrenceCode` interface lets the harness validate every
+parallel code against it uniformly and lets benchmarks quantify the
+PLR-vs-serial gap on the host we actually have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import WORD_BYTES, RecurrenceCode, Workload
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.gpusim.cost import Traffic
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["SerialReference"]
+
+
+class SerialReference(RecurrenceCode):
+    """The Section 2 serial loop (run on the CPU in the paper)."""
+
+    name = "serial"
+
+    def compute(self, values: np.ndarray, recurrence: Recurrence) -> np.ndarray:
+        return serial_full(values, recurrence.signature)
+
+    def traffic(self, workload: Workload, machine: MachineSpec) -> Traffic:
+        # A single dependent chain of n O(k) steps on one CPU core.  The
+        # floor assumes ~1.5 G dependent k-term updates per second — a
+        # generous desktop-CPU figure that still leaves the serial code
+        # an order of magnitude below the parallel GPU codes, matching
+        # the paper's dismissal of the CPU ("has to be slower").
+        n, k = workload.n, workload.order
+        return Traffic(
+            hbm_read_bytes=workload.input_bytes,
+            hbm_write_bytes=workload.input_bytes,
+            fma_ops=float(n) * k,
+            min_time_s=n * max(k, 1) / 1.5e9,
+            kernel_launches=0,
+        )
+
+    def memory_usage_bytes(self, workload: Workload, machine: MachineSpec) -> int:
+        return self._io_buffers_bytes(workload) + workload.order * WORD_BYTES
+
+    def l2_read_miss_bytes(
+        self, workload: Workload, machine: MachineSpec
+    ) -> int | None:
+        return None  # runs on the host; GPU L2 untouched

@@ -1,0 +1,303 @@
+"""The ``plr`` command line: the paper's tool, plus the evaluation.
+
+Subcommands:
+
+* ``plr compile "(1: 2, -1)" --backend cuda`` — translate a signature
+  into CUDA/C/Python source (the paper's PLR compiler);
+* ``plr run "(1: 2, -1)" -n 1000000`` — compute a recurrence with the
+  chosen backend and verify against the serial reference;
+* ``plr info "(1: 2, -1)"`` — classification, execution plan, and the
+  optimizer's factor-realization decisions;
+* ``plr factors "(1: 2, -1)" -m 16`` — print the correction-factor
+  lists (the n-nacci sequences of Section 2.1);
+* ``plr figures [fig1 fig2 ...]`` — reproduce the paper's throughput
+  figures on the modeled Titan X;
+* ``plr tables`` — reproduce Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.codegen.compiler import BACKENDS, PLRCompiler
+from repro.core.errors import ReproError
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.core.validation import compare_results
+from repro.eval.figures import figure10_throughputs, figure_definitions
+from repro.eval.harness import run_experiment
+from repro.eval.report import render_figure, render_figure10, render_table
+from repro.eval.tables import table2_memory_usage, table3_l2_misses
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.optimizer import optimize_factors
+from repro.plr.solver import PLRSolver
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plr",
+        description="Parallelized Linear Recurrences (ASPLOS 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_p = sub.add_parser("compile", help="translate a signature to code")
+    compile_p.add_argument("signature", help='e.g. "(1: 2, -1)"')
+    compile_p.add_argument("--backend", choices=BACKENDS, default="cuda")
+    compile_p.add_argument("-n", type=int, default=1 << 24, help="planned input size")
+    compile_p.add_argument("-o", "--output", help="write source here (default: stdout)")
+
+    run_p = sub.add_parser("run", help="compute a recurrence and verify")
+    run_p.add_argument("signature")
+    run_p.add_argument("-n", type=int, default=1 << 20)
+    run_p.add_argument(
+        "--backend",
+        choices=("solver",) + tuple(b for b in BACKENDS if b != "cuda"),
+        default="solver",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+
+    info_p = sub.add_parser("info", help="plan and optimization decisions")
+    info_p.add_argument("signature")
+    info_p.add_argument("-n", type=int, default=1 << 24)
+
+    factors_p = sub.add_parser("factors", help="print correction factors")
+    factors_p.add_argument("signature")
+    factors_p.add_argument("-m", type=int, default=16, help="factors per carry")
+
+    figures_p = sub.add_parser("figures", help="reproduce throughput figures")
+    figures_p.add_argument(
+        "ids", nargs="*", help="figure ids (default: all)", metavar="fig1"
+    )
+
+    sub.add_parser("tables", help="reproduce Tables 2 and 3")
+
+    sim_p = sub.add_parser(
+        "simulate", help="run the functional GPU simulator and report protocol stats"
+    )
+    sim_p.add_argument("signature")
+    sim_p.add_argument("-n", type=int, default=2000)
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument(
+        "--fault",
+        choices=("none", "flag_before_data", "skip_local_flag", "never_publish"),
+        default="none",
+        help="inject a protocol fault to observe the failure mode",
+    )
+
+    sub.add_parser(
+        "calibration", help="audit the cost model against the paper's anchors"
+    )
+
+    export_p = sub.add_parser(
+        "export", help="write figures/tables as CSV + JSON for replotting"
+    )
+    export_p.add_argument("outdir", help="directory to write into")
+    export_p.add_argument(
+        "--svg", action="store_true", help="also render each figure as SVG"
+    )
+    return parser
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    result = PLRCompiler().compile(args.signature, n=args.n, backend=args.backend)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(result.source)
+        print(
+            f"wrote {args.backend} source for {result.ir.recurrence.signature} "
+            f"to {args.output} ({result.codegen_seconds * 1e3:.1f} ms)"
+        )
+    else:
+        print(result.source)
+    return 0
+
+
+def _make_input(recurrence: Recurrence, n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if recurrence.is_integer:
+        return rng.integers(-100, 100, size=n).astype(np.int32)
+    return rng.standard_normal(n).astype(np.float32)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    recurrence = Recurrence.parse(args.signature)
+    values = _make_input(recurrence, args.n, args.seed)
+    if args.backend == "solver":
+        solver = PLRSolver(recurrence)
+        start = time.perf_counter()
+        result = solver.solve(values)
+        elapsed = time.perf_counter() - start
+    else:
+        compiled = PLRCompiler().compile(
+            recurrence, n=args.n, backend=args.backend
+        )
+        start = time.perf_counter()
+        result = compiled.kernel(values)
+        elapsed = time.perf_counter() - start
+    expected = serial_full(values, recurrence.signature)
+    report = compare_results(result, expected)
+    throughput = args.n / elapsed / 1e6
+    print(
+        f"{recurrence.signature} n={args.n} backend={args.backend}: "
+        f"{elapsed * 1e3:.1f} ms ({throughput:.1f} M words/s) — {report.describe()}"
+    )
+    return 0 if report.ok else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    recurrence = Recurrence.parse(args.signature)
+    compiler = PLRCompiler()
+    ir = compiler.build_ir(recurrence, n=args.n)
+    cls = recurrence.classification
+    print(f"signature      {recurrence.signature}")
+    print(f"class          {cls.kind.value} (order {cls.order})")
+    print(f"dtype          {ir.dtype}")
+    print(f"plan           {ir.plan.describe()}")
+    print(f"factor table   {ir.table.describe()}")
+    for decision in ir.factor_plan.decisions:
+        extras = []
+        if decision.constant is not None:
+            extras.append(f"constant={decision.constant}")
+        if decision.period is not None:
+            extras.append(f"period={decision.period}")
+        if decision.cutoff is not None:
+            extras.append(f"cutoff={decision.cutoff}")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        print(
+            f"carry {decision.carry_index}        "
+            f"{decision.realization.value}{suffix}"
+        )
+    return 0
+
+
+def _cmd_factors(args: argparse.Namespace) -> int:
+    recurrence = Recurrence.parse(args.signature)
+    dtype = np.int64 if recurrence.is_integer else np.float64
+    table = CorrectionFactorTable.build(
+        recurrence.recursive_signature, args.m, dtype
+    )
+    plan = optimize_factors(table)
+    for j in range(table.order):
+        values = ", ".join(str(v) for v in table.row(j))
+        print(f"carry {j} (w[m-1-{j}]): {values}")
+    print(f"analysis: {table.describe()}")
+    print(
+        "realizations: "
+        + ", ".join(d.realization.value for d in plan.decisions)
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    defs = figure_definitions()
+    ids = args.ids or sorted(defs) + ["fig10"]
+    for fid in ids:
+        if fid == "fig10":
+            print(render_figure10(figure10_throughputs()))
+        elif fid in defs:
+            print(render_figure(run_experiment(defs[fid], validate=False)))
+        else:
+            raise ReproError(f"unknown figure {fid!r}; known: {sorted(defs)} + fig10")
+        print()
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print(render_table(table2_memory_usage(), "Table 2: Total GPU memory usage (MB)"))
+    print()
+    print(render_table(table3_l2_misses(), "Table 3: L2 read misses (MB)"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.errors import SimulationError
+    from repro.gpusim.executor import ProtocolFault, SimulatedPLR
+    from repro.gpusim.spec import MachineSpec
+
+    recurrence = Recurrence.parse(args.signature)
+    machine = MachineSpec.small_test_gpu()
+    values = _make_input(recurrence, args.n, args.seed)
+    sim = SimulatedPLR(
+        recurrence,
+        machine,
+        seed=args.seed,
+        fault=ProtocolFault(args.fault),
+        deadlock_rounds=200,
+    )
+    try:
+        result = sim.run(values)
+    except SimulationError as exc:
+        print(f"simulation aborted: {exc}")
+        return 1
+    expected = serial_full(values, recurrence.signature)
+    report = compare_results(result.output, expected)
+    distances = result.lookback_distances
+    print(f"machine        {machine.name}")
+    print(f"blocks run     {len(result.block_stats)}")
+    print(
+        f"schedule       {result.schedule_steps} steps, "
+        f"{result.schedule_wait_steps} busy-wait"
+    )
+    if distances:
+        print(
+            f"look-back      min={min(distances)} max={max(distances)} "
+            f"mean={sum(distances) / len(distances):.2f}"
+        )
+    stats = result.block_stats[0]
+    print(
+        f"block 0 comms  {stats.shuffles} shuffles, "
+        f"{stats.shared_reads + stats.shared_writes} shared-memory ops, "
+        f"{stats.barriers} barriers"
+    )
+    print(f"result         {report.describe()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_calibration(args: argparse.Namespace) -> int:
+    from repro.eval.calibration import calibration_report, render_calibration
+
+    anchors = calibration_report()
+    print(render_calibration(anchors))
+    return 0 if all(a.ok for a in anchors) else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.eval.export import export_everything
+
+    written = export_everything(args.outdir, svg=args.svg)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "compile": _cmd_compile,
+    "run": _cmd_run,
+    "info": _cmd_info,
+    "factors": _cmd_factors,
+    "figures": _cmd_figures,
+    "tables": _cmd_tables,
+    "simulate": _cmd_simulate,
+    "calibration": _cmd_calibration,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The PLR compiler: IR construction and the CUDA / C / Python emitters."""
+
+from repro.codegen.cbackend import CompiledCKernel, compile_c_kernel, emit_c
+from repro.codegen.compiler import BACKENDS, CompilationResult, PLRCompiler
+from repro.codegen.cuda import emit_cuda, emit_cuda_program
+from repro.codegen.frontend import (
+    LoopPatternError,
+    RecognizedLoop,
+    parallelize,
+    recognize_loop,
+)
+from repro.codegen.ir import KernelIR, build_ir
+from repro.codegen.pybackend import (
+    CompiledPythonKernel,
+    compile_python_kernel,
+    emit_python,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CompilationResult",
+    "CompiledCKernel",
+    "CompiledPythonKernel",
+    "KernelIR",
+    "LoopPatternError",
+    "PLRCompiler",
+    "RecognizedLoop",
+    "build_ir",
+    "compile_c_kernel",
+    "compile_python_kernel",
+    "emit_c",
+    "emit_cuda",
+    "emit_cuda_program",
+    "emit_python",
+    "parallelize",
+    "recognize_loop",
+]

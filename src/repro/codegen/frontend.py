@@ -1,0 +1,252 @@
+"""A loop front end: recognize serial recurrence loops automatically.
+
+The paper closes by noting PLR "could equally be part of a full-fledged
+(C/C++) compiler that is invoked either via an intrinsic or to augment
+an existing loop-nest transformation engine that automatically
+parallelizes code (such as Graphite in gcc)".  This module is that idea
+for Python: it inspects a function containing a serial recurrence loop,
+
+    def lowpass(x, y, n):
+        for i in range(n):
+            y[i] = 0.2 * x[i] + 0.8 * y[i - 1]
+
+pattern-matches the loop body against recursion equation (1), extracts
+the signature ``(0.2 : 0.8)``, and hands back a parallel replacement
+built on :class:`~repro.plr.solver.PLRSolver` — with the original
+function never executed.
+
+Recognized shape (anything else raises :class:`LoopPatternError` with a
+reason):
+
+* ``for i in range(n)`` over a single statement
+  ``y[i] = <linear expression>``;
+* the expression is a sum of terms ``c * x[i - j]`` and ``c * y[i - j]``
+  (constant c, non-negative literal offset j; bare ``x[i]`` means c=1,
+  unary minus folds into the constant);
+* ``y`` terms must use strictly positive offsets (an in-iteration
+  ``y[i]`` read would not be a linear recurrence);
+* coefficients are Python literals (int/float), so the signature is
+  fully static — the same restriction the paper's DSL imposes.
+
+This is deliberately a *recognizer*, not a symbolic algebra system: it
+accepts the loops people actually write for filters/prefix sums and
+gives actionable errors for the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.signature import Signature
+from repro.plr.solver import PLRSolver
+
+__all__ = ["LoopPatternError", "RecognizedLoop", "recognize_loop", "parallelize"]
+
+
+class LoopPatternError(ReproError):
+    """The function does not contain a recognizable recurrence loop."""
+
+
+@dataclass(frozen=True)
+class RecognizedLoop:
+    """What the recognizer extracted from a serial loop."""
+
+    signature: Signature
+    input_name: str
+    output_name: str
+    index_name: str
+    bound_name: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.output_name}[{self.index_name}] over "
+            f"{self.input_name}: signature {self.signature}"
+        )
+
+
+def _literal_number(node: ast.AST) -> float | int | None:
+    """Evaluate a numeric literal, allowing unary +/- chains."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    return None
+
+
+def _match_subscript(node: ast.AST, index_name: str) -> tuple[str, int] | None:
+    """Match ``name[i]`` or ``name[i - j]`` -> (name, j)."""
+    if not isinstance(node, ast.Subscript) or not isinstance(node.value, ast.Name):
+        return None
+    array = node.value.id
+    sub = node.slice
+    if isinstance(sub, ast.Name) and sub.id == index_name:
+        return array, 0
+    if (
+        isinstance(sub, ast.BinOp)
+        and isinstance(sub.op, ast.Sub)
+        and isinstance(sub.left, ast.Name)
+        and sub.left.id == index_name
+    ):
+        offset = _literal_number(sub.right)
+        if offset is not None and float(offset).is_integer() and offset >= 0:
+            return array, int(offset)
+    return None
+
+
+@dataclass
+class _Term:
+    array: str
+    offset: int
+    coefficient: float | int
+
+
+def _collect_terms(node: ast.AST, index_name: str, sign: int = 1) -> list[_Term]:
+    """Flatten a linear expression into coefficient terms."""
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        return _collect_terms(node.left, index_name, sign) + _collect_terms(
+            node.right, index_name, sign
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+        return _collect_terms(node.left, index_name, sign) + _collect_terms(
+            node.right, index_name, -sign
+        )
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _collect_terms(node.operand, index_name, -sign)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+        return _collect_terms(node.operand, index_name, sign)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        # constant * subscript, in either order
+        for const_node, sub_node in ((node.left, node.right), (node.right, node.left)):
+            constant = _literal_number(const_node)
+            match = _match_subscript(sub_node, index_name)
+            if constant is not None and match is not None:
+                return [_Term(match[0], match[1], sign * constant)]
+        raise LoopPatternError(
+            f"line {node.lineno}: multiplication must be "
+            "<constant> * <array>[i - j] with a literal constant"
+        )
+    match = _match_subscript(node, index_name)
+    if match is not None:
+        return [_Term(match[0], match[1], sign * 1)]
+    raise LoopPatternError(
+        f"unsupported term at line {getattr(node, 'lineno', '?')}: the loop "
+        "body must be a sum of constant-coefficient array references"
+    )
+
+
+def _find_loop(tree: ast.AST) -> ast.For:
+    loops = [node for node in ast.walk(tree) if isinstance(node, ast.For)]
+    if not loops:
+        raise LoopPatternError("no for-loop found in the function")
+    if len(loops) > 1:
+        raise LoopPatternError("expected exactly one loop, found nested/multiple")
+    return loops[0]
+
+
+def recognize_loop(function: Callable | str) -> RecognizedLoop:
+    """Extract the recurrence signature from a serial loop function."""
+    source = (
+        function if isinstance(function, str) else inspect.getsource(function)
+    )
+    tree = ast.parse(textwrap.dedent(source))
+    loop = _find_loop(tree)
+
+    if not isinstance(loop.target, ast.Name):
+        raise LoopPatternError("loop index must be a simple name")
+    index_name = loop.target.id
+    if not (
+        isinstance(loop.iter, ast.Call)
+        and isinstance(loop.iter.func, ast.Name)
+        and loop.iter.func.id == "range"
+        and len(loop.iter.args) == 1
+        and isinstance(loop.iter.args[0], ast.Name)
+    ):
+        raise LoopPatternError("loop must iterate `for i in range(n)`")
+    bound_name = loop.iter.args[0].id
+    if len(loop.body) != 1 or not isinstance(loop.body[0], ast.Assign):
+        raise LoopPatternError("loop body must be a single assignment")
+    assign = loop.body[0]
+    if len(assign.targets) != 1:
+        raise LoopPatternError("assignment must have a single target")
+    target = _match_subscript(assign.targets[0], index_name)
+    if target is None or target[1] != 0:
+        raise LoopPatternError("assignment target must be `y[i]`")
+    output_name = target[0]
+
+    terms = _collect_terms(assign.value, index_name)
+    input_names = {t.array for t in terms if t.array != output_name}
+    if len(input_names) != 1:
+        raise LoopPatternError(
+            f"expected exactly one input array, found {sorted(input_names) or 'none'}"
+        )
+    input_name = input_names.pop()
+
+    ff_terms: dict[int, float | int] = {}
+    fb_terms: dict[int, float | int] = {}
+    for term in terms:
+        bucket = ff_terms if term.array == input_name else fb_terms
+        bucket[term.offset] = bucket.get(term.offset, 0) + term.coefficient
+    if 0 in fb_terms:
+        raise LoopPatternError(
+            f"`{output_name}[{index_name}]` on the right-hand side: not a "
+            "causal linear recurrence"
+        )
+    if not fb_terms:
+        raise LoopPatternError(
+            "no feedback term: this is a pure map/FIR, which is "
+            "embarrassingly parallel without PLR"
+        )
+    if not ff_terms:
+        raise LoopPatternError("no input term: the output would be all zeros")
+
+    p = max(ff_terms)
+    feedforward = tuple(ff_terms.get(j, 0) for j in range(p + 1))
+    k = max(fb_terms)
+    feedback = tuple(fb_terms.get(j, 0) for j in range(1, k + 1))
+    signature = Signature(feedforward, feedback)
+    return RecognizedLoop(
+        signature=signature,
+        input_name=input_name,
+        output_name=output_name,
+        index_name=index_name,
+        bound_name=bound_name,
+    )
+
+
+def parallelize(function: Callable) -> Callable[[np.ndarray], np.ndarray]:
+    """Turn a serial recurrence loop into a parallel PLR computation.
+
+    The returned callable takes the input array and returns the output
+    array; the original function body is never executed.
+
+        @parallelize
+        def smooth(x, y, n):
+            for i in range(n):
+                y[i] = 0.2 * x[i] + 0.8 * y[i - 1]
+
+        y = smooth(samples)
+    """
+    recognized = recognize_loop(function)
+    solver = PLRSolver(recognized.signature)
+
+    def parallel(values: np.ndarray) -> np.ndarray:
+        return solver.solve(np.asarray(values))
+
+    parallel.__name__ = getattr(function, "__name__", "parallelized")
+    parallel.__doc__ = (
+        f"Parallelized by PLR from a serial loop: {recognized.describe()}"
+    )
+    parallel.recognized = recognized  # type: ignore[attr-defined]
+    return parallel

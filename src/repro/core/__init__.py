@@ -1,0 +1,83 @@
+"""The recurrence domain: signatures, filter design, and reference math.
+
+Everything in :mod:`repro.core` is hardware-agnostic.  The PLR
+algorithm, the compiler, the GPU model, and the baselines all build on
+these primitives.
+"""
+
+from repro.core.classify import Classification, RecurrenceClass, classify
+from repro.core.coefficients import (
+    high_pass,
+    low_pass,
+    single_pole_high_pass,
+    single_pole_low_pass,
+    table1_signatures,
+)
+from repro.core.errors import (
+    BackendError,
+    CodegenError,
+    PlanError,
+    ReproError,
+    SignatureError,
+    SimulationError,
+    UnsupportedRecurrenceError,
+    ValidationError,
+)
+from repro.core.nnacci import (
+    carry_seed,
+    carry_transition_matrix,
+    correction_factor_matrix,
+    correction_factors,
+    nnacci,
+)
+from repro.core.recurrence import Recurrence
+from repro.core.reference import fir_map, serial_full, serial_recurrence
+from repro.core.signature import Signature, parse_signature
+from repro.core.validation import FLOAT_TOLERANCE, assert_valid, compare_results
+from repro.core.ztransform import (
+    cascade,
+    cascade_many,
+    frequency_response,
+    impulse_response,
+    is_stable,
+    poles,
+)
+
+__all__ = [
+    "BackendError",
+    "Classification",
+    "CodegenError",
+    "FLOAT_TOLERANCE",
+    "PlanError",
+    "Recurrence",
+    "RecurrenceClass",
+    "ReproError",
+    "Signature",
+    "SignatureError",
+    "SimulationError",
+    "UnsupportedRecurrenceError",
+    "ValidationError",
+    "assert_valid",
+    "carry_seed",
+    "carry_transition_matrix",
+    "cascade",
+    "cascade_many",
+    "classify",
+    "compare_results",
+    "correction_factor_matrix",
+    "correction_factors",
+    "fir_map",
+    "frequency_response",
+    "high_pass",
+    "impulse_response",
+    "is_stable",
+    "low_pass",
+    "nnacci",
+    "parse_signature",
+    "poles",
+    "serial_full",
+    "serial_recurrence",
+    "single_pole_high_pass",
+    "single_pole_low_pass",
+    "table1_signatures",
+]

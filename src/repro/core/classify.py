@@ -1,0 +1,117 @@
+"""Recurrence taxonomy.
+
+The PLR optimizer and the evaluation harness both need to know *what
+kind* of recurrence a signature describes: the paper's Figure 10 groups
+its eleven recurrences into prefix sums, tuple-based prefix sums,
+higher-order prefix sums, and low-/high-pass IIR filters, and several
+code-generation optimizations only fire for specific classes (e.g. the
+zero/one-factor conditional-add rewrite helps tuple prefix sums).
+
+Classification here looks only at the *signature*, not at the factor
+table; factor-level properties (constant, repeating, decaying) are
+analyzed separately in :mod:`repro.plr.factors`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from math import comb
+
+from repro.core.signature import Signature
+
+__all__ = ["RecurrenceClass", "Classification", "classify"]
+
+
+class RecurrenceClass(enum.Enum):
+    """Coarse recurrence families used throughout the evaluation."""
+
+    PREFIX_SUM = "prefix_sum"
+    TUPLE_PREFIX_SUM = "tuple_prefix_sum"
+    HIGHER_ORDER_PREFIX_SUM = "higher_order_prefix_sum"
+    IIR_FILTER = "iir_filter"
+    GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The result of :func:`classify`.
+
+    Attributes
+    ----------
+    kind:
+        The recurrence family.
+    order:
+        The recurrence order k (= feedback length).
+    tuple_size:
+        For tuple prefix sums, the tuple width s; otherwise ``None``.
+    sum_order:
+        For higher-order prefix sums, the number of nested prefix sums;
+        otherwise ``None``.  The standard prefix sum has ``sum_order=1``.
+    has_fir_stage:
+        True when the map stage (2) is non-trivial, i.e. the signature
+        has more than a single feed-forward ``1``.
+    """
+
+    kind: RecurrenceClass
+    order: int
+    tuple_size: int | None = None
+    sum_order: int | None = None
+    has_fir_stage: bool = False
+
+    @property
+    def is_prefix_sum_family(self) -> bool:
+        return self.kind in (
+            RecurrenceClass.PREFIX_SUM,
+            RecurrenceClass.TUPLE_PREFIX_SUM,
+            RecurrenceClass.HIGHER_ORDER_PREFIX_SUM,
+        )
+
+
+def _is_tuple_feedback(feedback: tuple) -> int | None:
+    """Return the tuple size s when feedback is (0, ..., 0, 1)."""
+    if feedback[-1] != 1:
+        return None
+    if any(b != 0 for b in feedback[:-1]):
+        return None
+    return len(feedback)
+
+
+def _is_higher_order_feedback(feedback: tuple) -> int | None:
+    """Return r when feedback matches the order-r prefix-sum binomials."""
+    r = len(feedback)
+    expected = tuple((-1) ** (j + 1) * comb(r, j) for j in range(1, r + 1))
+    return r if feedback == expected else None
+
+
+def classify(signature: Signature) -> Classification:
+    """Classify a signature into one of the paper's recurrence families.
+
+    Integer signatures with a bare ``(1:`` feed-forward stage map to the
+    prefix-sum families; everything with floating-point coefficients or
+    a non-trivial FIR stage is treated as an IIR filter (the paper's
+    low-/high-pass examples) or a general recurrence.
+    """
+    k = signature.order
+    has_fir = signature.feedforward != (1,)
+
+    if signature.is_integer and not has_fir:
+        fb = signature.feedback
+        if fb == (1,):
+            return Classification(RecurrenceClass.PREFIX_SUM, k, tuple_size=1, sum_order=1)
+        tuple_size = _is_tuple_feedback(fb)
+        if tuple_size is not None:
+            return Classification(
+                RecurrenceClass.TUPLE_PREFIX_SUM, k, tuple_size=tuple_size
+            )
+        sum_order = _is_higher_order_feedback(fb)
+        if sum_order is not None:
+            return Classification(
+                RecurrenceClass.HIGHER_ORDER_PREFIX_SUM, k, sum_order=sum_order
+            )
+        return Classification(RecurrenceClass.GENERAL, k, has_fir_stage=False)
+
+    if not signature.is_integer:
+        return Classification(RecurrenceClass.IIR_FILTER, k, has_fir_stage=has_fir)
+
+    return Classification(RecurrenceClass.GENERAL, k, has_fir_stage=has_fir)

@@ -1,0 +1,124 @@
+"""Filter design: the coefficient formulas behind Table 1.
+
+The paper cites Smith, *Digital Signal Processing: A Practical Guide
+for Engineers and Scientists* (chapter 19, "Recursive Filters") for the
+coefficients of its low-/high-pass examples.  Smith's single-pole
+recursive filters are, for a pole location x in (0, 1):
+
+    low-pass:   a0 = 1 - x                b1 = x
+    high-pass:  a0 = (1 + x) / 2          b1 = x
+                a1 = -(1 + x) / 2
+
+Multi-stage filters are single-pole stages cascaded via the z-transform
+(:mod:`repro.core.ztransform`).  With x = 0.8 this reproduces Table 1
+exactly:
+
+    1-stage low-pass    (0.2: 0.8)
+    2-stage low-pass    (0.04: 1.6, -0.64)
+    3-stage low-pass    (0.008: 2.4, -1.92, 0.512)
+    1-stage high-pass   (0.9, -0.9: 0.8)
+    2-stage high-pass   (0.81, -1.62, 0.81: 1.6, -0.64)
+    3-stage high-pass   (0.729, -2.187, 2.187, -0.729: 2.4, -1.92, 0.512)
+
+(The paper prints the 3-stage high-pass truncated to two decimals.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.core.errors import SignatureError
+from repro.core.signature import Signature
+from repro.core.ztransform import repeat
+
+__all__ = [
+    "single_pole_low_pass",
+    "single_pole_high_pass",
+    "low_pass",
+    "high_pass",
+    "pole_for_time_constant",
+    "pole_for_cutoff",
+    "table1_signatures",
+]
+
+
+def _check_pole(x: float) -> float:
+    if not 0.0 < x < 1.0:
+        raise SignatureError(
+            f"single-pole filter requires a pole in (0, 1), got {x!r}; "
+            "poles at or beyond 1 are unstable"
+        )
+    return float(x)
+
+
+def single_pole_low_pass(x: float = 0.8) -> Signature:
+    """Smith's single-pole low-pass filter: ``(1-x : x)``."""
+    x = _check_pole(x)
+    return Signature((1.0 - x,), (x,))
+
+
+def single_pole_high_pass(x: float = 0.8) -> Signature:
+    """Smith's single-pole high-pass filter: ``((1+x)/2, -(1+x)/2 : x)``."""
+    x = _check_pole(x)
+    half = (1.0 + x) / 2.0
+    return Signature((half, -half), (x,))
+
+
+def low_pass(stages: int = 1, x: float = 0.8) -> Signature:
+    """An n-stage low-pass filter: ``stages`` single poles cascaded.
+
+    ``low_pass(2)`` yields the paper's (0.04: 1.6, -0.64), etc.
+    """
+    return repeat(single_pole_low_pass(x), stages)
+
+
+def high_pass(stages: int = 1, x: float = 0.8) -> Signature:
+    """An n-stage high-pass filter: ``stages`` single poles cascaded."""
+    return repeat(single_pole_high_pass(x), stages)
+
+
+def pole_for_time_constant(samples: float) -> float:
+    """The pole x giving a specified exponential time constant.
+
+    A single-pole filter's impulse response decays as x^n; the time
+    constant d (in samples) where the response falls to 1/e satisfies
+    x = e^(-1/d).  Handy for designing smoothing filters in the
+    examples.
+    """
+    if samples <= 0:
+        raise SignatureError(f"time constant must be positive, got {samples!r}")
+    return math.exp(-1.0 / samples)
+
+
+def pole_for_cutoff(fc: float) -> float:
+    """The pole x for a -3 dB cutoff at normalized frequency fc.
+
+    Smith's formula x = e^(-2*pi*fc), valid for fc in (0, 0.5).
+    """
+    if not 0.0 < fc < 0.5:
+        raise SignatureError(
+            f"cutoff must be a normalized frequency in (0, 0.5), got {fc!r}"
+        )
+    return math.exp(-2.0 * math.pi * fc)
+
+
+def table1_signatures() -> Mapping[str, Signature]:
+    """All eleven recurrences of the paper's Table 1, by name.
+
+    The names double as workload identifiers in the evaluation harness,
+    so every figure/table bench references this single source of truth.
+    """
+    return {
+        "prefix_sum": Signature.prefix_sum(),
+        "tuple2_prefix_sum": Signature.tuple_prefix_sum(2),
+        "tuple3_prefix_sum": Signature.tuple_prefix_sum(3),
+        "order2_prefix_sum": Signature.higher_order_prefix_sum(2),
+        "order3_prefix_sum": Signature.higher_order_prefix_sum(3),
+        "low_pass_1": low_pass(1),
+        "low_pass_2": low_pass(2),
+        "low_pass_3": low_pass(3),
+        "high_pass_1": high_pass(1),
+        "high_pass_2": high_pass(2),
+        "high_pass_3": high_pass(3),
+    }

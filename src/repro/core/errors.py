@@ -1,0 +1,53 @@
+"""Exception hierarchy for the PLR reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SignatureError(ReproError):
+    """A recurrence signature is syntactically or semantically invalid.
+
+    The PLR compiler performs the same checks the paper describes in
+    Section 3: the last non-recursive and the last recursive coefficient
+    must not be zero, and both coefficient lists must be non-empty.
+    """
+
+
+class PlanError(ReproError):
+    """An execution plan could not be constructed for the given input."""
+
+
+class CodegenError(ReproError):
+    """The code generator could not emit or build an artifact."""
+
+
+class BackendError(ReproError):
+    """A generated artifact failed to compile, load, or execute."""
+
+
+class SimulationError(ReproError):
+    """The GPU machine model detected an inconsistency during execution.
+
+    Raised, for example, when a kernel reads a carry whose ready flag was
+    never set, which would be a data race on real hardware.
+    """
+
+
+class ValidationError(ReproError):
+    """A computed result did not match the serial reference."""
+
+
+class UnsupportedRecurrenceError(ReproError):
+    """A baseline was asked to run a recurrence outside its domain.
+
+    The paper's comparison codes support restricted recurrence classes
+    (e.g. Alg3 and Rec accept at most one non-recursive coefficient);
+    our models of them enforce the same restrictions.
+    """

@@ -1,0 +1,199 @@
+"""n-nacci correction-factor sequences (Section 2.1 of the paper).
+
+To merge two adjacent chunks, each element of the second chunk receives
+a correction that is a linear combination of the last k elements of the
+first chunk (the *carries*).  The multipliers — correction factors —
+do not depend on the input; for the recurrence ``(1: c-1, ..., c-k)``
+the factor sequence for each carry is produced by running the
+*homogeneous* recurrence ``(0: c-1, ..., c-k)`` on a unit-vector seed:
+
+* the seed for the carry w[m-1] (the most recent) is ``0, ..., 0, 1``,
+* the seed for the carry w[m-j] has its single 1 at position k - j,
+* the seed for the carry w[m-k] (the oldest) is ``1, 0, ..., 0``.
+
+These are the generalized Fibonacci ("n-nacci") numbers: (1: 1, 1)
+yields the two Fibonacci sequences, (1: 1, 1, 1) the three Tribonacci
+sequences, and so on.  The paper notes this is also *why* code
+generation is fast: factors come from a linear scan, not from solving
+correction equations.
+
+This module is deliberately free of any GPU or planning concerns; it is
+pure sequence math used by the PLR solver, the optimizer, and the code
+generators.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.signature import Signature
+
+__all__ = [
+    "nnacci",
+    "carry_seed",
+    "correction_factors",
+    "correction_factor_matrix",
+    "carry_transition_matrix",
+    "solved_correction_factors",
+]
+
+Coeff = int | float | Fraction
+
+
+def carry_seed(order: int, carry_index: int) -> tuple[int, ...]:
+    """The length-k unit seed for carry ``w[m - 1 - carry_index]``.
+
+    ``carry_index`` counts carries from the most recent: 0 is w[m-1],
+    1 is w[m-2], ..., k-1 is w[m-k].  The 1 sits at position
+    ``k - 1 - carry_index`` so that the seed occupies the location of
+    that carry in the (conceptually) extended previous chunk.
+    """
+    if not 0 <= carry_index < order:
+        raise ValueError(f"carry_index must be in [0, {order}), got {carry_index}")
+    seed = [0] * order
+    seed[order - 1 - carry_index] = 1
+    return tuple(seed)
+
+
+def nnacci(
+    coefficients: Sequence[Coeff], seed: Sequence[Coeff], length: int
+) -> list[Coeff]:
+    """Generate ``length`` terms of the (c-1, ..., c-k)-nacci sequence.
+
+    Starting *after* the seed, each term is
+    ``sum_j coefficients[j-1] * prior[j]`` — i.e. the homogeneous
+    recurrence ``(0: c-1, ..., c-k)`` applied to the seed window.  The
+    seed itself is not included in the output.
+
+    Arithmetic follows the input types: integer coefficients with an
+    integer seed stay exact (arbitrary-precision ints), floats stay
+    floats.
+    """
+    k = len(coefficients)
+    if k == 0:
+        raise ValueError("need at least one coefficient")
+    if len(seed) != k:
+        raise ValueError(f"seed must have exactly {k} elements, got {len(seed)}")
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    window = list(seed)
+    out: list[Coeff] = []
+    for _ in range(length):
+        term = sum(c * window[-j] for j, c in enumerate(coefficients, start=1))
+        out.append(term)
+        window.append(term)
+        # Keep the window short: only the last k values are ever read.
+        if len(window) > k:
+            del window[0]
+    return out
+
+
+def correction_factors(
+    signature: Signature, carry_index: int, length: int
+) -> list[Coeff]:
+    """The factor list for one carry of a recurrence (exact arithmetic).
+
+    ``factors[i]`` multiplies carry ``w[m - 1 - carry_index]`` in the
+    correction of the element at offset ``i`` past the chunk border.
+    """
+    seed = carry_seed(signature.order, carry_index)
+    return nnacci(signature.feedback, seed, length)
+
+
+def correction_factor_matrix(
+    signature: Signature, length: int, dtype: np.dtype | type = np.float64
+) -> np.ndarray:
+    """All k factor lists stacked into a (k, length) ndarray.
+
+    Row ``j`` holds the factors for carry w[m-1-j].  Integer signatures
+    may overflow fixed-width integer dtypes for long lengths (e.g.
+    higher-order prefix-sum factors grow polynomially, Fibonacci-like
+    factors exponentially); this mirrors the wrap-around behaviour of
+    the 32-bit CUDA code the paper generates, so we intentionally cast
+    with wrap-around rather than raising.
+    """
+    k = signature.order
+    out = np.empty((k, length), dtype=dtype)
+    for j in range(k):
+        exact = correction_factors(signature, j, length)
+        if np.issubdtype(np.dtype(dtype), np.integer):
+            info = np.iinfo(dtype)
+            width = int(info.max) - int(info.min) + 1
+            wrapped = [
+                ((int(v) - int(info.min)) % width) + int(info.min) for v in exact
+            ]
+            out[j, :] = wrapped
+        else:
+            out[j, :] = [float(v) for v in exact]
+    return out
+
+
+def carry_transition_matrix(
+    signature: Signature, chunk_size: int
+) -> list[list[Coeff]]:
+    """The k-by-k matrix M with ``new_carries = local + M @ prev_carries``.
+
+    Carries are ordered most-recent-first: ``[w[m-1], ..., w[m-k]]``
+    where m = ``chunk_size``.  Row r of M holds, for the carry at offset
+    m-1-r, the factor of each previous-chunk carry — that is,
+    ``M[r][j] = F_j[m - 1 - r]`` where F_j is carry j's factor list.
+    The matrix depends on m because the factor lists grow along the
+    chunk.
+
+    This is the matrix Phase 2's variable look-back uses to hop over
+    intervening chunks in O(k^2) per hop.  Section 2.3's worked example
+    uses exactly its entries: for (1: 2, -1) with m = 8 it is
+    [[9, -8], [8, -7]], reproducing "24 = 44 + 8*8 + -7*12 and
+    16 = 40 + 9*8 + -8*12".
+    """
+    k = signature.order
+    if chunk_size < k:
+        raise ValueError(
+            f"chunk size must be >= order ({k}), got {chunk_size}"
+        )
+    matrix: list[list[Coeff]] = [[0] * k for _ in range(k)]
+    for j in range(k):
+        factors = correction_factors(signature, j, chunk_size)
+        for r in range(k):
+            matrix[r][j] = factors[chunk_size - 1 - r]
+    return matrix
+
+
+def solved_correction_factors(
+    signature: Signature, carry_index: int, length: int
+) -> list[Fraction]:
+    """Correction factors derived by *solving* the correction equations.
+
+    This is the slow derivation the paper says it "initially used":
+    symbolically push the correction of each element through the
+    recurrence.  Element at offset i past the border receives the
+    correction ``sum_j b_j * (correction of element i-j)``, where the
+    correction of a *negative* offset -d is the carry w[m-d] itself
+    (coefficient 1 for d-1 == carry_index, else 0).  Extracting the
+    coefficient of one carry reproduces that carry's factor list.
+
+    Exists purely as an independent oracle for testing :func:`nnacci`;
+    production code never calls it.
+    """
+    k = signature.order
+    if not 0 <= carry_index < k:
+        raise ValueError(f"carry_index must be in [0, {k}), got {carry_index}")
+    fb = [Fraction(c) for c in signature.feedback]
+    # corrections[i] = coefficient of the chosen carry in the correction
+    # applied to the element at offset i.  Offsets < 0 refer into the
+    # previous chunk, where the "correction" of w[m-d] w.r.t. itself is 1.
+    corrections: dict[int, Fraction] = {}
+    for d in range(1, k + 1):
+        corrections[-d] = Fraction(1) if d - 1 == carry_index else Fraction(0)
+    out: list[Fraction] = []
+    for i in range(length):
+        value = sum(
+            (fb[j - 1] * corrections[i - j] for j in range(1, k + 1)),
+            start=Fraction(0),
+        )
+        corrections[i] = value
+        out.append(value)
+    return out

@@ -1,0 +1,272 @@
+"""The signature DSL for linear recurrences.
+
+The paper expresses an order-k homogeneous linear recurrence with
+constant coefficients
+
+    y[i] = a0*x[i] + a_{-1}*x[i-1] + ... + a_{-p}*x[i-p]
+         + b_{-1}*y[i-1] + b_{-2}*y[i-2] + ... + b_{-k}*y[i-k]
+
+as a *signature*: two comma-separated coefficient lists split by a
+colon, ``(a0, a-1, ..., a-p : b-1, b-2, ..., b-k)``.  Examples from
+Table 1 of the paper::
+
+    (1: 1)                  standard prefix sum
+    (1: 0, 1)               2-tuple prefix sum
+    (1: 2, -1)              second-order prefix sum
+    (0.2: 0.8)              1-stage low-pass filter
+    (0.9, -0.9: 0.8)        1-stage high-pass filter
+
+This module implements parsing, validation, formatting, and basic
+queries on signatures.  A :class:`Signature` is immutable and hashable,
+so it can be used as a cache key throughout the compiler.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.core.errors import SignatureError
+
+__all__ = ["Signature", "parse_signature"]
+
+_NUMBER_RE = re.compile(
+    r"""^[+-]?(
+            (\d+\.?\d*([eE][+-]?\d+)?)   # 12, 12., 12.5, 1e3, 1.5e-3
+          | (\.\d+([eE][+-]?\d+)?)       # .5, .5e2
+          | (\d+\s*/\s*\d+)              # 3/4 (exact rational)
+        )$""",
+    re.VERBOSE,
+)
+
+
+def _parse_number(token: str) -> int | float | Fraction:
+    """Parse one coefficient token into an int, float, or Fraction.
+
+    Integers stay exact so that integer signatures (prefix sums) can be
+    computed without floating-point rounding; ``3/4`` style tokens are
+    kept as :class:`fractions.Fraction` for exact rational filters.
+    """
+    token = token.strip()
+    if not token:
+        raise SignatureError("empty coefficient")
+    if not _NUMBER_RE.match(token):
+        raise SignatureError(f"invalid coefficient: {token!r}")
+    if "/" in token:
+        num, den = token.split("/")
+        return Fraction(int(num), int(den))
+    if any(ch in token for ch in ".eE"):
+        return float(token)
+    return int(token)
+
+
+def _coerce(value: int | float | Fraction) -> int | float | Fraction:
+    """Normalize a user-supplied coefficient.
+
+    Floats that are exactly integral are *not* collapsed to int: a user
+    who writes ``1.0`` asked for floating-point semantics.  Booleans are
+    rejected because they silently coerce to 0/1 and usually indicate a
+    caller bug.
+    """
+    if isinstance(value, bool):
+        raise SignatureError("boolean is not a valid coefficient")
+    if isinstance(value, (int, float, Fraction)):
+        return value
+    # Allow numpy scalars without importing numpy here.
+    for attr in ("item",):
+        if hasattr(value, attr):
+            return _coerce(value.item())
+    raise SignatureError(f"unsupported coefficient type: {type(value).__name__}")
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An immutable recurrence signature ``(a0..a-p : b-1..b-k)``.
+
+    Attributes
+    ----------
+    feedforward:
+        The non-recursive coefficients ``(a0, a-1, ..., a-p)`` applied
+        to the input sequence.  The paper calls these the feed-forward
+        coefficients; together they form the FIR "map" stage.
+    feedback:
+        The recursive coefficients ``(b-1, ..., b-k)`` applied to the
+        output sequence.  Their count ``k`` is the *order* of the
+        recurrence.
+    """
+
+    feedforward: tuple[int | float | Fraction, ...]
+    feedback: tuple[int | float | Fraction, ...]
+    _validated: bool = field(default=False, repr=False, compare=False)
+
+    def __init__(
+        self,
+        feedforward: Sequence[int | float | Fraction],
+        feedback: Sequence[int | float | Fraction],
+    ) -> None:
+        ff = tuple(_coerce(v) for v in feedforward)
+        fb = tuple(_coerce(v) for v in feedback)
+        if not ff:
+            raise SignatureError("signature needs at least one feed-forward coefficient")
+        if not fb:
+            raise SignatureError(
+                "signature needs at least one feedback coefficient; a pure map "
+                "(all b zero) is embarrassingly parallel and out of scope"
+            )
+        if ff[-1] == 0:
+            raise SignatureError("the last feed-forward coefficient must be non-zero")
+        if fb[-1] == 0:
+            raise SignatureError("the last feedback coefficient must be non-zero")
+        if all(a == 0 for a in ff):
+            raise SignatureError("all-zero feed-forward coefficients produce all-zero output")
+        object.__setattr__(self, "feedforward", ff)
+        object.__setattr__(self, "feedback", fb)
+        object.__setattr__(self, "_validated", True)
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """The recurrence order k: how many prior outputs feed back."""
+        return len(self.feedback)
+
+    @property
+    def fir_order(self) -> int:
+        """The FIR order p: how many prior *inputs* are referenced."""
+        return len(self.feedforward) - 1
+
+    @property
+    def is_integer(self) -> bool:
+        """True when every coefficient is an exact integer.
+
+        Integer signatures are computed in integer arithmetic and
+        verified for exact equality, mirroring the paper's methodology.
+        """
+        return all(isinstance(c, int) for c in self.feedforward + self.feedback)
+
+    @property
+    def is_pure_recursive(self) -> bool:
+        """True for type-(3) recurrences ``(1: b-1, ..., b-k)``.
+
+        These are the recurrences left over after the FIR map stage has
+        been applied; the PLR algorithm proper only ever sees this form.
+        """
+        return self.feedforward == (1,)
+
+    def recursive_part(self) -> "Signature":
+        """The type-(3) signature ``(1: b...)`` with this feedback."""
+        return Signature((1,), self.feedback)
+
+    def map_part(self) -> tuple[int | float | Fraction, ...]:
+        """The FIR map coefficients (type-(2) stage of the paper)."""
+        return self.feedforward
+
+    # ------------------------------------------------------------------
+    # Formatting
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        def fmt(value: int | float | Fraction) -> str:
+            if isinstance(value, Fraction):
+                return f"{value.numerator}/{value.denominator}"
+            return repr(value)
+
+        ff = ", ".join(fmt(c) for c in self.feedforward)
+        fb = ", ".join(fmt(c) for c in self.feedback)
+        return f"({ff}: {fb})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signature.parse({str(self)!r})"
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Signature":
+        """Parse a signature string such as ``"(1: 2, -1)"``.
+
+        The surrounding parentheses are optional, so ``"1: 2, -1"`` is
+        accepted too, which is convenient on the command line.
+        """
+        if not isinstance(text, str):
+            raise SignatureError(f"expected str, got {type(text).__name__}")
+        stripped = text.strip()
+        if stripped.startswith("(") and stripped.endswith(")"):
+            stripped = stripped[1:-1]
+        elif stripped.startswith("(") or stripped.endswith(")"):
+            raise SignatureError(f"unbalanced parentheses in signature: {text!r}")
+        if stripped.count(":") != 1:
+            raise SignatureError(
+                f"signature must contain exactly one ':' separating the "
+                f"feed-forward from the feedback coefficients: {text!r}"
+            )
+        left, right = stripped.split(":")
+        ff = cls._parse_coefficient_list(left, side="feed-forward")
+        fb = cls._parse_coefficient_list(right, side="feedback")
+        return cls(ff, fb)
+
+    @staticmethod
+    def _parse_coefficient_list(
+        text: str, side: str
+    ) -> tuple[int | float | Fraction, ...]:
+        tokens = [t.strip() for t in text.split(",")]
+        if tokens == [""]:
+            raise SignatureError(f"missing {side} coefficients")
+        if any(t == "" for t in tokens):
+            raise SignatureError(f"empty coefficient in {side} list: {text!r}")
+        return tuple(_parse_number(t) for t in tokens)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors (Table 1 of the paper)
+    # ------------------------------------------------------------------
+    @classmethod
+    def prefix_sum(cls) -> "Signature":
+        """The standard prefix sum ``(1: 1)``."""
+        return cls((1,), (1,))
+
+    @classmethod
+    def tuple_prefix_sum(cls, size: int) -> "Signature":
+        """An s-tuple prefix sum ``(1: 0, ..., 0, 1)`` with b[-s] = 1.
+
+        Computes s independent interleaved prefix sums as one scalar
+        order-s recurrence, exactly the encoding the paper uses.
+        """
+        if size < 1:
+            raise SignatureError(f"tuple size must be >= 1, got {size}")
+        feedback = (0,) * (size - 1) + (1,)
+        return cls((1,), feedback)
+
+    @classmethod
+    def higher_order_prefix_sum(cls, order: int) -> "Signature":
+        """An order-r prefix sum (prefix sum applied r times).
+
+        The feedback coefficients follow the binomial coefficients with
+        alternating signs, e.g. order 2 -> (1: 2, -1) and order
+        3 -> (1: 3, -3, 1); see Table 1.  Derived via the z-transform:
+        the transfer function is 1/(1 - z^-1)^r.
+        """
+        if order < 1:
+            raise SignatureError(f"prefix-sum order must be >= 1, got {order}")
+        from math import comb
+
+        feedback = tuple(
+            (-1) ** (j + 1) * comb(order, j) for j in range(1, order + 1)
+        )
+        return cls((1,), feedback)
+
+    def with_feedback(self, feedback: Iterable[int | float | Fraction]) -> "Signature":
+        """A copy of this signature with different feedback coefficients."""
+        return Signature(self.feedforward, tuple(feedback))
+
+    def with_feedforward(
+        self, feedforward: Iterable[int | float | Fraction]
+    ) -> "Signature":
+        """A copy of this signature with different feed-forward coefficients."""
+        return Signature(tuple(feedforward), self.feedback)
+
+
+def parse_signature(text: str) -> Signature:
+    """Module-level alias for :meth:`Signature.parse`."""
+    return Signature.parse(text)

@@ -1,0 +1,113 @@
+"""Result validation, mirroring the paper's methodology (Section 5).
+
+"We check the integer results for exact matches.  Since floating-point
+addition and multiplication are not truly associative, the parallel
+codes produce slightly different results than the serial code ...  In
+this case, we make sure the discrepancy is within 1e-3."
+
+The float tolerance is applied *relatively* for large magnitudes and
+absolutely near zero, because an unstable integer-signature-on-float
+run can reach magnitudes where an absolute 1e-3 would be meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ValidationError
+
+__all__ = ["ValidationReport", "compare_results", "assert_valid", "FLOAT_TOLERANCE"]
+
+FLOAT_TOLERANCE = 1e-3
+"""The discrepancy bound the paper uses for floating-point results."""
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of comparing a parallel result against the serial oracle."""
+
+    ok: bool
+    kind: str  # "exact" or "tolerance"
+    max_error: float
+    worst_index: int | None
+    checked: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"OK ({self.kind}, {self.checked} values, "
+                f"max error {self.max_error:.3g})"
+            )
+        return (
+            f"MISMATCH at index {self.worst_index}: max error "
+            f"{self.max_error:.6g} exceeds tolerance ({self.kind} check, "
+            f"{self.checked} values)"
+        )
+
+
+def compare_results(
+    result: np.ndarray,
+    expected: np.ndarray,
+    tolerance: float = FLOAT_TOLERANCE,
+) -> ValidationReport:
+    """Compare a computed result with the serial reference.
+
+    Integer arrays must match exactly; floating-point arrays must agree
+    within ``tolerance`` (relative for |expected| > 1, absolute below).
+    """
+    result = np.asarray(result)
+    expected = np.asarray(expected)
+    if result.shape != expected.shape:
+        raise ValidationError(
+            f"shape mismatch: result {result.shape} vs expected {expected.shape}"
+        )
+    # Multi-dimensional results (batched/2D filters) compare flat;
+    # reported indices are into the flattened array.
+    result = result.ravel()
+    expected = expected.ravel()
+    n = result.size
+    if n == 0:
+        return ValidationReport(True, "exact", 0.0, None, 0)
+
+    integer = np.issubdtype(result.dtype, np.integer) and np.issubdtype(
+        expected.dtype, np.integer
+    )
+    if integer:
+        diff = result != expected
+        if not diff.any():
+            return ValidationReport(True, "exact", 0.0, None, n)
+        worst = int(np.argmax(diff))
+        return ValidationReport(False, "exact", float("inf"), worst, n)
+
+    res = result.astype(np.float64)
+    exp = expected.astype(np.float64)
+    scale = np.maximum(np.abs(exp), 1.0)
+    err = np.abs(res - exp) / scale
+    # NaNs in either operand are always a failure unless they match
+    # positionally (a NaN-producing recurrence is still deterministic).
+    nan_mismatch = np.isnan(res) != np.isnan(exp)
+    err = np.where(np.isnan(err), 0.0, err)
+    err = np.where(nan_mismatch, np.inf, err)
+    worst = int(np.argmax(err))
+    max_err = float(err[worst])
+    ok = max_err <= tolerance
+    return ValidationReport(ok, "tolerance", max_err, None if ok else worst, n)
+
+
+def assert_valid(
+    result: np.ndarray,
+    expected: np.ndarray,
+    tolerance: float = FLOAT_TOLERANCE,
+    context: str = "",
+) -> ValidationReport:
+    """Raise :class:`ValidationError` when the comparison fails."""
+    report = compare_results(result, expected, tolerance)
+    if not report.ok:
+        prefix = f"{context}: " if context else ""
+        raise ValidationError(prefix + report.describe())
+    return report

@@ -1,0 +1,202 @@
+"""z-transform utilities: transfer functions, cascades, and stability.
+
+A signature ``(a0..a-p : b-1..b-k)`` corresponds to the rational
+transfer function
+
+    H(z) = B(z) / A(z)
+    B(z) = a0 + a-1 z^-1 + ... + a-p z^-p
+    A(z) = 1 - b-1 z^-1 - b-2 z^-2 - ... - b-k z^-k
+
+The paper leaves filter *combination* to "offline" z-transform work
+(Section 4: "PLR does not support the automatic combination of filters,
+which has to be done offline using, for example, the z-transform").
+This module ships that offline step: cascading two signatures multiplies
+their transfer functions, which is polynomial convolution on both the
+numerator and the denominator.  It also provides stability analysis
+(pole magnitudes), impulse responses, and frequency responses, which the
+factor-decay optimization and the filter-design tests rely on.
+
+All arithmetic here is exact when the coefficients are ints/Fractions,
+so cascading integer signatures yields integer signatures.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import SignatureError
+from repro.core.signature import Signature
+
+__all__ = [
+    "convolve",
+    "transfer_function",
+    "signature_from_transfer",
+    "cascade",
+    "cascade_many",
+    "repeat",
+    "poles",
+    "is_stable",
+    "impulse_response",
+    "frequency_response",
+]
+
+Coeff = int | float | Fraction
+
+
+def convolve(p: Sequence[Coeff], q: Sequence[Coeff]) -> tuple[Coeff, ...]:
+    """Multiply two polynomials given by their coefficient lists.
+
+    Plain O(len(p)*len(q)) schoolbook convolution; the polynomials here
+    are filter coefficient lists, i.e. tiny, and exactness matters more
+    than speed.
+    """
+    if not p or not q:
+        raise ValueError("cannot convolve an empty polynomial")
+    out: list[Coeff] = [0] * (len(p) + len(q) - 1)
+    for i, pi in enumerate(p):
+        for j, qj in enumerate(q):
+            out[i + j] += pi * qj
+    return tuple(out)
+
+
+def transfer_function(
+    signature: Signature,
+) -> tuple[tuple[Coeff, ...], tuple[Coeff, ...]]:
+    """Return (numerator, denominator) coefficient lists of H(z).
+
+    The denominator is returned in the conventional DSP form
+    ``(1, -b-1, ..., -b-k)`` so it can be convolved directly.
+    """
+    num = signature.feedforward
+    den = (1,) + tuple(-b for b in signature.feedback)
+    return num, den
+
+
+def signature_from_transfer(
+    numerator: Sequence[Coeff], denominator: Sequence[Coeff]
+) -> Signature:
+    """Build a signature from H(z) = numerator / denominator.
+
+    The denominator must be monic (leading coefficient 1); rescale it
+    first if it is not.  The feedback coefficients are the negated
+    denominator tail, undoing :func:`transfer_function`.
+    """
+    if not denominator:
+        raise SignatureError("empty denominator")
+    if denominator[0] != 1:
+        raise SignatureError(
+            f"denominator must be monic (got leading {denominator[0]!r}); "
+            "divide through by the leading coefficient first"
+        )
+    if len(denominator) < 2:
+        raise SignatureError("denominator must have at least one feedback term")
+    feedback = tuple(-c for c in denominator[1:])
+    return Signature(tuple(numerator), feedback)
+
+
+def _trim_trailing_zeros(coeffs: tuple[Coeff, ...]) -> tuple[Coeff, ...]:
+    """Drop exact trailing zeros so the signature validity checks pass."""
+    end = len(coeffs)
+    while end > 1 and coeffs[end - 1] == 0:
+        end -= 1
+    return coeffs[:end]
+
+
+def cascade(first: Signature, second: Signature) -> Signature:
+    """The signature of running `second` on the output of `first`.
+
+    Cascading filters multiplies their transfer functions.  This is how
+    the paper's multi-stage filters in Table 1 arise: the 2-stage
+    low-pass (0.04: 1.6, -0.64) is the 1-stage (0.2: 0.8) cascaded with
+    itself.
+    """
+    num1, den1 = transfer_function(first)
+    num2, den2 = transfer_function(second)
+    num = _trim_trailing_zeros(convolve(num1, num2))
+    den = convolve(den1, den2)
+    return signature_from_transfer(num, den)
+
+
+def cascade_many(signatures: Sequence[Signature]) -> Signature:
+    """Cascade a whole chain of filters into a single signature."""
+    if not signatures:
+        raise SignatureError("cannot cascade an empty filter chain")
+    result = signatures[0]
+    for sig in signatures[1:]:
+        result = cascade(result, sig)
+    return result
+
+
+def repeat(signature: Signature, stages: int) -> Signature:
+    """Cascade a filter with itself ``stages`` times."""
+    if stages < 1:
+        raise SignatureError(f"stage count must be >= 1, got {stages}")
+    return cascade_many([signature] * stages)
+
+
+def poles(signature: Signature) -> tuple[complex, ...]:
+    """The poles of H(z): roots of z^k - b-1 z^(k-1) - ... - b-k.
+
+    Computed with numpy's companion-matrix root finder on the float
+    image of the coefficients.
+    """
+    coeffs = [1.0] + [-float(b) for b in signature.feedback]
+    roots = np.roots(coeffs)
+    return tuple(complex(r) for r in roots)
+
+
+def is_stable(signature: Signature, tol: float = 1e-9) -> bool:
+    """True when every pole lies strictly inside the unit circle.
+
+    Stable filters have exponentially decaying impulse responses, which
+    is the property the paper's factor-decay optimization exploits
+    ("the impulse response ... tends to decay below the arithmetic
+    precision after a few hundred elements").  Prefix sums have poles
+    *on* the unit circle and are therefore not stable in this sense.
+    """
+    return all(abs(p) < 1.0 - tol for p in poles(signature))
+
+
+def impulse_response(signature: Signature, length: int) -> np.ndarray:
+    """The first ``length`` samples of the filter's impulse response.
+
+    The impulse response of the pure-recursive part ``(1: b...)`` is
+    exactly the first n-nacci correction-factor sequence shifted by one,
+    so tests use this as an independent oracle for the factor tables.
+    """
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    ff = [float(a) for a in signature.feedforward]
+    fb = [float(b) for b in signature.feedback]
+    out = np.zeros(length, dtype=np.float64)
+    for i in range(length):
+        acc = ff[i] if i < len(ff) else 0.0
+        for j, b in enumerate(fb, start=1):
+            if i - j >= 0:
+                acc += b * out[i - j]
+        out[i] = acc
+    return out
+
+
+def frequency_response(
+    signature: Signature, frequencies: Sequence[float]
+) -> np.ndarray:
+    """Evaluate H(e^{j*2*pi*f}) at normalized frequencies in [0, 0.5].
+
+    Used by the filter-design tests to check that the paper's "low-pass"
+    and "high-pass" example signatures really are what they claim:
+    |H| near 1 at the passband edge, near 0 in the stopband.
+    """
+    num, den = transfer_function(signature)
+    response = np.empty(len(frequencies), dtype=np.complex128)
+    for idx, f in enumerate(frequencies):
+        z_inv = cmath.exp(-2j * math.pi * f)
+        b_val = sum(float(c) * z_inv**i for i, c in enumerate(num))
+        a_val = sum(float(c) * z_inv**i for i, c in enumerate(den))
+        response[idx] = b_val / a_val
+    return response

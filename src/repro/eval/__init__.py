@@ -1,0 +1,59 @@
+"""The evaluation harness: figure/table definitions, sweeps, reports."""
+
+from repro.eval.figures import (
+    FIGURE10_ORDER,
+    FLOAT_CODES,
+    INTEGER_CODES,
+    Figure10Bar,
+    figure10_throughputs,
+    figure_definitions,
+)
+from repro.eval.harness import (
+    DEFAULT_SIZES,
+    ExperimentDef,
+    FigureResult,
+    Series,
+    run_experiment,
+    validate_code,
+)
+from repro.eval.calibration import Anchor, calibration_report, render_calibration
+from repro.eval.export import export_everything, figure_to_rows, table_to_rows
+from repro.eval.report import render_figure, render_figure10, render_table
+from repro.eval.tables import (
+    TABLE_CODES,
+    TABLE_INPUT_WORDS,
+    TableCell,
+    representative_recurrence,
+    table2_memory_usage,
+    table3_l2_misses,
+)
+
+__all__ = [
+    "Anchor",
+    "DEFAULT_SIZES",
+    "ExperimentDef",
+    "FIGURE10_ORDER",
+    "FLOAT_CODES",
+    "Figure10Bar",
+    "FigureResult",
+    "INTEGER_CODES",
+    "Series",
+    "TABLE_CODES",
+    "TABLE_INPUT_WORDS",
+    "TableCell",
+    "calibration_report",
+    "export_everything",
+    "figure10_throughputs",
+    "figure_definitions",
+    "figure_to_rows",
+    "render_calibration",
+    "table_to_rows",
+    "render_figure",
+    "render_figure10",
+    "render_table",
+    "representative_recurrence",
+    "run_experiment",
+    "table2_memory_usage",
+    "table3_l2_misses",
+    "validate_code",
+]

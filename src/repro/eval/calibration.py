@@ -1,0 +1,201 @@
+"""The cost model's calibration anchors, made auditable.
+
+The analytical model has a handful of tuned constants
+(:class:`~repro.gpusim.cost.CostModel` and the per-event costs in
+:class:`~repro.baselines.plr_code.PLRCode`).  They were fixed once
+against anchors the paper itself states, and this module re-derives
+each anchor from the current model so any drift is visible —
+``plr calibration`` prints the report, and
+``tests/test_calibration.py`` pins every anchor with a tolerance.
+
+Anchors (all from the paper's text, not read off charts):
+
+* memcpy plateau ≈ 35 G words/s ("the three codes transfer up to
+  264 GB/s" and the figures' memcpy ceiling);
+* PLR == memcpy on large prefix sums and 1-stage filters;
+* Scan ≈ memcpy/2 at order 1;
+* PLR +30% / +17% over the best prior on 2-/3-tuples;
+* SAM +50% / +38% / +33% over PLR at orders 2/3/4;
+* PLR/Rec 1.90 / 1.88 / 1.58 on 1-/2-/3-stage low-pass at 1 GB;
+* high-pass ≈ 17% below low-pass;
+* Figure 10: ≈3% on higher-order sums, >2x on the 2-stage low-pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Workload
+from repro.baselines.registry import make_code
+from repro.core.coefficients import table1_signatures
+from repro.core.recurrence import Recurrence
+from repro.core.signature import Signature
+from repro.eval.figures import figure10_throughputs
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["Anchor", "calibration_report", "render_calibration"]
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """One calibration target: paper value vs current model value."""
+
+    name: str
+    paper: float
+    model: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.model - self.paper) <= self.tolerance
+
+    @property
+    def error(self) -> float:
+        return self.model - self.paper
+
+
+def _throughput(code_name: str, recurrence: Recurrence, n: int) -> float:
+    machine = MachineSpec.titan_x()
+    model = CostModel(machine)
+    code = make_code(code_name)
+    workload = Workload(recurrence, n)
+    return model.throughput(n, code.traffic(workload, machine))
+
+
+def calibration_report() -> list[Anchor]:
+    """Every anchor, re-derived from the current model."""
+    sigs = table1_signatures()
+    big = 2**30
+    gb = 2**28  # "for 1 GB inputs" in the filter comparison
+
+    def rec(name: str) -> Recurrence:
+        return Recurrence(sigs[name])
+
+    memcpy = _throughput("memcpy", rec("prefix_sum"), big)
+    anchors = [
+        Anchor("memcpy plateau (G words/s)", 35.0, memcpy / 1e9, 1.5),
+        Anchor(
+            "PLR / memcpy, prefix sum",
+            1.0,
+            _throughput("PLR", rec("prefix_sum"), big) / memcpy,
+            0.08,
+        ),
+        Anchor(
+            "Scan / memcpy, order 1",
+            0.5,
+            _throughput("Scan", rec("prefix_sum"), 2**29) / memcpy,
+            0.06,
+        ),
+        Anchor(
+            "PLR / best prior, 2-tuple",
+            1.30,
+            _throughput("PLR", rec("tuple2_prefix_sum"), big)
+            / max(
+                _throughput("CUB", rec("tuple2_prefix_sum"), big),
+                _throughput("SAM", rec("tuple2_prefix_sum"), big),
+            ),
+            0.15,
+        ),
+        Anchor(
+            "PLR / best prior, 3-tuple",
+            1.17,
+            _throughput("PLR", rec("tuple3_prefix_sum"), big)
+            / max(
+                _throughput("CUB", rec("tuple3_prefix_sum"), big),
+                _throughput("SAM", rec("tuple3_prefix_sum"), big),
+            ),
+            0.12,
+        ),
+        Anchor(
+            "SAM / PLR, order 2",
+            1.50,
+            _throughput("SAM", rec("order2_prefix_sum"), big)
+            / _throughput("PLR", rec("order2_prefix_sum"), big),
+            0.15,
+        ),
+        Anchor(
+            "SAM / PLR, order 3",
+            1.38,
+            _throughput("SAM", rec("order3_prefix_sum"), big)
+            / _throughput("PLR", rec("order3_prefix_sum"), big),
+            0.15,
+        ),
+        Anchor(
+            "SAM / PLR, order 4",
+            1.33,
+            _throughput("SAM", Recurrence(Signature.higher_order_prefix_sum(4)), big)
+            / _throughput("PLR", Recurrence(Signature.higher_order_prefix_sum(4)), big),
+            0.18,
+        ),
+        Anchor(
+            "PLR / memcpy, 1-stage low-pass",
+            1.0,
+            _throughput("PLR", rec("low_pass_1"), big) / memcpy,
+            0.08,
+        ),
+        Anchor(
+            "PLR / Rec, 1-stage low-pass @1GB",
+            1.90,
+            _throughput("PLR", rec("low_pass_1"), gb)
+            / _throughput("Rec", rec("low_pass_1"), gb),
+            0.25,
+        ),
+        Anchor(
+            "PLR / Rec, 2-stage low-pass @1GB",
+            1.88,
+            _throughput("PLR", rec("low_pass_2"), gb)
+            / _throughput("Rec", rec("low_pass_2"), gb),
+            0.25,
+        ),
+        Anchor(
+            "PLR / Rec, 3-stage low-pass @1GB",
+            1.58,
+            _throughput("PLR", rec("low_pass_3"), gb)
+            / _throughput("Rec", rec("low_pass_3"), gb),
+            0.25,
+        ),
+        Anchor(
+            "high-pass / low-pass, 1 stage",
+            0.83,
+            _throughput("PLR", rec("high_pass_1"), big)
+            / _throughput("PLR", rec("low_pass_1"), big),
+            0.12,
+        ),
+    ]
+    bars = {bar.recurrence: bar for bar in figure10_throughputs()}
+    anchors.append(
+        Anchor(
+            "fig10 speedup, order-2 sums",
+            1.03,
+            bars["order2_prefix_sum"].speedup,
+            0.08,
+        )
+    )
+    anchors.append(
+        Anchor(
+            "fig10 speedup, 2-stage low-pass",
+            2.1,
+            bars["low_pass_2"].speedup,
+            0.3,
+        )
+    )
+    return anchors
+
+
+def render_calibration(anchors: list[Anchor] | None = None) -> str:
+    """ASCII report: anchor, paper, model, error, verdict."""
+    anchors = anchors if anchors is not None else calibration_report()
+    width = max(len(a.name) for a in anchors)
+    lines = [
+        "Cost-model calibration vs the paper's stated anchors",
+        f"  {'anchor':<{width}} {'paper':>7} {'model':>7} {'error':>7}  ok",
+        "  " + "-" * (width + 28),
+    ]
+    for anchor in anchors:
+        lines.append(
+            f"  {anchor.name:<{width}} {anchor.paper:>7.2f} "
+            f"{anchor.model:>7.2f} {anchor.error:>+7.2f}  "
+            f"{'yes' if anchor.ok else 'NO'}"
+        )
+    return "\n".join(lines)

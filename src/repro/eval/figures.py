@@ -1,0 +1,159 @@
+"""The figure definitions of the paper's evaluation (Figures 1-10).
+
+Each definition names the recurrence, the competing codes, and the
+sweep, exactly as Section 6 describes.  ``figure10_throughputs``
+handles the special structure of Figure 10 (largest input, eleven
+recurrences, optimizations on vs off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Workload
+from repro.baselines.registry import make_code
+from repro.core.coefficients import table1_signatures
+from repro.core.recurrence import Recurrence
+from repro.eval.harness import DEFAULT_SIZES, ExperimentDef
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import MachineSpec
+
+__all__ = [
+    "INTEGER_CODES",
+    "FLOAT_CODES",
+    "figure_definitions",
+    "figure10_throughputs",
+    "FIGURE10_ORDER",
+]
+
+INTEGER_CODES = ("memcpy", "CUB", "SAM", "Scan", "PLR")
+FLOAT_CODES = ("memcpy", "Alg3", "Rec", "Scan", "PLR")
+
+
+def _rec(name: str) -> Recurrence:
+    return Recurrence(table1_signatures()[name])
+
+
+def figure_definitions() -> dict[str, ExperimentDef]:
+    """Figures 1-9, keyed by their short ids."""
+    defs = [
+        ExperimentDef(
+            "fig1", "Prefix-sum throughput", _rec("prefix_sum"), INTEGER_CODES
+        ),
+        ExperimentDef(
+            "fig2",
+            "Two-tuple prefix-sum throughput",
+            _rec("tuple2_prefix_sum"),
+            INTEGER_CODES,
+        ),
+        ExperimentDef(
+            "fig3",
+            "Three-tuple prefix-sum throughput",
+            _rec("tuple3_prefix_sum"),
+            INTEGER_CODES,
+        ),
+        ExperimentDef(
+            "fig4",
+            "Second-order prefix-sum throughput",
+            _rec("order2_prefix_sum"),
+            INTEGER_CODES,
+        ),
+        ExperimentDef(
+            "fig5",
+            "Third-order prefix-sum throughput",
+            _rec("order3_prefix_sum"),
+            INTEGER_CODES,
+        ),
+        ExperimentDef(
+            "fig6", "1-stage low-pass filter throughput", _rec("low_pass_1"), FLOAT_CODES
+        ),
+        ExperimentDef(
+            "fig7", "2-stage low-pass filter throughput", _rec("low_pass_2"), FLOAT_CODES
+        ),
+        ExperimentDef(
+            "fig8", "3-stage low-pass filter throughput", _rec("low_pass_3"), FLOAT_CODES
+        ),
+        # Figure 9 overlays PLR's three high-pass stages and Scan's
+        # 1-stage curve; represented as three defs sharing a prefix.
+        ExperimentDef(
+            "fig9.1",
+            "1-stage high-pass filter throughput",
+            _rec("high_pass_1"),
+            ("memcpy", "Scan", "PLR"),
+        ),
+        ExperimentDef(
+            "fig9.2",
+            "2-stage high-pass filter throughput",
+            _rec("high_pass_2"),
+            ("memcpy", "PLR"),
+        ),
+        ExperimentDef(
+            "fig9.3",
+            "3-stage high-pass filter throughput",
+            _rec("high_pass_3"),
+            ("memcpy", "PLR"),
+        ),
+    ]
+    return {d.figure_id: d for d in defs}
+
+
+FIGURE10_ORDER = (
+    "prefix_sum",
+    "tuple2_prefix_sum",
+    "tuple3_prefix_sum",
+    "order2_prefix_sum",
+    "order3_prefix_sum",
+    "low_pass_1",
+    "low_pass_2",
+    "low_pass_3",
+    "high_pass_1",
+    "high_pass_2",
+    "high_pass_3",
+)
+
+
+@dataclass(frozen=True)
+class Figure10Bar:
+    """One recurrence's optimizations-on/off throughput pair."""
+
+    recurrence: str
+    n: int
+    with_optimizations: float
+    without_optimizations: float
+
+    @property
+    def speedup(self) -> float:
+        return self.with_optimizations / self.without_optimizations
+
+
+def figure10_throughputs(
+    machine: MachineSpec | None = None,
+    cost_model: CostModel | None = None,
+) -> list[Figure10Bar]:
+    """PLR on the largest supported input, optimizations on vs off.
+
+    "Figure 10 combines the PLR throughputs on the largest input of the
+    eleven studied recurrences ... For each recurrence, the figure
+    includes the throughput when turning off the optimizations
+    pertaining to the correction factors."
+    """
+    machine = machine or MachineSpec.titan_x()
+    cost_model = cost_model or CostModel(machine)
+    plr_on = make_code("PLR")
+    plr_off = make_code("PLR-noopt")
+    bars = []
+    largest = DEFAULT_SIZES[-1]
+    for name in FIGURE10_ORDER:
+        recurrence = _rec(name)
+        workload = Workload(recurrence, largest)
+        on = cost_model.throughput(largest, plr_on.traffic(workload, machine))
+        off = cost_model.throughput(largest, plr_off.traffic(workload, machine))
+        bars.append(
+            Figure10Bar(
+                recurrence=name,
+                n=largest,
+                with_optimizations=on,
+                without_optimizations=off,
+            )
+        )
+    return bars

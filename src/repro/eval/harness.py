@@ -1,0 +1,140 @@
+"""The experiment runner: sweeps, series, and claim checking.
+
+One :class:`ExperimentDef` describes a figure or table from the paper:
+which codes run, on which recurrence, over which input sizes.  The
+harness produces :class:`Series` of modeled throughput (words/second,
+the y-axis of Figures 1-9), optionally validating each code's
+executable semantics against the serial reference at a reduced size —
+the reproduction's analogue of the paper's "after each run, we
+validate the result by comparing it to the serial CPU result".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import RecurrenceCode, Workload
+from repro.baselines.registry import make_code
+from repro.core.recurrence import Recurrence
+from repro.core.validation import assert_valid
+from repro.core.reference import serial_full
+from repro.gpusim.cost import CostModel
+from repro.gpusim.spec import MachineSpec
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "ExperimentDef",
+    "Series",
+    "FigureResult",
+    "run_experiment",
+    "validate_code",
+]
+
+DEFAULT_SIZES = tuple(2**e for e in range(14, 31))
+"""The paper's sweep: 2^14 to 2^30 words in powers of two."""
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One figure's workload matrix."""
+
+    figure_id: str
+    title: str
+    recurrence: Recurrence
+    codes: tuple[str, ...]
+    sizes: tuple[int, ...] = DEFAULT_SIZES
+    validate_at: int = 50_000
+    """Input size for the correctness cross-check (0 disables)."""
+
+
+@dataclass
+class Series:
+    """One code's throughput curve for one recurrence."""
+
+    code: str
+    sizes: list[int] = field(default_factory=list)
+    throughput: list[float] = field(default_factory=list)
+    supported: list[bool] = field(default_factory=list)
+
+    def at(self, n: int) -> float | None:
+        """Modeled throughput at size n, or None when unsupported."""
+        try:
+            idx = self.sizes.index(n)
+        except ValueError:
+            return None
+        return self.throughput[idx] if self.supported[idx] else None
+
+    def largest_supported(self) -> tuple[int, float] | None:
+        for size, tp, ok in zip(
+            reversed(self.sizes), reversed(self.throughput), reversed(self.supported)
+        ):
+            if ok:
+                return size, tp
+        return None
+
+
+@dataclass
+class FigureResult:
+    """All series of one figure, plus validation outcomes."""
+
+    definition: ExperimentDef
+    series: dict[str, Series]
+    validated: dict[str, bool]
+
+    def series_for(self, code: str) -> Series:
+        return self.series[code]
+
+
+def validate_code(
+    code: RecurrenceCode, recurrence: Recurrence, n: int, seed: int = 20180324
+) -> bool:
+    """Run the code's executable path against the serial reference."""
+    if code.name == "memcpy":
+        return True  # not a recurrence solver
+    rng = np.random.default_rng(seed)
+    if recurrence.is_integer:
+        values = rng.integers(-50, 50, size=n).astype(np.int32)
+    else:
+        values = rng.standard_normal(n).astype(np.float32)
+    got = code.compute(values, recurrence)
+    expected = serial_full(values, recurrence.signature)
+    assert_valid(got, expected, context=code.name)
+    return True
+
+
+def run_experiment(
+    definition: ExperimentDef,
+    machine: MachineSpec | None = None,
+    cost_model: CostModel | None = None,
+    validate: bool = True,
+) -> FigureResult:
+    """Produce every code's throughput curve for one experiment."""
+    machine = machine or MachineSpec.titan_x()
+    cost_model = cost_model or CostModel(machine)
+    series: dict[str, Series] = {}
+    validated: dict[str, bool] = {}
+    for code_name in definition.codes:
+        code = make_code(code_name)
+        curve = Series(code=code_name)
+        for n in definition.sizes:
+            workload = Workload(definition.recurrence, n)
+            ok = code.supports(workload, machine)
+            curve.sizes.append(n)
+            curve.supported.append(ok)
+            if ok:
+                traffic = code.traffic(workload, machine)
+                curve.throughput.append(cost_model.throughput(n, traffic))
+            else:
+                curve.throughput.append(0.0)
+        series[code_name] = curve
+        if validate and definition.validate_at:
+            workload = Workload(definition.recurrence, definition.validate_at)
+            if code.supports(workload, machine):
+                validated[code_name] = validate_code(
+                    code, definition.recurrence, definition.validate_at
+                )
+            else:
+                validated[code_name] = False
+    return FigureResult(definition=definition, series=series, validated=validated)

@@ -1,0 +1,83 @@
+"""ASCII rendering of the reproduced figures and tables.
+
+The benchmark harness prints these so a reader can put them next to
+the paper's charts: sizes down the rows, codes across the columns,
+throughput in billions of words per second (the paper's y-axis unit).
+"""
+
+from __future__ import annotations
+
+from repro.eval.figures import Figure10Bar
+from repro.eval.harness import FigureResult
+from repro.eval.tables import TableCell
+
+__all__ = ["render_figure", "render_figure10", "render_table"]
+
+
+def _fmt_size(n: int) -> str:
+    exponent = n.bit_length() - 1
+    if n == 1 << exponent:
+        return f"2^{exponent}"
+    return str(n)
+
+
+def render_figure(result: FigureResult) -> str:
+    """One throughput figure as a size-by-code text table."""
+    definition = result.definition
+    codes = list(definition.codes)
+    lines = [
+        f"{definition.figure_id}: {definition.title}",
+        f"  recurrence {definition.recurrence.signature}  "
+        "[billions of words per second]",
+    ]
+    header = f"  {'size':>8} " + " ".join(f"{c:>9}" for c in codes)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for idx, n in enumerate(definition.sizes):
+        cells = []
+        for code in codes:
+            series = result.series[code]
+            if series.supported[idx]:
+                cells.append(f"{series.throughput[idx] / 1e9:>9.2f}")
+            else:
+                cells.append(f"{'-':>9}")
+        lines.append(f"  {_fmt_size(n):>8} " + " ".join(cells))
+    if result.validated:
+        checked = ", ".join(sorted(c for c, ok in result.validated.items() if ok))
+        lines.append(f"  validated vs serial reference: {checked}")
+    return "\n".join(lines)
+
+
+def render_figure10(bars: list[Figure10Bar]) -> str:
+    """Figure 10 as a recurrence-by-config text table."""
+    lines = [
+        "fig10: PLR throughput with and without optimizations",
+        f"  largest input ({_fmt_size(bars[0].n)})  "
+        "[billions of words per second]",
+        f"  {'recurrence':>20} {'opts on':>9} {'opts off':>9} {'speedup':>8}",
+        "  " + "-" * 50,
+    ]
+    for bar in bars:
+        lines.append(
+            f"  {bar.recurrence:>20} {bar.with_optimizations / 1e9:>9.2f} "
+            f"{bar.without_optimizations / 1e9:>9.2f} {bar.speedup:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def render_table(cells: list[TableCell], title: str) -> str:
+    """Tables 2/3 as an order-by-code text table."""
+    codes: list[str] = []
+    for cell in cells:
+        if cell.code not in codes:
+            codes.append(cell.code)
+    orders = sorted({cell.order for cell in cells})
+    by_key = {(c.code, c.order): c.megabytes for c in cells}
+    lines = [title, f"  {'':>8} " + " ".join(f"{c:>9}" for c in codes)]
+    for order in orders:
+        row = [f"  order {order:>2}"]
+        for code in codes:
+            value = by_key.get((code, order))
+            row.append(f"{value:>9.1f}" if value is not None else f"{'-':>9}")
+        lines.append(" ".join(row))
+    return "\n".join(lines)

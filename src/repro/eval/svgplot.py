@@ -1,0 +1,240 @@
+"""Dependency-free SVG rendering of the throughput figures.
+
+The evaluation environment has no plotting stack, so this module draws
+the paper-style charts (log2 x-axis of input sizes, linear y-axis of
+G words/s, one polyline per code) directly as SVG text.  The output
+mirrors the paper's figures closely enough to overlay visually:
+markers per point, a legend, dashed grid lines, unsupported sizes
+simply absent from a series.
+
+`plr export OUTDIR --svg` writes one .svg per figure alongside the CSVs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.eval.figures import Figure10Bar
+from repro.eval.harness import FigureResult
+
+__all__ = ["render_figure_svg", "render_figure10_svg", "SvgStyle"]
+
+# Distinguishable line colors; memcpy gets neutral gray like the paper.
+_PALETTE = {
+    "memcpy": "#888888",
+    "CUB": "#1f77b4",
+    "SAM": "#2ca02c",
+    "Scan": "#d62728",
+    "PLR": "#9467bd",
+    "Alg3": "#ff7f0e",
+    "Rec": "#17becf",
+}
+_FALLBACK_COLORS = ["#8c564b", "#e377c2", "#7f7f7f", "#bcbd22"]
+
+
+@dataclass(frozen=True)
+class SvgStyle:
+    width: int = 720
+    height: int = 420
+    margin_left: int = 64
+    margin_right: int = 150
+    margin_top: int = 48
+    margin_bottom: int = 56
+    font: str = "ui-sans-serif, system-ui, sans-serif"
+
+    @property
+    def plot_width(self) -> int:
+        return self.width - self.margin_left - self.margin_right
+
+    @property
+    def plot_height(self) -> int:
+        return self.height - self.margin_top - self.margin_bottom
+
+
+def _color(code: str, index: int) -> str:
+    return _PALETTE.get(code, _FALLBACK_COLORS[index % len(_FALLBACK_COLORS)])
+
+
+def _nice_ceiling(value: float) -> float:
+    """Round a y-maximum up to a pleasant tick boundary."""
+    if value <= 0:
+        return 1.0
+    magnitude = 10 ** math.floor(math.log10(value))
+    for mult in (1, 2, 2.5, 4, 5, 8, 10):
+        if value <= mult * magnitude:
+            return mult * magnitude
+    return 10 * magnitude
+
+
+def render_figure_svg(result: FigureResult, style: SvgStyle | None = None) -> str:
+    """One throughput figure as a complete SVG document."""
+    style = style or SvgStyle()
+    definition = result.definition
+    sizes = definition.sizes
+    x_lo = math.log2(sizes[0])
+    x_hi = math.log2(sizes[-1])
+
+    peak = 0.0
+    for series in result.series.values():
+        for tp, ok in zip(series.throughput, series.supported):
+            if ok:
+                peak = max(peak, tp / 1e9)
+    y_hi = _nice_ceiling(peak * 1.05)
+
+    def px(n: int) -> float:
+        frac = (math.log2(n) - x_lo) / max(x_hi - x_lo, 1e-9)
+        return style.margin_left + frac * style.plot_width
+
+    def py(gwords: float) -> float:
+        frac = gwords / y_hi
+        return style.margin_top + (1.0 - frac) * style.plot_height
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{style.width}" '
+        f'height="{style.height}" viewBox="0 0 {style.width} {style.height}">',
+        f'<rect width="{style.width}" height="{style.height}" fill="white"/>',
+        f'<text x="{style.margin_left}" y="24" font-family="{style.font}" '
+        f'font-size="15" font-weight="bold">{definition.figure_id}: '
+        f"{definition.title}</text>",
+        f'<text x="{style.margin_left}" y="40" font-family="{style.font}" '
+        f'font-size="11" fill="#555">recurrence {definition.recurrence.signature} '
+        "&#8212; billions of words per second vs sequence length</text>",
+    ]
+
+    # Grid and axes.
+    ticks = 5
+    for t in range(ticks + 1):
+        g = y_hi * t / ticks
+        y = py(g)
+        parts.append(
+            f'<line x1="{style.margin_left}" y1="{y:.1f}" '
+            f'x2="{style.margin_left + style.plot_width}" y2="{y:.1f}" '
+            'stroke="#dddddd" stroke-dasharray="3,3"/>'
+        )
+        parts.append(
+            f'<text x="{style.margin_left - 8}" y="{y + 4:.1f}" '
+            f'font-family="{style.font}" font-size="10" text-anchor="end">'
+            f"{g:g}</text>"
+        )
+    for n in sizes:
+        exp = int(math.log2(n))
+        if exp % 2 == 0:
+            x = px(n)
+            parts.append(
+                f'<text x="{x:.1f}" y="{style.height - style.margin_bottom + 16}" '
+                f'font-family="{style.font}" font-size="10" text-anchor="middle">'
+                f"2^{exp}</text>"
+            )
+    axis_y = style.margin_top + style.plot_height
+    parts.append(
+        f'<line x1="{style.margin_left}" y1="{axis_y}" '
+        f'x2="{style.margin_left + style.plot_width}" y2="{axis_y}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{style.margin_left}" y1="{style.margin_top}" '
+        f'x2="{style.margin_left}" y2="{axis_y}" stroke="black"/>'
+    )
+
+    # Series.
+    legend_y = style.margin_top + 6
+    for index, code in enumerate(definition.codes):
+        series = result.series[code]
+        color = _color(code, index)
+        points = [
+            (px(n), py(tp / 1e9))
+            for n, tp, ok in zip(series.sizes, series.throughput, series.supported)
+            if ok
+        ]
+        if points:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+            parts.append(
+                f'<polyline points="{path}" fill="none" stroke="{color}" '
+                'stroke-width="2"/>'
+            )
+            for x, y in points:
+                parts.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.6" fill="{color}"/>'
+                )
+        lx = style.margin_left + style.plot_width + 12
+        parts.append(
+            f'<line x1="{lx}" y1="{legend_y}" x2="{lx + 22}" y2="{legend_y}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 28}" y="{legend_y + 4}" font-family="{style.font}" '
+            f'font-size="12">{code}</text>'
+        )
+        legend_y += 20
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_figure10_svg(
+    bars: list[Figure10Bar], style: SvgStyle | None = None
+) -> str:
+    """Figure 10 as grouped bars (optimizations on vs off)."""
+    style = style or SvgStyle(width=860, margin_right=40, margin_bottom=120)
+    peak = max(bar.with_optimizations for bar in bars) / 1e9
+    y_hi = _nice_ceiling(peak * 1.05)
+    plot_h = style.plot_height
+    axis_y = style.margin_top + plot_h
+    group_w = style.plot_width / len(bars)
+    bar_w = group_w * 0.32
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{style.width}" '
+        f'height="{style.height}" viewBox="0 0 {style.width} {style.height}">',
+        f'<rect width="{style.width}" height="{style.height}" fill="white"/>',
+        f'<text x="{style.margin_left}" y="24" font-family="{style.font}" '
+        'font-size="15" font-weight="bold">fig10: PLR throughput with and '
+        "without optimizations</text>",
+    ]
+    for t in range(6):
+        g = y_hi * t / 5
+        y = style.margin_top + (1 - g / y_hi) * plot_h
+        parts.append(
+            f'<line x1="{style.margin_left}" y1="{y:.1f}" '
+            f'x2="{style.margin_left + style.plot_width}" y2="{y:.1f}" '
+            'stroke="#dddddd" stroke-dasharray="3,3"/>'
+        )
+        parts.append(
+            f'<text x="{style.margin_left - 8}" y="{y + 4:.1f}" '
+            f'font-family="{style.font}" font-size="10" text-anchor="end">{g:g}</text>'
+        )
+    for i, bar in enumerate(bars):
+        x0 = style.margin_left + i * group_w + group_w * 0.15
+        for offset, value, color in (
+            (0.0, bar.with_optimizations, "#9467bd"),
+            (bar_w + 2, bar.without_optimizations, "#c5b0d5"),
+        ):
+            h = (value / 1e9) / y_hi * plot_h
+            parts.append(
+                f'<rect x="{x0 + offset:.1f}" y="{axis_y - h:.1f}" '
+                f'width="{bar_w:.1f}" height="{h:.1f}" fill="{color}"/>'
+            )
+        label_x = x0 + bar_w
+        parts.append(
+            f'<text x="{label_x:.1f}" y="{axis_y + 10}" '
+            f'font-family="{style.font}" font-size="10" text-anchor="end" '
+            f'transform="rotate(-45 {label_x:.1f} {axis_y + 10})">'
+            f"{bar.recurrence}</text>"
+        )
+    parts.append(
+        f'<line x1="{style.margin_left}" y1="{axis_y}" '
+        f'x2="{style.margin_left + style.plot_width}" y2="{axis_y}" stroke="black"/>'
+    )
+    legend_x = style.margin_left + 10
+    parts.append(
+        f'<rect x="{legend_x}" y="{style.margin_top}" width="12" height="12" fill="#9467bd"/>'
+        f'<text x="{legend_x + 18}" y="{style.margin_top + 10}" '
+        f'font-family="{style.font}" font-size="12">optimizations on</text>'
+    )
+    parts.append(
+        f'<rect x="{legend_x + 150}" y="{style.margin_top}" width="12" height="12" fill="#c5b0d5"/>'
+        f'<text x="{legend_x + 168}" y="{style.margin_top + 10}" '
+        f'font-family="{style.font}" font-size="12">optimizations off</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,97 @@
+"""Tables 2 and 3: GPU memory usage and L2 read misses.
+
+Both tables use the largest input every code supports — 67,108,864
+words (2^26) — and report one row per recurrence order.  The paper
+notes the measurements "only depend on the order of the recurrence but
+not the coefficients or the data type"; per code we therefore pick a
+representative recurrence of each order from its supported domain
+(tuple prefix sums for the scan libraries, low-pass filters for the
+image-filtering codes, either for PLR and Scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.base import Workload
+from repro.baselines.registry import make_code
+from repro.core.coefficients import table1_signatures
+from repro.core.recurrence import Recurrence
+from repro.gpusim.spec import MachineSpec
+
+__all__ = [
+    "TABLE_INPUT_WORDS",
+    "TABLE_CODES",
+    "TableCell",
+    "table2_memory_usage",
+    "table3_l2_misses",
+    "representative_recurrence",
+]
+
+TABLE_INPUT_WORDS = 67_108_864
+"""2^26 words: the largest input all six codes support."""
+
+TABLE_CODES = ("PLR", "CUB", "SAM", "Scan", "Alg3", "Rec")
+
+_INTEGER_BY_ORDER = {
+    1: "prefix_sum",
+    2: "tuple2_prefix_sum",
+    3: "tuple3_prefix_sum",
+}
+_FLOAT_BY_ORDER = {1: "low_pass_1", 2: "low_pass_2", 3: "low_pass_3"}
+
+
+def representative_recurrence(code_name: str, order: int) -> Recurrence:
+    """A supported order-k recurrence for the given code."""
+    sigs = table1_signatures()
+    if code_name in ("Alg3", "Rec"):
+        return Recurrence(sigs[_FLOAT_BY_ORDER[order]])
+    return Recurrence(sigs[_INTEGER_BY_ORDER[order]])
+
+
+@dataclass(frozen=True)
+class TableCell:
+    """One (code, order) measurement in megabytes."""
+
+    code: str
+    order: int
+    megabytes: float
+
+
+def table2_memory_usage(
+    machine: MachineSpec | None = None,
+    n: int = TABLE_INPUT_WORDS,
+    include_memcpy: bool = True,
+) -> list[TableCell]:
+    """Total GPU memory usage (Table 2), in megabytes."""
+    machine = machine or MachineSpec.titan_x()
+    cells = []
+    for order in (1, 2, 3):
+        for code_name in TABLE_CODES:
+            code = make_code(code_name)
+            workload = Workload(representative_recurrence(code_name, order), n)
+            usage = code.memory_usage_bytes(workload, machine)
+            cells.append(TableCell(code_name, order, usage / 2**20))
+        if include_memcpy:
+            code = make_code("memcpy")
+            workload = Workload(representative_recurrence("PLR", order), n)
+            usage = code.memory_usage_bytes(workload, machine)
+            cells.append(TableCell("memcpy", order, usage / 2**20))
+    return cells
+
+
+def table3_l2_misses(
+    machine: MachineSpec | None = None,
+    n: int = TABLE_INPUT_WORDS,
+) -> list[TableCell]:
+    """L2 read misses converted to megabytes (Table 3)."""
+    machine = machine or MachineSpec.titan_x()
+    cells = []
+    for order in (1, 2, 3):
+        for code_name in TABLE_CODES:
+            code = make_code(code_name)
+            workload = Workload(representative_recurrence(code_name, order), n)
+            misses = code.l2_read_miss_bytes(workload, machine)
+            assert misses is not None  # all table codes use the L2
+            cells.append(TableCell(code_name, order, misses / 2**20))
+    return cells

@@ -1,0 +1,47 @@
+"""The GPU substrate: machine model, functional simulator, cost model.
+
+Three layers, usable independently:
+
+* :mod:`repro.gpusim.spec` — published hardware constants (Titan X);
+* the functional simulator (:mod:`~repro.gpusim.warp`,
+  :mod:`~repro.gpusim.block`, :mod:`~repro.gpusim.scheduler`,
+  :mod:`~repro.gpusim.executor`) — runs the PLR kernel protocol for
+  real at small scale, enforcing the hardware hierarchy;
+* the accounting models (:mod:`~repro.gpusim.memory`,
+  :mod:`~repro.gpusim.l2cache`, :mod:`~repro.gpusim.cost`) — NVML-style
+  memory totals, nvprof-style L2 misses, and the analytical throughput
+  model behind the figures.
+"""
+
+from repro.gpusim.block import BlockStats, SharedMemory, ThreadBlock, block_phase1
+from repro.gpusim.cost import CostModel, Traffic
+from repro.gpusim.executor import KernelRunResult, ProtocolFault, SimulatedPLR
+from repro.gpusim.l2cache import AccessStreamSummary, L2Cache
+from repro.gpusim.memory import Allocation, DeviceMemory
+from repro.gpusim.occupancy import OccupancyResult, occupancy
+from repro.gpusim.scheduler import AtomicCounter, BlockYield, GridScheduler
+from repro.gpusim.spec import MachineSpec
+from repro.gpusim.warp import Warp
+
+__all__ = [
+    "Allocation",
+    "AtomicCounter",
+    "AccessStreamSummary",
+    "BlockStats",
+    "BlockYield",
+    "CostModel",
+    "DeviceMemory",
+    "GridScheduler",
+    "KernelRunResult",
+    "L2Cache",
+    "MachineSpec",
+    "OccupancyResult",
+    "ProtocolFault",
+    "SharedMemory",
+    "SimulatedPLR",
+    "ThreadBlock",
+    "Traffic",
+    "Warp",
+    "block_phase1",
+    "occupancy",
+]

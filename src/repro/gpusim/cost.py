@@ -1,0 +1,185 @@
+"""The analytical throughput model behind Figures 1-10.
+
+We do not have the paper's Titan X, so absolute runtimes cannot be
+measured.  What the paper's evaluation *argues from*, however, is a
+small set of first-order effects, all of which are functions of memory
+traffic and work:
+
+* every code is bounded by the 336 GB/s memory system once inputs are
+  large ("reaches the throughput of memory copy, which cannot be
+  surpassed");
+* codes with 2n data movement (PLR, CUB, SAM) saturate that bound;
+  Scan moves 2x-12x more and is proportionally slower; Alg3/Rec read
+  the input twice (Table 3) and pay for it beyond the L2 capacity;
+* fixed kernel-launch overheads dominate tiny inputs (every curve in
+  Figures 1-9 ramps up);
+* per-element correction work (factor loads + multiply-adds) becomes
+  the bottleneck when the optimizations that shrink it are disabled
+  (Figure 10).
+
+:class:`CostModel` turns a :class:`Traffic` description into a time:
+
+    time = launches * t_launch + serial_hops * t_hop
+         + max(memory_time, compute_time)
+
+with ``memory_time = hbm_bytes / (eff * BW) + l2_bytes / (l2_ratio *
+eff * BW)`` and ``compute_time = ops / (cores * clock * eff_c)``.
+The efficiency constants are calibrated once, in this module, against
+the handful of absolute anchors the paper reports (memcpy plateau
+~35 G words/s, PLR prefix-sum parity with memcpy, the Figure 10
+on/off ratios) and are then *frozen*; every per-code traffic model in
+:mod:`repro.baselines` and :mod:`repro.eval` uses the same constants.
+EXPERIMENTS.md records the paper-vs-model comparison for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["Traffic", "CostModel"]
+
+
+@dataclass(frozen=True)
+class Traffic:
+    """A kernel's resource demands, in machine-independent units.
+
+    Attributes
+    ----------
+    hbm_read_bytes / hbm_write_bytes:
+        Bytes that must come from / go to device memory (cold data).
+    l2_read_bytes:
+        Bytes read from structures that stay L2-resident (correction
+        factors past the shared-memory buffer, carries, lookback state).
+    fma_ops:
+        Fused multiply-add operations on sequence elements.
+    aux_ops:
+        Other per-element instructions: shared-memory loads, shuffles,
+        predicated adds, address arithmetic beyond the baseline.
+    kernel_launches:
+        Fixed per-launch overheads paid (CUB's two-kernel passes, Rec's
+        many small filters...).
+    serial_hops:
+        Length of the longest serial dependence chain of global-memory
+        round trips (Phase 2 carry propagation at small grid sizes,
+        Chaurasia's serial carry combination).
+    """
+
+    hbm_read_bytes: float = 0.0
+    hbm_write_bytes: float = 0.0
+    l2_read_bytes: float = 0.0
+    fma_ops: float = 0.0
+    aux_ops: float = 0.0
+    kernel_launches: int = 1
+    serial_hops: float = 0.0
+    min_time_s: float = 0.0
+    """A hard floor on execution time, for fundamentally serial codes
+    whose speed is set by one thread's issue rate rather than by any
+    aggregate machine resource (the serial CPU reference)."""
+
+    def __add__(self, other: "Traffic") -> "Traffic":
+        return Traffic(
+            self.hbm_read_bytes + other.hbm_read_bytes,
+            self.hbm_write_bytes + other.hbm_write_bytes,
+            self.l2_read_bytes + other.l2_read_bytes,
+            self.fma_ops + other.fma_ops,
+            self.aux_ops + other.aux_ops,
+            self.kernel_launches + other.kernel_launches,
+            self.serial_hops + other.serial_hops,
+            max(self.min_time_s, other.min_time_s),
+        )
+
+    def scaled(self, factor: float) -> "Traffic":
+        """All volume terms multiplied by ``factor`` (launches kept)."""
+        return replace(
+            self,
+            hbm_read_bytes=self.hbm_read_bytes * factor,
+            hbm_write_bytes=self.hbm_write_bytes * factor,
+            l2_read_bytes=self.l2_read_bytes * factor,
+            fma_ops=self.fma_ops * factor,
+            aux_ops=self.aux_ops * factor,
+            serial_hops=self.serial_hops * factor,
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine constants + calibrated efficiencies -> time/throughput.
+
+    Calibration anchors (Titan X, from the paper's own numbers):
+
+    * ``bandwidth_efficiency`` 0.834: the memcpy plateau in Figures 1-9
+      is ~35 G words/s = 280 GB/s of 336 GB/s peak.
+    * ``compute_efficiency`` 0.30: realized fraction of the 3.38 T
+      FMA/s peak for correction loops with their address arithmetic,
+      predication, and synchronization; chosen so that the Figure 10
+      "optimizations off" integer bars land at roughly 2/3 of the
+      on-bars, matching the paper.
+    * ``l2_bandwidth_ratio`` 6.0: Maxwell's L2 delivers on the order of
+      6x HBM bandwidth for broadcast-friendly access patterns.
+    * ``hop_latency_s`` 600 ns: one dependent global-memory round trip
+      including fence/flag polling.
+    """
+
+    machine: MachineSpec
+    bandwidth_efficiency: float = 0.834
+    compute_efficiency: float = 0.30
+    l2_bandwidth_ratio: float = 5.75
+    hop_latency_s: float = 600e-9
+    fma_per_core_per_cycle: float = 1.0
+
+    @classmethod
+    def titan_x(cls) -> "CostModel":
+        return cls(MachineSpec.titan_x())
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_bandwidth(self) -> float:
+        return self.machine.peak_bandwidth_bytes * self.bandwidth_efficiency
+
+    @property
+    def effective_compute(self) -> float:
+        """Realized scalar op throughput, ops/second."""
+        return (
+            self.machine.total_cores
+            * self.machine.core_clock_hz
+            * self.fma_per_core_per_cycle
+            * self.compute_efficiency
+        )
+
+    def memory_time(self, traffic: Traffic) -> float:
+        hbm = traffic.hbm_read_bytes + traffic.hbm_write_bytes
+        l2 = traffic.l2_read_bytes
+        return hbm / self.effective_bandwidth + l2 / (
+            self.effective_bandwidth * self.l2_bandwidth_ratio
+        )
+
+    def compute_time(self, traffic: Traffic) -> float:
+        return (traffic.fma_ops + traffic.aux_ops) / self.effective_compute
+
+    def fixed_time(self, traffic: Traffic) -> float:
+        return (
+            traffic.kernel_launches * self.machine.kernel_launch_latency_s
+            + traffic.serial_hops * self.hop_latency_s
+        )
+
+    def time(self, traffic: Traffic) -> float:
+        """Seconds for one kernel-level execution of ``traffic``."""
+        return max(
+            self.fixed_time(traffic)
+            + max(self.memory_time(traffic), self.compute_time(traffic)),
+            traffic.min_time_s,
+        )
+
+    def throughput(self, n_words: int, traffic: Traffic) -> float:
+        """Words processed per second — the y-axis of Figures 1-9."""
+        return n_words / self.time(traffic)
+
+    def bound_kind(self, traffic: Traffic) -> str:
+        """'memory' or 'compute': which side of the max() binds."""
+        return (
+            "memory"
+            if self.memory_time(traffic) >= self.compute_time(traffic)
+            else "compute"
+        )

@@ -1,0 +1,278 @@
+"""Functional execution of the PLR kernel on the GPU machine model.
+
+This module ties the levels together and runs the paper's generated
+kernel end to end (Section 3's eight code sections):
+
+1. correction-factor constant arrays    -> CorrectionFactorTable
+2. atomic chunk-id acquisition          -> AtomicCounter
+3. the FIR map stage                    -> in-register map
+4. Phase 1 via shuffles + shared memory -> block_phase1
+5. local-carry publication: write, *memory fence*, set flag
+6. variable look-back: busy-wait for a global-carry flag within
+   distance 32 plus all later local-carry flags; combine through the
+   carry-transition matrix; publish own global carries
+7. chunk correction and result write-out
+8. (the multiple-x kernel selection lives in the planner/compiler)
+
+The simulator is *functional + event-ordered*, not cycle-accurate: it
+enforces protocol correctness (flags must be set before carries are
+read — a violation raises), resource limits (shared-memory budget,
+bounded residency), and the hierarchy (shuffles cannot cross warps),
+under adversarial block interleavings.  Data values are computed with
+exact numpy arithmetic, so results validate against the serial
+reference like any other solver.
+
+The memory-fence modeling: the simulator gives each block's writes
+sequential visibility (Python executes them in order), so the fence is
+represented by *ordering assertions* — flags are written strictly after
+the carries they guard, and reads check the flag first.  A
+deliberately broken protocol (flag before data) is exercised in tests
+via :class:`ProtocolFault` injection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype
+from repro.gpusim.block import BlockStats, ThreadBlock, block_phase1
+from repro.gpusim.l2cache import L2Cache
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.scheduler import AtomicCounter, BlockYield, GridScheduler
+from repro.gpusim.spec import MachineSpec
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.phase2 import transition_matrix
+
+__all__ = ["ProtocolFault", "KernelRunResult", "SimulatedPLR"]
+
+_FLAG_EMPTY = 0
+_FLAG_LOCAL_READY = 1
+_FLAG_GLOBAL_READY = 2
+
+
+class ProtocolFault(enum.Enum):
+    """Deliberate protocol corruptions for fault-injection tests."""
+
+    NONE = "none"
+    FLAG_BEFORE_DATA = "flag_before_data"  # set ready flag before carries
+    SKIP_LOCAL_FLAG = "skip_local_flag"  # local carries never flagged; the
+    # protocol survives (successors fall back to the global flag) at the
+    # cost of pipelining — a useful liveness property to test
+    NEVER_PUBLISH = "never_publish"  # neither flag is ever set: successors
+    # can never make progress and the scheduler must report deadlock
+
+
+@dataclass
+class KernelRunResult:
+    """Everything a simulated kernel run produced."""
+
+    output: np.ndarray
+    block_stats: list[BlockStats]
+    lookback_distances: list[int]
+    schedule_steps: int
+    schedule_wait_steps: int
+    l2: L2Cache | None
+    device_memory_bytes: int
+
+    @property
+    def max_lookback(self) -> int:
+        return max(self.lookback_distances, default=0)
+
+
+@dataclass
+class SimulatedPLR:
+    """Run the PLR kernel for a recurrence on a simulated GPU.
+
+    Use :meth:`run`.  Sized for small machines
+    (:meth:`MachineSpec.small_test_gpu`) where the full protocol runs in
+    milliseconds; the numpy :class:`~repro.plr.solver.PLRSolver` is the
+    fast path for large inputs.
+    """
+
+    recurrence: Recurrence
+    machine: MachineSpec
+    block_size: int | None = None
+    values_per_thread: int = 1
+    seed: int = 0
+    max_lookback: int = 32
+    fault: ProtocolFault = ProtocolFault.NONE
+    track_l2: bool = False
+    paranoid_flag_checks: bool = True
+    deadlock_rounds: int = 1000
+
+    def run(self, values: np.ndarray) -> KernelRunResult:
+        values = np.asarray(values)
+        if values.ndim != 1 or values.size == 0:
+            raise SimulationError("need a non-empty 1D input")
+        dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        block_size = self.block_size or self.machine.max_threads_per_block
+        m = block_size * self.values_per_thread
+        n = values.size
+        num_chunks = -(-n // m)
+
+        work = values.astype(dtype, copy=False)
+        if self.recurrence.has_map_stage:
+            work = self.recurrence.apply_map_stage(work)
+        padded = np.zeros(num_chunks * m, dtype=dtype)
+        padded[:n] = work
+
+        table = CorrectionFactorTable.build(
+            self.recurrence.recursive_signature, m, dtype
+        )
+        matrix = transition_matrix(table)
+        k = table.order
+
+        device = DeviceMemory(self.machine)
+        in_buf = device.alloc("input", padded.nbytes)
+        out_buf = device.alloc("output", padded.nbytes)
+        device.alloc("local_carries", num_chunks * k * padded.itemsize)
+        device.alloc("global_carries", num_chunks * k * padded.itemsize)
+        device.alloc("flags", num_chunks * 4)
+        device.alloc("chunk_counter", 4)
+        del in_buf, out_buf
+
+        output = np.zeros_like(padded)
+        local_carries = np.zeros((num_chunks, k), dtype=dtype)
+        global_carries = np.zeros((num_chunks, k), dtype=dtype)
+        flags = np.zeros(num_chunks, dtype=np.int32)
+        counter = AtomicCounter()
+        l2 = L2Cache.for_machine(self.machine) if self.track_l2 else None
+
+        block_stats: list[BlockStats] = []
+        lookback_distances: list[int] = []
+        factors = table.factors
+
+        def read_global(base: int, nbytes: int) -> None:
+            if l2 is not None:
+                l2.read(base, nbytes)
+
+        def write_global(base: int, nbytes: int) -> None:
+            if l2 is not None:
+                l2.write(base, nbytes)
+
+        itemsize = padded.itemsize
+
+        def make_block():
+            def body():
+                # Section 2: atomically acquire a chunk id and load it.
+                chunk_id = counter.fetch_increment()
+                base = chunk_id * m
+                read_global(base * itemsize, m * itemsize)
+                tb = ThreadBlock.create(
+                    padded[base : base + m],
+                    block_size,
+                    self.machine.warp_size,
+                    self.machine.shared_memory_per_block,
+                )
+                yield BlockYield.PROGRESS
+
+                # Section 4: Phase 1 inside the block.
+                block_phase1(tb, table)
+                chunk = tb.values()
+                yield BlockYield.PROGRESS
+
+                # Section 5: publish local carries, fence, set flag.
+                mine_local = chunk[m - k :][::-1].copy()
+                if self.fault not in (
+                    ProtocolFault.SKIP_LOCAL_FLAG,
+                    ProtocolFault.NEVER_PUBLISH,
+                ):
+                    local_carries[chunk_id] = mine_local
+                    # -- memory fence: data strictly before flag --
+                    flags[chunk_id] = max(flags[chunk_id], _FLAG_LOCAL_READY)
+                write_global((padded.nbytes) + chunk_id * k * itemsize, k * itemsize)
+                yield BlockYield.PROGRESS
+
+                # Section 6: variable look-back for the carries.
+                if chunk_id == 0:
+                    prev_global = np.zeros(k, dtype=dtype)
+                else:
+                    while True:
+                        lo = max(0, chunk_id - self.max_lookback)
+                        base_idx = -1
+                        for c in range(chunk_id - 1, lo - 1, -1):
+                            if flags[c] >= _FLAG_GLOBAL_READY:
+                                base_idx = c
+                                break
+                        if base_idx >= 0 and all(
+                            flags[c] >= _FLAG_LOCAL_READY
+                            for c in range(base_idx + 1, chunk_id)
+                        ):
+                            break
+                        yield BlockYield.WAITING
+                    lookback_distances.append(chunk_id - base_idx)
+                    if self.paranoid_flag_checks and flags[base_idx] < _FLAG_GLOBAL_READY:
+                        raise SimulationError(
+                            f"chunk {chunk_id} read global carries of {base_idx} "
+                            "without a ready flag"
+                        )
+                    carries = global_carries[base_idx].copy()
+                    read_global(2 * padded.nbytes + base_idx * k * itemsize, k * itemsize)
+                    for c in range(base_idx + 1, chunk_id):
+                        if self.paranoid_flag_checks and flags[c] < _FLAG_LOCAL_READY:
+                            raise SimulationError(
+                                f"chunk {chunk_id} read local carries of {c} "
+                                "without a ready flag"
+                            )
+                        read_global(padded.nbytes + c * k * itemsize, k * itemsize)
+                        carries = local_carries[c] + matrix @ carries
+                    prev_global = carries
+                # Own global carries = own locals corrected by prev_global,
+                # published before the bulk correction (code section 6).
+                mine_global = mine_local + matrix @ prev_global if chunk_id else mine_local
+                if self.fault == ProtocolFault.FLAG_BEFORE_DATA:
+                    # Broken protocol: the ready flag becomes visible while
+                    # the carry stores are still in flight.  Without the
+                    # fence, hardware gives the stores no visibility order;
+                    # the extra yields model that delay window, during which
+                    # successors read stale (zero) global carries.
+                    flags[chunk_id] = _FLAG_GLOBAL_READY
+                    for _ in range(4):
+                        yield BlockYield.PROGRESS
+                    global_carries[chunk_id] = mine_global
+                elif self.fault != ProtocolFault.NEVER_PUBLISH:
+                    global_carries[chunk_id] = mine_global
+                    # -- memory fence: data strictly before flag --
+                    flags[chunk_id] = _FLAG_GLOBAL_READY
+                write_global(2 * padded.nbytes + chunk_id * k * itemsize, k * itemsize)
+                yield BlockYield.PROGRESS
+
+                # Section 7: correct the chunk and write results.
+                if chunk_id > 0:
+                    for j in range(k):
+                        chunk += factors[j] * prev_global[j]
+                output[base : base + m] = chunk
+                write_global(base * itemsize, m * itemsize)
+                block_stats.append(tb.stats)
+
+            return body()
+
+        resident = min(
+            self.machine.num_sms
+            * max(
+                1,
+                self.machine.max_threads_per_sm // block_size,
+            ),
+            num_chunks,
+        )
+        scheduler = GridScheduler(
+            max_resident=resident,
+            seed=self.seed,
+            deadlock_rounds=self.deadlock_rounds,
+        )
+        stats = scheduler.run([make_block for _ in range(num_chunks)])
+
+        return KernelRunResult(
+            output=output[:n],
+            block_stats=block_stats,
+            lookback_distances=lookback_distances,
+            schedule_steps=stats.steps,
+            schedule_wait_steps=stats.wait_steps,
+            l2=l2,
+            device_memory_bytes=device.total_bytes,
+        )

@@ -1,0 +1,103 @@
+"""CUDA occupancy: how many blocks an SM can actually hold.
+
+The paper's T ("the number of thread blocks the GPU can simultaneously
+process") falls out of one resource in its setting — registers — but
+on real hardware residency is the *minimum* over four limits:
+
+* threads:   resident threads per SM / threads per block;
+* registers: register file / (registers per thread * block threads);
+* shared memory: per-SM shared memory / per-block usage;
+* a hard cap on blocks per SM (32 on Maxwell).
+
+:func:`occupancy` evaluates all four, reports which one binds, and
+reproduces the paper's numbers as the special case (1024-thread
+blocks, 32/64 registers, modest shared memory -> 2 or 1 blocks/SM).
+The planner's simple register rule is validated against this full
+calculator in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import PlanError
+from repro.gpusim.spec import MachineSpec
+
+__all__ = ["OccupancyResult", "occupancy", "MAX_BLOCKS_PER_SM"]
+
+MAX_BLOCKS_PER_SM = 32
+"""Maxwell's architectural cap on resident blocks per multiprocessor."""
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency of one kernel configuration on one machine."""
+
+    blocks_per_sm: int
+    resident_blocks: int
+    resident_threads: int
+    limiting_resource: str
+    thread_limit: int
+    register_limit: int
+    shared_memory_limit: int
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Resident threads as a fraction of the SM's maximum."""
+        return self.resident_threads / self._max_threads
+
+    _max_threads: int = 0  # populated by occupancy(); hidden from repr
+
+
+def occupancy(
+    machine: MachineSpec,
+    block_size: int,
+    registers_per_thread: int,
+    shared_memory_per_block: int = 0,
+) -> OccupancyResult:
+    """Blocks per SM for a kernel configuration, with the binding limit."""
+    if block_size < 1 or block_size > machine.max_threads_per_block:
+        raise PlanError(
+            f"block size {block_size} outside [1, {machine.max_threads_per_block}]"
+        )
+    if registers_per_thread < 1:
+        raise PlanError(f"registers per thread must be >= 1, got {registers_per_thread}")
+    if shared_memory_per_block > machine.shared_memory_per_block:
+        raise PlanError(
+            f"kernel needs {shared_memory_per_block} B of shared memory per "
+            f"block; the machine allows {machine.shared_memory_per_block}"
+        )
+
+    by_threads = machine.max_threads_per_sm // block_size
+    by_registers = machine.registers_per_sm // (registers_per_thread * block_size)
+    if shared_memory_per_block > 0:
+        by_shared = machine.shared_memory_per_sm // shared_memory_per_block
+    else:
+        # No shared memory requested: effectively unconstrained (one
+        # more than the hard cap so the cap is reported as binding).
+        by_shared = MAX_BLOCKS_PER_SM + 1
+
+    blocks = min(by_threads, by_registers, by_shared, MAX_BLOCKS_PER_SM)
+    if blocks < 1:
+        raise PlanError(
+            f"configuration does not fit on one SM: block={block_size} threads, "
+            f"{registers_per_thread} regs/thread, {shared_memory_per_block} B smem"
+        )
+    limits = {
+        "threads": by_threads,
+        "registers": by_registers,
+        "shared_memory": by_shared,
+        "block_cap": MAX_BLOCKS_PER_SM,
+    }
+    limiting = min(limits, key=limits.__getitem__)
+    result = OccupancyResult(
+        blocks_per_sm=blocks,
+        resident_blocks=blocks * machine.num_sms,
+        resident_threads=blocks * block_size,
+        limiting_resource=limiting,
+        thread_limit=by_threads,
+        register_limit=by_registers,
+        shared_memory_limit=by_shared,
+    )
+    object.__setattr__(result, "_max_threads", machine.max_threads_per_sm)
+    return result

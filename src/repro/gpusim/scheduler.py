@@ -1,0 +1,139 @@
+"""Grid-level scheduling: SMs, resident blocks, and interleaving.
+
+CUDA's third level of parallelism is the grid: thread blocks are
+assigned to streaming multiprocessors as resources free up, run to
+completion, and can only communicate through global memory.  Two
+properties of this level matter for PLR's Phase 2 protocol and are
+enforced here:
+
+* only a bounded number of blocks is *resident* at once (the paper's
+  T, set by the register budget), and their execution interleaves in
+  an arbitrary, non-deterministic order;
+* PLR assigns chunk ids with an atomic counter *at block start* rather
+  than using blockIdx, so chunk order matches issue order — later
+  chunks are always resident no earlier than their predecessors, which
+  is what makes busy-waiting on predecessor flags deadlock-free.
+
+:class:`GridScheduler` drives block coroutines with a seeded RNG so
+tests can replay adversarial interleavings deterministically, and it
+detects deadlock (a full round of resident blocks all blocked with no
+new block issuable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterator
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+
+__all__ = ["AtomicCounter", "BlockYield", "GridScheduler", "ScheduleStats"]
+
+
+@dataclass
+class AtomicCounter:
+    """The global chunk counter each block atomically increments."""
+
+    value: int = 0
+
+    def fetch_increment(self) -> int:
+        current = self.value
+        self.value += 1
+        return current
+
+
+class BlockYield:
+    """What a block coroutine yields to the scheduler at each step."""
+
+    PROGRESS = "progress"  # did work, reschedule normally
+    WAITING = "waiting"  # busy-waiting on a flag; made no progress
+
+
+@dataclass
+class ScheduleStats:
+    """Aggregate scheduling behaviour of one kernel run."""
+
+    steps: int = 0
+    wait_steps: int = 0
+    blocks_run: int = 0
+    max_resident: int = 0
+
+
+BlockCoroutine = Generator[str, None, None]
+
+
+@dataclass
+class GridScheduler:
+    """Runs block coroutines with bounded residency and random interleave.
+
+    Parameters
+    ----------
+    max_resident:
+        The paper's T: how many blocks hold SM resources concurrently.
+    seed:
+        RNG seed for the interleaving; same seed, same schedule.
+    deadlock_rounds:
+        How many consecutive all-waiting sweeps of the resident set to
+        tolerate before declaring deadlock.
+    """
+
+    max_resident: int
+    seed: int = 0
+    deadlock_rounds: int = 1000
+    stats: ScheduleStats = field(default_factory=ScheduleStats)
+
+    def run(self, block_factories: list[Callable[[], BlockCoroutine]]) -> ScheduleStats:
+        """Issue and interleave all blocks until the grid completes."""
+        if self.max_resident < 1:
+            raise SimulationError(f"need at least one resident block, got {self.max_resident}")
+        rng = np.random.default_rng(self.seed)
+        pending: Iterator[Callable[[], BlockCoroutine]] = iter(block_factories)
+        resident: list[BlockCoroutine] = []
+        exhausted = False
+        stale_rounds = 0
+
+        def refill() -> None:
+            nonlocal exhausted
+            while not exhausted and len(resident) < self.max_resident:
+                factory = next(pending, None)
+                if factory is None:
+                    exhausted = True
+                    return
+                resident.append(factory())
+                self.stats.blocks_run += 1
+                self.stats.max_resident = max(self.stats.max_resident, len(resident))
+
+        refill()
+        while resident:
+            # One sweep: step every resident block once, in random order.
+            order = rng.permutation(len(resident))
+            progressed = False
+            finished: list[BlockCoroutine] = []
+            for idx in order:
+                coroutine = resident[idx]
+                try:
+                    state = next(coroutine)
+                except StopIteration:
+                    finished.append(coroutine)
+                    progressed = True
+                    continue
+                self.stats.steps += 1
+                if state == BlockYield.WAITING:
+                    self.stats.wait_steps += 1
+                else:
+                    progressed = True
+            for coroutine in finished:
+                resident.remove(coroutine)
+            refill()
+            if progressed:
+                stale_rounds = 0
+            else:
+                stale_rounds += 1
+                if stale_rounds >= self.deadlock_rounds:
+                    raise SimulationError(
+                        f"deadlock: {len(resident)} resident blocks made no "
+                        f"progress for {stale_rounds} scheduler rounds"
+                    )
+        return self.stats

@@ -1,0 +1,90 @@
+"""Warp-level primitives: lockstep lanes and shuffle exchanges.
+
+CUDA's first level of hardware parallelism is the warp: 32 threads
+executing in lockstep that can exchange register values with shuffle
+instructions, without touching memory and without explicit
+synchronization.  PLR's generated code uses shuffles for the first few
+Phase 1 merge iterations ("They are implemented with shuffle
+instructions to bring the chunk size to the warp size").
+
+:class:`Warp` models one warp's register file as a (width, regs) array
+and implements the three shuffle flavors the generated code uses.  All
+lanes participate in every shuffle (lockstep); the executor counts each
+call as one shuffle instruction per register exchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Warp"]
+
+
+@dataclass
+class Warp:
+    """One warp: ``width`` lanes, each holding ``registers.shape[1]`` values."""
+
+    registers: np.ndarray  # shape (width, regs_per_lane)
+    shuffle_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.registers.ndim != 2:
+            raise SimulationError(
+                f"warp register file must be 2D (lanes, regs), got shape "
+                f"{self.registers.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        return self.registers.shape[0]
+
+    def _check_lane(self, lane: int) -> None:
+        if not 0 <= lane < self.width:
+            raise SimulationError(f"shuffle source lane {lane} outside warp of {self.width}")
+
+    # ------------------------------------------------------------------
+    def shfl_index(self, source_lanes: np.ndarray, register: int) -> np.ndarray:
+        """__shfl: every lane reads ``register`` from its chosen source lane.
+
+        ``source_lanes`` has one entry per lane.  Returns the gathered
+        values; the register file is unchanged (shuffles are reads).
+        """
+        source_lanes = np.asarray(source_lanes)
+        if source_lanes.shape != (self.width,):
+            raise SimulationError(
+                f"need one source lane per lane ({self.width}), got shape "
+                f"{source_lanes.shape}"
+            )
+        if source_lanes.min() < 0 or source_lanes.max() >= self.width:
+            raise SimulationError(
+                f"shuffle source lanes out of range: {source_lanes.min()}"
+                f"..{source_lanes.max()} in warp of {self.width}"
+            )
+        self.shuffle_count += 1
+        return self.registers[source_lanes, register].copy()
+
+    def shfl_up(self, register: int, delta: int) -> np.ndarray:
+        """__shfl_up: lane i reads lane i-delta; low lanes keep their own."""
+        if delta < 0:
+            raise SimulationError(f"shuffle delta must be >= 0, got {delta}")
+        lanes = np.arange(self.width)
+        sources = np.where(lanes - delta >= 0, lanes - delta, lanes)
+        return self.shfl_index(sources, register)
+
+    def shfl_down(self, register: int, delta: int) -> np.ndarray:
+        """__shfl_down: lane i reads lane i+delta; high lanes keep their own."""
+        if delta < 0:
+            raise SimulationError(f"shuffle delta must be >= 0, got {delta}")
+        lanes = np.arange(self.width)
+        sources = np.where(lanes + delta < self.width, lanes + delta, lanes)
+        return self.shfl_index(sources, register)
+
+    def broadcast(self, source_lane: int, register: int) -> np.ndarray:
+        """__shfl with a single source lane for the whole warp."""
+        self._check_lane(source_lane)
+        sources = np.full(self.width, source_lane)
+        return self.shfl_index(sources, register)

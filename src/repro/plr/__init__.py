@@ -1,0 +1,61 @@
+"""The PLR algorithm: correction factors, Phase 1, Phase 2, optimizer.
+
+This package is the paper's primary contribution in executable form.
+The layering is strict: :mod:`repro.plr` depends on :mod:`repro.core`
+(signatures and n-nacci math) and on :mod:`repro.gpusim.spec` (machine
+constants for planning), but never on the code generators or baselines.
+"""
+
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.optimizer import (
+    FactorDecision,
+    FactorPlan,
+    FactorRealization,
+    OptimizationConfig,
+    optimize_factors,
+)
+from repro.plr.nd import filter2d, filter_axis, solve_batch, summed_area_table
+from repro.plr.phase1 import phase1
+from repro.plr.phase2 import lookback_combine, phase2, transition_matrix
+from repro.plr.planner import ExecutionPlan, plan_execution, tuned_plan
+from repro.plr.semiring import (
+    BooleanSemiring,
+    MaxPlus,
+    MinPlus,
+    Semiring,
+    semiring_serial,
+    semiring_solve,
+)
+from repro.plr.solver import PLRSolver, SolveArtifacts, plr_solve
+from repro.plr.streaming import StreamingSolver, StreamState
+
+__all__ = [
+    "BooleanSemiring",
+    "CorrectionFactorTable",
+    "ExecutionPlan",
+    "FactorDecision",
+    "FactorPlan",
+    "FactorRealization",
+    "MaxPlus",
+    "MinPlus",
+    "OptimizationConfig",
+    "PLRSolver",
+    "Semiring",
+    "SolveArtifacts",
+    "StreamState",
+    "StreamingSolver",
+    "filter2d",
+    "filter_axis",
+    "lookback_combine",
+    "optimize_factors",
+    "phase1",
+    "phase2",
+    "plan_execution",
+    "plr_solve",
+    "semiring_serial",
+    "semiring_solve",
+    "solve_batch",
+    "summed_area_table",
+    "transition_matrix",
+    "tuned_plan",
+]

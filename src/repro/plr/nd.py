@@ -1,0 +1,157 @@
+"""Multi-dimensional recurrences: batched rows, 2D filters, SATs.
+
+The paper's future work lists "multiple dimensions"; its two image-
+processing baselines (Alg3, Rec) exist precisely because 2D recursive
+filtering matters.  This module provides that on top of the 1D
+machinery:
+
+* :func:`solve_batch` — many independent sequences at once.  The
+  algorithm is unchanged; the win is that Phase 1's merges and Phase
+  2's carry spine vectorize across the batch (the per-chunk-index loop
+  advances *every* row simultaneously), so filtering a 4096-row image
+  costs barely more Python overhead than one row.
+* :func:`filter_axis` — apply a recurrence along either axis of a 2D
+  array (rows are independent sequences, exactly how Alg3/Rec treat
+  scanlines).
+* :func:`filter2d` — separable row-then-column filtering, the
+  composition Nehab et al. optimize.
+* :func:`summed_area_table` — prefix sums along both axes, the classic
+  SAT primitive (Hensley et al.; cited in Related Work).
+
+All of it validates against row-/column-wise serial references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype
+from repro.core.signature import Signature
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.phase1 import phase1
+from repro.plr.phase2 import transition_matrix
+from repro.plr.planner import plan_execution
+
+__all__ = ["solve_batch", "filter_axis", "filter2d", "summed_area_table"]
+
+
+def _as_recurrence(recurrence: Recurrence | Signature | str) -> Recurrence:
+    if isinstance(recurrence, str):
+        return Recurrence.parse(recurrence)
+    if isinstance(recurrence, Signature):
+        return Recurrence(recurrence)
+    return recurrence
+
+
+def solve_batch(
+    values: np.ndarray,
+    recurrence: Recurrence | Signature | str,
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Compute the recurrence independently over every row of ``values``.
+
+    ``values`` has shape (rows, n); each row is its own sequence with
+    its own zero history.  Returns an array of the same shape.
+    """
+    recurrence = _as_recurrence(recurrence)
+    values = np.asarray(values)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2D (rows, n) array, got shape {values.shape}")
+    rows, n = values.shape
+    if rows == 0 or n == 0:
+        return values.astype(dtype or values.dtype)
+    if dtype is None:
+        dtype = resolve_dtype(recurrence.signature, values.dtype)
+    dtype = np.dtype(dtype)
+
+    work = values.astype(dtype, copy=False)
+    if recurrence.has_map_stage:
+        ff = [
+            a if isinstance(a, int) else float(a)
+            for a in recurrence.signature.feedforward
+        ]
+        mapped = np.zeros_like(work)
+        for j, a in enumerate(ff):
+            if a == 0:
+                continue
+            coeff = np.asarray(a, dtype=dtype) if dtype.kind == "i" else dtype.type(a)
+            if j == 0:
+                mapped += coeff * work
+            else:
+                mapped[:, j:] += coeff * work[:, :-j]
+        work = mapped
+
+    plan = plan_execution(recurrence.signature, n)
+    m = plan.chunk_size
+    chunks = -(-n // m)
+    padded = np.zeros((rows, chunks * m), dtype=dtype)
+    padded[:, :n] = work
+
+    table = CorrectionFactorTable.build(recurrence.recursive_signature, m, dtype)
+    k = table.order
+
+    # Phase 1 treats every (row, chunk) pair as an independent chunk.
+    partial = phase1(padded.reshape(-1), table, plan.values_per_thread)
+    partial = partial.reshape(rows, chunks, m)
+
+    # Phase 2: the carry spine walks the chunk index once, vectorized
+    # across all rows — G[:, c] = L[:, c] + G[:, c-1] @ M^T.
+    matrix = transition_matrix(table)
+    locals_ = partial[:, :, m - k :][:, :, ::-1]  # (rows, chunks, k)
+    globals_ = np.empty_like(locals_)
+    globals_[:, 0] = locals_[:, 0]
+    for c in range(1, chunks):
+        globals_[:, c] = locals_[:, c] + globals_[:, c - 1] @ matrix.T
+    for j in range(k):
+        partial[:, 1:] += (
+            table.factors[j][None, None, :] * globals_[:, :-1, j][:, :, None]
+        )
+    return partial.reshape(rows, chunks * m)[:, :n]
+
+
+def filter_axis(
+    image: np.ndarray,
+    recurrence: Recurrence | Signature | str,
+    axis: int = 1,
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Apply a recurrence along one axis of a 2D array.
+
+    ``axis=1`` filters each row left to right (the paper's 1D case per
+    scanline); ``axis=0`` filters each column top to bottom.
+    """
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2D image, got shape {image.shape}")
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 or 1, got {axis}")
+    if axis == 1:
+        return solve_batch(image, recurrence, dtype=dtype)
+    return solve_batch(image.T, recurrence, dtype=dtype).T
+
+
+def filter2d(
+    image: np.ndarray,
+    row_recurrence: Recurrence | Signature | str,
+    column_recurrence: Recurrence | Signature | str | None = None,
+    dtype: np.dtype | None = None,
+) -> np.ndarray:
+    """Separable 2D filtering: rows first, then columns.
+
+    With ``column_recurrence`` omitted the same filter runs both ways —
+    the symmetric case Alg3/Rec optimize for images.
+    """
+    if column_recurrence is None:
+        column_recurrence = row_recurrence
+    horizontal = filter_axis(image, row_recurrence, axis=1, dtype=dtype)
+    return filter_axis(horizontal, column_recurrence, axis=0, dtype=dtype)
+
+
+def summed_area_table(image: np.ndarray, dtype: np.dtype | None = None) -> np.ndarray:
+    """The summed-area table: SAT[i, j] = sum of image[:i+1, :j+1].
+
+    Two passes of the standard prefix sum — the primitive behind fast
+    box filtering (Hensley et al. 2005, cited by the paper).
+    """
+    return filter2d(image, Signature.prefix_sum(), dtype=dtype)

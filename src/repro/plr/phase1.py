@@ -1,0 +1,118 @@
+"""Phase 1: hierarchical pairwise chunk merging (Section 2.1).
+
+Phase 1 turns each size-m chunk of the input into the locally correct
+recurrence result (correct under the assumption that everything before
+the chunk is zero).  It mirrors the generated CUDA code's structure:
+
+1. *Thread-local step* — each thread solves its x consecutive values
+   serially (a chunk of size x is trivially correct on its own).  On
+   the GPU this is in-register work; here it is one vectorized sweep
+   across all threads at once.
+2. *Doubling steps* — chunk widths x, 2x, 4x, ..., m/2 are merged
+   pairwise.  The second chunk of each pair is corrected by adding, for
+   each carry j, ``factors[j][i] * carry_j`` to its element at offset
+   i.  The first log2(warp_size) of these levels correspond to shuffle
+   exchanges, the rest to shared-memory exchanges; the arithmetic is
+   identical, which is what makes the approach hierarchical.
+
+The key invariant (tested directly): after the level that produces
+chunks of width w, the first w outputs of every chunk-aligned window
+are final, and in particular the first w outputs of the whole sequence
+equal the serial reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.plr.factors import CorrectionFactorTable
+
+__all__ = ["thread_local_solve", "merge_level", "phase1", "doubling_widths"]
+
+
+def thread_local_solve(
+    chunks: np.ndarray, feedback: list, x: int
+) -> None:
+    """Solve each width-x thread chunk serially, in place.
+
+    ``chunks`` has shape (num_threads, x); column i receives
+    ``sum_j b_j * column[i-j]`` for the in-chunk history only.  The loop
+    runs over x (small: <= 11) and k, vectorized over all threads.
+    """
+    k = len(feedback)
+    if np.issubdtype(chunks.dtype, np.integer):
+        coeffs = [np.asarray(b, dtype=chunks.dtype) for b in feedback]
+    else:
+        coeffs = [chunks.dtype.type(b) for b in feedback]
+    for i in range(1, x):
+        acc = chunks[:, i]
+        for j in range(1, min(i, k) + 1):
+            acc = acc + coeffs[j - 1] * chunks[:, i - j]
+        chunks[:, i] = acc
+
+
+def merge_level(
+    pairs: np.ndarray, table: CorrectionFactorTable, width: int
+) -> None:
+    """Merge adjacent chunk pairs of the given width, in place.
+
+    ``pairs`` has shape (num_pairs, 2*width).  For each carry j that
+    actually exists at this width (the paper's term-suppression
+    optimization: carry w[width-1-j] only exists when j < width), the
+    second half gets ``factors[j][:width] * carry_j`` added.
+    """
+    k = table.order
+    factors = table.factors
+    second = pairs[:, width:]
+    for j in range(min(k, width)):
+        carry = pairs[:, width - 1 - j]
+        second += factors[j, :width][None, :] * carry[:, None]
+
+
+def doubling_widths(x: int, chunk_size: int) -> list[int]:
+    """The sequence of pair widths Phase 1 merges: x, 2x, ..., m/2.
+
+    ``chunk_size`` must be x times a power of two; this is guaranteed by
+    the planner (m = 1024 * x) and validated here.
+    """
+    widths = []
+    width = x
+    while width < chunk_size:
+        widths.append(width)
+        width *= 2
+    if width != chunk_size:
+        raise ValueError(
+            f"chunk size {chunk_size} is not x={x} times a power of two"
+        )
+    return widths
+
+
+def phase1(
+    padded: np.ndarray,
+    table: CorrectionFactorTable,
+    x: int,
+) -> np.ndarray:
+    """Run Phase 1 over all chunks; returns the (num_chunks, m) partial.
+
+    ``padded`` is the input after the map stage, zero-padded to a whole
+    number of chunks, flattened.  The result is locally correct within
+    each chunk; the last k columns are the *local carries* Phase 2
+    consumes.  The input array is not modified.
+    """
+    m = table.chunk_size
+    if padded.size % m:
+        raise ValueError(f"padded length {padded.size} is not a multiple of m={m}")
+    feedback = [
+        b if isinstance(b, int) else float(b) for b in table.signature.feedback
+    ]
+    work = padded.reshape(-1, m).copy()
+    num_chunks = work.shape[0]
+
+    if x > 1:
+        thread_view = work.reshape(num_chunks * (m // x), x)
+        thread_local_solve(thread_view, feedback, x)
+
+    for width in doubling_widths(x, m):
+        pair_view = work.reshape(num_chunks * (m // (2 * width)), 2 * width)
+        merge_level(pair_view, table, width)
+    return work

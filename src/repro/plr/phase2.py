@@ -1,0 +1,139 @@
+"""Phase 2: pipelined chunk correction with variable look-back (§2.2).
+
+After Phase 1, every chunk is locally correct and has published its
+*local carries* (its last k values).  Phase 2 turns local into *global*
+correctness:
+
+* the global carries of chunk c are its local carries corrected by the
+  global carries of chunk c-1 through the k-by-k carry-transition
+  matrix M (``G_c = L_c + M @ G_{c-1}``, O(k^2) per chunk);
+* every element of chunk c is then corrected with
+  ``sum_j factors[j][i] * G_{c-1}[j]``.
+
+On the GPU this runs decoupled: a chunk takes the *most recent
+available* global carries (distance c <= 32 back) plus all intervening
+local carries and hops forward through M — Merrill & Garland's variable
+look-back, which this module implements in :func:`lookback_combine`.
+The numpy solver uses the sequential form (identical semantics: the
+look-back recursion is exactly the same affine map, associated the same
+way); the event-ordered GPU simulator exercises the decoupled protocol
+itself, including out-of-order chunk completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.nnacci import carry_transition_matrix
+from repro.plr.factors import CorrectionFactorTable
+
+__all__ = [
+    "transition_matrix",
+    "local_carries",
+    "propagate_carries",
+    "lookback_combine",
+    "apply_global_correction",
+    "phase2",
+]
+
+
+def transition_matrix(table: CorrectionFactorTable) -> np.ndarray:
+    """The k-by-k matrix M with ``G_c = L_c + M @ G_{c-1}``.
+
+    Row r corresponds to the carry at offset m-1-r (most recent first).
+    Read straight out of the factor table: M[r, j] = factors[j, m-1-r].
+    Matches :func:`repro.core.nnacci.carry_transition_matrix`, which
+    recomputes it from first principles and serves as the test oracle.
+    """
+    k = table.order
+    m = table.chunk_size
+    matrix = np.empty((k, k), dtype=table.dtype)
+    for r in range(k):
+        matrix[r, :] = table.factors[:, m - 1 - r]
+    return matrix
+
+
+def local_carries(partial: np.ndarray, order: int) -> np.ndarray:
+    """Extract the (num_chunks, k) local carries, most recent first.
+
+    Column j of the result is the chunk value at offset m-1-j, i.e. the
+    carry w[m-1-j] that factor row j multiplies.
+    """
+    m = partial.shape[1]
+    if m < order:
+        raise ValueError(f"chunk size {m} smaller than order {order}")
+    # partial[:, m-1], partial[:, m-2], ..., partial[:, m-k]
+    return partial[:, m - order : m][:, ::-1]
+
+
+def propagate_carries(locals_: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Sequentially compute global carries for every chunk.
+
+    ``G_0 = L_0`` (nothing precedes the first chunk) and
+    ``G_c = L_c + M @ G_{c-1}``.  This is the serial spine of Phase 2 —
+    O(num_chunks * k^2) work, tiny next to the O(n k) element
+    correction.
+    """
+    num_chunks, k = locals_.shape
+    out = np.empty_like(locals_)
+    if num_chunks == 0:
+        return out
+    out[0] = locals_[0]
+    for c in range(1, num_chunks):
+        out[c] = locals_[c] + matrix @ out[c - 1]
+    return out
+
+
+def lookback_combine(
+    base_global: np.ndarray,
+    intervening_locals: np.ndarray,
+    matrix: np.ndarray,
+) -> np.ndarray:
+    """Hop global carries forward over intervening chunks (§2.3).
+
+    Given the global carries of some chunk c-d and the local carries of
+    chunks c-d+1, ..., c (in order), returns the global carries of
+    chunk c by applying ``G <- L + M @ G`` once per hop — the O(c k^2)
+    carry precomputation that lets Phase 2 start on a chunk before its
+    immediate predecessor has finished.
+    """
+    carries = np.array(base_global, copy=True)
+    for loc in intervening_locals:
+        carries = loc + matrix @ carries
+    return carries
+
+
+def apply_global_correction(
+    partial: np.ndarray,
+    global_carries: np.ndarray,
+    table: CorrectionFactorTable,
+) -> np.ndarray:
+    """Correct every chunk with its predecessor's global carries.
+
+    ``partial`` is the (num_chunks, m) Phase 1 output; chunk 0 is
+    already globally correct.  Vectorized across chunks: for carry j,
+    chunk c (c >= 1) gains ``factors[j] * G_{c-1}[j]``.
+    """
+    out = partial.copy()
+    if out.shape[0] <= 1:
+        return out
+    k = table.order
+    factors = table.factors
+    prev = global_carries[:-1]  # carries feeding chunks 1..end
+    for j in range(k):
+        out[1:] += factors[j][None, :] * prev[:, j][:, None]
+    return out
+
+
+def phase2(partial: np.ndarray, table: CorrectionFactorTable) -> np.ndarray:
+    """Run Phase 2 over the Phase 1 partial result; returns (chunks, m).
+
+    The sequential-spine formulation: extract local carries, propagate
+    them through M, then apply the element-wise correction.  Exactly
+    the arithmetic the pipelined GPU version performs, in a
+    deterministic order.
+    """
+    matrix = transition_matrix(table)
+    locals_ = local_carries(partial, table.order)
+    global_ = propagate_carries(locals_, matrix)
+    return apply_global_correction(partial, global_, table)

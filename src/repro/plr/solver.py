@@ -1,0 +1,174 @@
+"""The end-to-end PLR solver: plan, map stage, Phase 1, Phase 2.
+
+:class:`PLRSolver` is the executable embodiment of the paper's
+algorithm on a numpy substrate.  It computes *exactly* what the
+generated CUDA code computes — same chunking, same correction factors,
+same arithmetic order — so it serves both as the production API for
+computing recurrences in parallel form and as the reference for
+validating the code generators and the GPU simulator against.
+
+Typical use::
+
+    from repro import Recurrence, PLRSolver
+
+    rec = Recurrence.parse("(0.2: 0.8)")   # 1-stage low-pass filter
+    solver = PLRSolver(rec)
+    y = solver.solve(x)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype
+from repro.core.signature import Signature
+from repro.gpusim.spec import MachineSpec
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.optimizer import FactorPlan, OptimizationConfig, optimize_factors
+from repro.plr.phase1 import phase1
+from repro.plr.phase2 import phase2
+from repro.plr.planner import ExecutionPlan, plan_execution
+
+__all__ = ["PLRSolver", "SolveArtifacts", "plr_solve"]
+
+
+@dataclass(frozen=True)
+class SolveArtifacts:
+    """Intermediate state of one solve, exposed for tests and tooling.
+
+    Attributes
+    ----------
+    plan:
+        The m/x/T execution plan used.
+    table:
+        The correction-factor table.
+    factor_plan:
+        The optimizer's realization decisions.
+    partial:
+        The Phase 1 output (locally correct chunks), shape
+        (num_chunks, m).
+    """
+
+    plan: ExecutionPlan
+    table: CorrectionFactorTable
+    factor_plan: FactorPlan
+    partial: np.ndarray
+
+
+# Factor tables are pure functions of (signature, m, dtype); building
+# one for m = 11264 costs ~m python-level steps per carry, so memoize.
+@lru_cache(maxsize=64)
+def _cached_table(
+    signature: Signature, chunk_size: int, dtype_str: str
+) -> CorrectionFactorTable:
+    return CorrectionFactorTable.build(signature, chunk_size, np.dtype(dtype_str))
+
+
+class PLRSolver:
+    """Computes a linear recurrence with the paper's two-phase algorithm.
+
+    Parameters
+    ----------
+    recurrence:
+        The recurrence to compute (a :class:`Recurrence` or a signature
+        string).
+    machine:
+        The GPU whose planning heuristics to follow; defaults to the
+        paper's Titan X.
+    optimization:
+        Which Section 3.1 optimizations to apply.  The numpy execution
+        only *semantically depends* on one of them (decay truncation
+        shortens the correction loops); the rest shape the generated
+        code and the cost model.  Defaults to all-on, like PLR.
+    """
+
+    def __init__(
+        self,
+        recurrence: Recurrence | Signature | str,
+        machine: MachineSpec | None = None,
+        optimization: OptimizationConfig | None = None,
+    ) -> None:
+        if isinstance(recurrence, str):
+            recurrence = Recurrence.parse(recurrence)
+        elif isinstance(recurrence, Signature):
+            recurrence = Recurrence(recurrence)
+        self.recurrence = recurrence
+        self.machine = machine or MachineSpec.titan_x()
+        self.optimization = optimization or OptimizationConfig()
+
+    # ------------------------------------------------------------------
+    def plan_for(self, n: int) -> ExecutionPlan:
+        """The execution plan PLR would choose for an input of length n."""
+        return plan_execution(self.recurrence.signature, n, self.machine)
+
+    def factor_table(self, plan: ExecutionPlan, dtype: np.dtype) -> CorrectionFactorTable:
+        return _cached_table(
+            self.recurrence.recursive_signature, plan.chunk_size, np.dtype(dtype).str
+        )
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        values: np.ndarray,
+        plan: ExecutionPlan | None = None,
+        dtype: np.dtype | None = None,
+    ) -> np.ndarray:
+        """Compute the recurrence over ``values``.
+
+        Returns an array of the same length; dtype follows the paper's
+        methodology (int32 for integer signatures on integer data,
+        float32 otherwise) unless overridden.
+        """
+        return self.solve_with_artifacts(values, plan=plan, dtype=dtype)[0]
+
+    def solve_with_artifacts(
+        self,
+        values: np.ndarray,
+        plan: ExecutionPlan | None = None,
+        dtype: np.dtype | None = None,
+    ) -> tuple[np.ndarray, SolveArtifacts]:
+        """Like :meth:`solve` but also returns the intermediate state."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1D sequence, got shape {values.shape}")
+        n = values.size
+        if plan is None:
+            plan = self.plan_for(n)
+        if dtype is None:
+            dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        dtype = np.dtype(dtype)
+
+        work = values.astype(dtype, copy=False)
+        # Map stage (2): eliminate the feed-forward coefficients.
+        if self.recurrence.has_map_stage:
+            work = self.recurrence.apply_map_stage(work)
+
+        # Zero-pad to a whole number of chunks.  Trailing zeros never
+        # influence earlier outputs, so the unpadded prefix is exact.
+        padded_n = plan.padded_n
+        if padded_n != n:
+            padded = np.zeros(padded_n, dtype=dtype)
+            padded[:n] = work
+        else:
+            padded = work
+
+        table = self.factor_table(plan, dtype)
+        factor_plan = optimize_factors(table, self.optimization)
+
+        partial = phase1(padded, table, plan.values_per_thread)
+        corrected = phase2(partial, table)
+
+        out = corrected.reshape(-1)[:n]
+        artifacts = SolveArtifacts(
+            plan=plan, table=table, factor_plan=factor_plan, partial=partial
+        )
+        return out, artifacts
+
+
+def plr_solve(signature: str | Signature, values: np.ndarray) -> np.ndarray:
+    """One-shot convenience: ``plr_solve("(1: 1)", x)`` -> prefix sum."""
+    return PLRSolver(Recurrence(Signature.parse(signature)) if isinstance(signature, str) else Recurrence(signature)).solve(values)

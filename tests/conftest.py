@@ -1,0 +1,41 @@
+"""Shared fixtures: RNG, machines, and the Table 1 recurrence matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import table1_signatures
+from repro.core.recurrence import Recurrence
+from repro.gpusim.spec import MachineSpec
+
+TABLE1_NAMES = tuple(table1_signatures().keys())
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20180324)  # the conference date
+
+
+@pytest.fixture(scope="session")
+def titan_x() -> MachineSpec:
+    return MachineSpec.titan_x()
+
+
+@pytest.fixture(scope="session")
+def test_gpu() -> MachineSpec:
+    return MachineSpec.small_test_gpu()
+
+
+@pytest.fixture(params=TABLE1_NAMES)
+def table1_recurrence(request) -> Recurrence:
+    """Parametrizes a test over all eleven Table 1 recurrences."""
+    return Recurrence(table1_signatures()[request.param])
+
+
+def make_values(recurrence: Recurrence, n: int, seed: int = 7) -> np.ndarray:
+    """Random input of the dtype the paper uses for this recurrence."""
+    generator = np.random.default_rng(seed)
+    if recurrence.is_integer:
+        return generator.integers(-100, 100, size=n).astype(np.int32)
+    return generator.standard_normal(n).astype(np.float32)

@@ -1,0 +1,144 @@
+/* A CUDA-runtime shim for host-compiler validation of generated code.
+ *
+ * There is no nvcc in this environment, but the emitted CUDA should
+ * still be *compilable* — syntax errors, type errors, undeclared
+ * identifiers, and malformed templates must not hide behind "we can't
+ * run it anyway".  This header stubs the CUDA keywords, builtins, and
+ * runtime entry points with just enough semantics that a host C++
+ * compiler can type-check a PLR translation unit end to end
+ * (g++ -fsyntax-only -include cuda_shim_prelude.h).
+ *
+ * Nothing here executes meaningfully; it exists purely so the
+ * compiler front end can do its job.
+ */
+#ifndef PLR_TEST_CUDA_RUNTIME_SHIM_H
+#define PLR_TEST_CUDA_RUNTIME_SHIM_H
+
+#include <cstddef>
+#include <cstdlib>
+
+/* ---- CUDA keywords become no-ops for the host compiler ---- */
+#define __global__
+#define __device__
+#define __host__
+#define __forceinline__ inline
+#define __shared__ static
+#define __restrict__
+#define __constant__
+
+/* ---- kernel launch syntax: foo<<<g, b>>>(args) cannot be parsed by
+ * a host compiler, so the validation harness rewrites `<<<...>>>` to a
+ * plain call marker before compiling (see tests/test_cuda_compiles.py).
+ */
+
+/* ---- built-in thread coordinates ---- */
+struct plr_shim_dim3 {
+    unsigned int x, y, z;
+};
+static plr_shim_dim3 threadIdx = {0u, 0u, 0u};
+static plr_shim_dim3 blockIdx = {0u, 0u, 0u};
+static plr_shim_dim3 blockDim = {1u, 1u, 1u};
+static plr_shim_dim3 gridDim = {1u, 1u, 1u};
+
+/* ---- synchronization and fences ---- */
+static inline void __syncthreads() {}
+static inline void __syncwarp(unsigned mask = 0xffffffffu) { (void)mask; }
+static inline void __threadfence() {}
+
+/* ---- warp primitives ---- */
+template <typename T>
+static inline T __shfl_sync(unsigned mask, T var, int src, int width = 32) {
+    (void)mask;
+    (void)src;
+    (void)width;
+    return var;
+}
+static inline unsigned __ballot_sync(unsigned mask, int predicate) {
+    (void)mask;
+    return predicate ? 1u : 0u;
+}
+static inline int __ffs(unsigned v) {
+    for (int i = 0; i < 32; i++)
+        if (v & (1u << i)) return i + 1;
+    return 0;
+}
+
+/* ---- atomics ---- */
+static inline unsigned atomicAdd(unsigned *address, unsigned val) {
+    unsigned old = *address;
+    *address += val;
+    return old;
+}
+static inline int atomicAdd(int *address, int val) {
+    int old = *address;
+    *address += val;
+    return old;
+}
+static inline int atomicExch(int *address, int val) {
+    int old = *address;
+    *address = val;
+    return old;
+}
+
+/* ---- runtime API ---- */
+typedef int cudaError_t;
+enum { cudaSuccess = 0 };
+enum cudaMemcpyKind {
+    cudaMemcpyHostToDevice,
+    cudaMemcpyDeviceToHost,
+    cudaMemcpyDeviceToDevice
+};
+typedef struct plr_shim_event *cudaEvent_t;
+
+template <typename T>
+static inline cudaError_t cudaMalloc(T **ptr, size_t bytes) {
+    *ptr = static_cast<T *>(std::malloc(bytes));
+    return cudaSuccess;
+}
+static inline cudaError_t cudaFree(void *ptr) {
+    std::free(ptr);
+    return cudaSuccess;
+}
+static inline cudaError_t cudaMemcpy(void *dst, const void *src, size_t bytes,
+                                     cudaMemcpyKind kind) {
+    (void)dst;
+    (void)src;
+    (void)bytes;
+    (void)kind;
+    return cudaSuccess;
+}
+static inline cudaError_t cudaMemset(void *ptr, int value, size_t bytes) {
+    (void)ptr;
+    (void)value;
+    (void)bytes;
+    return cudaSuccess;
+}
+template <typename T>
+static inline cudaError_t cudaMemcpyToSymbol(T &symbol, const void *src,
+                                             size_t bytes) {
+    (void)symbol;
+    (void)src;
+    (void)bytes;
+    return cudaSuccess;
+}
+static inline cudaError_t cudaEventCreate(cudaEvent_t *event) {
+    *event = nullptr;
+    return cudaSuccess;
+}
+static inline cudaError_t cudaEventRecord(cudaEvent_t event) {
+    (void)event;
+    return cudaSuccess;
+}
+static inline cudaError_t cudaEventSynchronize(cudaEvent_t event) {
+    (void)event;
+    return cudaSuccess;
+}
+static inline cudaError_t cudaEventElapsedTime(float *ms, cudaEvent_t a,
+                                               cudaEvent_t b) {
+    (void)a;
+    (void)b;
+    *ms = 0.0f;
+    return cudaSuccess;
+}
+
+#endif /* PLR_TEST_CUDA_RUNTIME_SHIM_H */

@@ -1,0 +1,168 @@
+"""Structural properties of the traffic/memory models.
+
+These tests pin the *mechanisms* each model encodes — the terms the
+paper's analysis names — independent of the calibrated constants, so a
+recalibration cannot silently change what an algorithm is modeled to
+do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Workload, make_code
+from repro.baselines.base import WORD_BYTES
+from repro.baselines.plr_code import PLRCode
+from repro.core.recurrence import Recurrence
+from repro.core.signature import Signature
+from repro.gpusim.spec import MachineSpec
+from repro.plr.optimizer import OptimizationConfig
+
+TITAN = MachineSpec.titan_x()
+N = 2**24
+
+
+def traffic(code_name, text, n=N):
+    code = make_code(code_name)
+    return code.traffic(Workload(Recurrence.parse(text), n), TITAN)
+
+
+class TestDataMovement:
+    def test_single_pass_codes_move_2n(self):
+        """PLR, CUB, SAM: 2n data movement (read once, write once)."""
+        for code in ("PLR", "CUB", "SAM"):
+            t = traffic(code, "(1: 1)")
+            assert t.hbm_read_bytes == pytest.approx(N * WORD_BYTES, rel=0.01), code
+            assert t.hbm_write_bytes == pytest.approx(N * WORD_BYTES, rel=0.01), code
+
+    def test_cub_passes_scale_with_order(self):
+        """'CUB repeats the entire code': r x the movement."""
+        t1 = traffic("CUB", "(1: 1)")
+        t3 = traffic("CUB", "(1: 3, -3, 1)")
+        assert t3.hbm_read_bytes == pytest.approx(3 * t1.hbm_read_bytes)
+
+    def test_sam_single_pass_regardless_of_order(self):
+        """'SAM only repeats the computation but not the reading'."""
+        t1 = traffic("SAM", "(1: 1)")
+        t3 = traffic("SAM", "(1: 3, -3, 1)")
+        assert t3.hbm_read_bytes == t1.hbm_read_bytes
+        assert t3.aux_ops > t1.aux_ops
+
+    def test_scan_moves_k2_plus_k(self):
+        """Scan's encoded elements are k^2 + k words."""
+        t1 = traffic("Scan", "(1: 1)")
+        t2 = traffic("Scan", "(1: 0, 1)")
+        t3 = traffic("Scan", "(1: 0, 0, 1)")
+        assert t2.hbm_read_bytes == pytest.approx(3 * t1.hbm_read_bytes)
+        assert t3.hbm_read_bytes == pytest.approx(6 * t1.hbm_read_bytes)
+
+    def test_alg3_reads_input_twice_per_direction(self):
+        t = traffic("Alg3", "(0.2: 0.8)")
+        # two directions x (pass 1 + recompute pass) = 4 reads.
+        assert t.hbm_read_bytes == pytest.approx(4 * N * WORD_BYTES, rel=0.01)
+
+    def test_rec_reread_branches_on_l2(self):
+        small = traffic("Rec", "(0.2: 0.8)", n=2**18)  # 1 MB: fits L2
+        large = traffic("Rec", "(0.2: 0.8)", n=2**22)  # 16 MB: misses
+        assert small.hbm_read_bytes == pytest.approx(2**18 * WORD_BYTES, rel=0.05)
+        assert large.hbm_read_bytes == pytest.approx(2 * 2**22 * WORD_BYTES, rel=0.05)
+
+    def test_memcpy_moves_exactly_2n(self):
+        t = traffic("memcpy", "(1: 1)")
+        assert t.hbm_read_bytes + t.hbm_write_bytes == 2 * N * WORD_BYTES
+
+
+class TestPLRModelStructure:
+    def test_counts_scale_with_order(self):
+        code = PLRCode()
+        c1 = code.correction_counts(Workload(Recurrence.parse("(1: 1)"), N), TITAN)
+        c2 = code.correction_counts(
+            Workload(Recurrence.parse("(1: 2, -1)"), N), TITAN
+        )
+        assert c2.total > 1.8 * c1.total  # two carries per correction site
+
+    def test_prefix_sum_needs_no_loads(self):
+        counts = PLRCode().correction_counts(
+            Workload(Recurrence.parse("(1: 1)"), N), TITAN
+        )
+        assert counts.constant == counts.total
+        assert counts.shared_loads == 0
+        assert counts.l2_loads == 0
+
+    def test_tuple_is_predicated_without_loads(self):
+        counts = PLRCode().correction_counts(
+            Workload(Recurrence.parse("(1: 0, 1)"), N), TITAN
+        )
+        assert counts.predicated == counts.total
+        assert counts.l2_loads == 0
+
+    def test_filter_truncation_shrinks_counts(self):
+        on = PLRCode().correction_counts(
+            Workload(Recurrence.parse("(0.2: 0.8)"), N), TITAN
+        )
+        off = PLRCode(OptimizationConfig.disabled()).correction_counts(
+            Workload(Recurrence.parse("(0.2: 0.8)"), N), TITAN
+        )
+        assert on.total < 0.7 * off.total
+
+    def test_denormal_tail_only_when_flushing_disabled(self):
+        on = PLRCode().correction_counts(
+            Workload(Recurrence.parse("(0.2: 0.8)"), N), TITAN
+        )
+        off = PLRCode(OptimizationConfig.disabled()).correction_counts(
+            Workload(Recurrence.parse("(0.2: 0.8)"), N), TITAN
+        )
+        assert on.denormal == 0
+        assert off.denormal > 0
+
+    def test_integer_recurrences_never_denormal(self):
+        off = PLRCode(OptimizationConfig.disabled()).correction_counts(
+            Workload(Recurrence.parse("(1: 2, -1)"), N), TITAN
+        )
+        assert off.denormal == 0
+
+    def test_occupancy_penalty_for_64_register_plans(self):
+        simple = traffic("PLR", "(1: 0, 1)")  # 32 regs
+        complex_ = traffic("PLR", "(1: 2, -1)")  # 64 regs
+        # Same correction count per element (k = 2 both), but the
+        # complex-integer plan's ops are inflated by halved occupancy.
+        assert complex_.aux_ops > 1.5 * simple.aux_ops
+
+    def test_small_grid_bandwidth_floor(self):
+        t = traffic("PLR", "(1: 1)", n=2**14)
+        assert t.min_time_s > 0
+
+    def test_high_pass_overfetch(self):
+        lp = traffic("PLR", "(1.0: 0.8)")
+        hp = traffic("PLR", "(0.9, -0.9: 0.8)")
+        assert hp.hbm_read_bytes > lp.hbm_read_bytes
+
+
+class TestMemoryModelStructure:
+    def test_plr_memory_scales_with_stored_factors(self):
+        code = make_code("PLR")
+        prefix = code.memory_usage_bytes(
+            Workload(Recurrence.parse("(1: 1)"), N), TITAN
+        )
+        order3 = code.memory_usage_bytes(
+            Workload(Recurrence.parse("(1: 3, -3, 1)"), N), TITAN
+        )
+        assert order3 > prefix  # three full factor arrays vs none
+
+    def test_scan_memory_dominates_everything(self):
+        scan = make_code("Scan").memory_usage_bytes(
+            Workload(Recurrence.parse("(1: 0, 0, 1)"), N), TITAN
+        )
+        plr = make_code("PLR").memory_usage_bytes(
+            Workload(Recurrence.parse("(1: 0, 0, 1)"), N), TITAN
+        )
+        assert scan > 5 * plr
+
+    def test_l2_misses_never_below_cold(self):
+        for code_name in ("PLR", "CUB", "SAM", "Scan", "Alg3", "Rec"):
+            code = make_code(code_name)
+            rec = Recurrence.parse(
+                "(0.2: 0.8)" if code_name in ("Alg3", "Rec") else "(1: 1)"
+            )
+            misses = code.l2_read_miss_bytes(Workload(rec, N), TITAN)
+            cold = N * WORD_BYTES if code_name != "Scan" else 2 * N * WORD_BYTES
+            assert misses >= cold, code_name

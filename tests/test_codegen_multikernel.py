@@ -1,0 +1,72 @@
+"""The multi-kernel CUDA program (the paper's code section 8)."""
+
+import pytest
+
+from repro.codegen.compiler import PLRCompiler
+from repro.codegen.cuda import emit_cuda_program
+from repro.codegen.ir import build_ir
+from repro.core.recurrence import Recurrence
+
+
+@pytest.fixture(scope="module")
+def program() -> str:
+    return PLRCompiler().compile_program("(1: 2, -1)", n=1 << 24).source
+
+
+class TestStructure:
+    def test_balanced(self, program):
+        assert program.count("{") == program.count("}")
+        assert program.count("(") == program.count(")")
+
+    def test_default_integer_variants(self, program):
+        # Powers of two below the cap, plus the cap x = 11.
+        for x in (1, 2, 4, 8, 11):
+            assert f"plr_kernel_x{x}" in program
+
+    def test_float_cap_is_nine(self):
+        source = PLRCompiler().compile_program("(0.2: 0.8)", n=1 << 24).source
+        assert "plr_kernel_x9" in source
+        assert "plr_kernel_x11" not in source
+
+    def test_selection_rule_embedded(self, program):
+        # smallest x with x * 1024 * T > n, T = 24 for 64-reg plans.
+        assert "plr_select_x" in program
+        assert "* 1024 * 24 > n" in program
+
+    def test_single_factor_store(self, program):
+        # "the longest list contains all needed shorter lists": one
+        # array per carry, sized for the largest chunk (x = 11).
+        assert program.count("__device__ const int plr_factors_0[11264]") == 1
+        assert "plr_factors_0[1024]" not in program
+
+    def test_per_kernel_constant_rebinding(self, program):
+        assert program.count("#undef PLR_X") == 5
+        assert "#define PLR_X 11" in program
+        assert "#define PLR_M 11264" in program
+
+    def test_host_launch_dispatch(self, program):
+        assert "plr_launch(x, n, chunks" in program
+        for x in (1, 2, 4, 8, 11):
+            assert f"if (x == {x}) plr_kernel_x{x}" in program
+
+
+class TestValidation:
+    def test_custom_x_list(self):
+        source = PLRCompiler().compile_program("(1: 1)", xs=(2, 5)).source
+        assert "plr_kernel_x2" in source
+        assert "plr_kernel_x5" in source
+        assert "plr_kernel_x1" not in source
+
+    def test_mismatched_recurrences_rejected(self):
+        a = build_ir(Recurrence.parse("(1: 1)"), 1 << 16)
+        b = build_ir(Recurrence.parse("(1: 2, -1)"), 1 << 16)
+        with pytest.raises(ValueError):
+            emit_cuda_program([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            emit_cuda_program([])
+
+    def test_not_executable(self):
+        result = PLRCompiler().compile_program("(1: 1)")
+        assert not result.is_executable

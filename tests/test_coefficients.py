@@ -1,0 +1,144 @@
+"""Filter design: Table 1's coefficients from Smith's formulas."""
+
+import math
+
+import pytest
+
+from repro.core.coefficients import (
+    high_pass,
+    low_pass,
+    pole_for_cutoff,
+    pole_for_time_constant,
+    single_pole_high_pass,
+    single_pole_low_pass,
+    table1_signatures,
+)
+from repro.core.errors import SignatureError
+
+
+def _close(got, expected, tol=1e-9):
+    assert len(got) == len(expected)
+    for g, e in zip(got, expected):
+        assert math.isclose(float(g), e, abs_tol=tol), (got, expected)
+
+
+class TestTable1LowPass:
+    def test_one_stage(self):
+        sig = low_pass(1)
+        _close(sig.feedforward, [0.2])
+        _close(sig.feedback, [0.8])
+
+    def test_two_stage(self):
+        sig = low_pass(2)
+        _close(sig.feedforward, [0.04])
+        _close(sig.feedback, [1.6, -0.64])
+
+    def test_three_stage(self):
+        sig = low_pass(3)
+        _close(sig.feedforward, [0.008])
+        _close(sig.feedback, [2.4, -1.92, 0.512])
+
+
+class TestTable1HighPass:
+    def test_one_stage(self):
+        sig = high_pass(1)
+        _close(sig.feedforward, [0.9, -0.9])
+        _close(sig.feedback, [0.8])
+
+    def test_two_stage(self):
+        sig = high_pass(2)
+        _close(sig.feedforward, [0.81, -1.62, 0.81])
+        _close(sig.feedback, [1.6, -0.64])
+
+    def test_three_stage(self):
+        # The paper prints these truncated to two decimals
+        # ("(0.73, -2.19, 2.19, -0.73: 2.4, -1.9, 0.5)").
+        sig = high_pass(3)
+        _close(sig.feedforward, [0.729, -2.187, 2.187, -0.729])
+        _close(sig.feedback, [2.4, -1.92, 0.512])
+
+
+class TestSinglePole:
+    def test_low_pass_structure(self):
+        sig = single_pole_low_pass(0.5)
+        _close(sig.feedforward, [0.5])
+        _close(sig.feedback, [0.5])
+
+    def test_high_pass_structure(self):
+        sig = single_pole_high_pass(0.5)
+        _close(sig.feedforward, [0.75, -0.75])
+        _close(sig.feedback, [0.5])
+
+    def test_low_pass_unity_dc_gain(self):
+        # At DC (z = 1): H(1) = a0 / (1 - b1) = (1-x)/(1-x) = 1.
+        for x in (0.1, 0.5, 0.9, 0.99):
+            sig = single_pole_low_pass(x)
+            gain = float(sig.feedforward[0]) / (1.0 - float(sig.feedback[0]))
+            assert math.isclose(gain, 1.0, rel_tol=1e-12)
+
+    def test_high_pass_zero_dc_gain(self):
+        for x in (0.1, 0.5, 0.9):
+            sig = single_pole_high_pass(x)
+            gain = sum(float(a) for a in sig.feedforward) / (
+                1.0 - float(sig.feedback[0])
+            )
+            assert abs(gain) < 1e-12
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_pole_out_of_range(self, bad):
+        with pytest.raises(SignatureError):
+            single_pole_low_pass(bad)
+        with pytest.raises(SignatureError):
+            single_pole_high_pass(bad)
+
+
+class TestPoleHelpers:
+    def test_time_constant(self):
+        x = pole_for_time_constant(10.0)
+        assert math.isclose(x**10, math.exp(-1.0), rel_tol=1e-12)
+
+    def test_time_constant_rejects_nonpositive(self):
+        with pytest.raises(SignatureError):
+            pole_for_time_constant(0.0)
+
+    def test_cutoff(self):
+        x = pole_for_cutoff(0.25)
+        assert math.isclose(x, math.exp(-math.pi / 2), rel_tol=1e-12)
+
+    @pytest.mark.parametrize("bad", [0.0, 0.5, 0.7, -0.1])
+    def test_cutoff_rejects_out_of_band(self, bad):
+        with pytest.raises(SignatureError):
+            pole_for_cutoff(bad)
+
+
+class TestStageCounts:
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4, 5])
+    def test_low_pass_order_equals_stages(self, stages):
+        assert low_pass(stages).order == stages
+
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_high_pass_fir_order_equals_stages(self, stages):
+        sig = high_pass(stages)
+        assert sig.order == stages
+        assert sig.fir_order == stages
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(SignatureError):
+            low_pass(0)
+
+
+def test_table1_has_all_eleven():
+    sigs = table1_signatures()
+    assert len(sigs) == 11
+    orders = [s.order for s in sigs.values()]
+    assert orders == [1, 2, 3, 2, 3, 1, 2, 3, 1, 2, 3]
+
+
+def test_low_and_high_pass_share_feedback():
+    # Table 1: the n-stage low- and high-pass filters have identical
+    # recursion coefficients (same poles, different zeros).
+    for stages in (1, 2, 3):
+        lp = low_pass(stages).feedback
+        hp = high_pass(stages).feedback
+        for a, b in zip(lp, hp):
+            assert math.isclose(float(a), float(b), rel_tol=1e-12)

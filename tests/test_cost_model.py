@@ -1,0 +1,86 @@
+"""The analytical cost model: units, composition, and anchors."""
+
+import pytest
+
+from repro.gpusim.cost import CostModel, Traffic
+from repro.gpusim.spec import MachineSpec
+
+
+@pytest.fixture(scope="module")
+def model() -> CostModel:
+    return CostModel.titan_x()
+
+
+class TestTraffic:
+    def test_addition(self):
+        a = Traffic(hbm_read_bytes=10, fma_ops=5, kernel_launches=1)
+        b = Traffic(hbm_write_bytes=20, aux_ops=3, kernel_launches=2)
+        c = a + b
+        assert c.hbm_read_bytes == 10
+        assert c.hbm_write_bytes == 20
+        assert c.fma_ops == 5
+        assert c.aux_ops == 3
+        assert c.kernel_launches == 3
+
+    def test_scaling(self):
+        t = Traffic(hbm_read_bytes=10, serial_hops=4, kernel_launches=2)
+        s = t.scaled(3)
+        assert s.hbm_read_bytes == 30
+        assert s.serial_hops == 12
+        assert s.kernel_launches == 2  # launches are not volume
+
+    def test_min_time_floor(self, model):
+        t = Traffic(hbm_read_bytes=8, min_time_s=1.0)
+        assert model.time(t) == 1.0
+
+    def test_min_time_merges_as_max(self):
+        a = Traffic(min_time_s=0.5)
+        b = Traffic(min_time_s=2.0)
+        assert (a + b).min_time_s == 2.0
+
+
+class TestCostModel:
+    def test_memcpy_anchor(self, model):
+        """The memcpy plateau must land near the paper's ~35 G words/s."""
+        n = 2**26
+        traffic = Traffic(
+            hbm_read_bytes=4.0 * n, hbm_write_bytes=4.0 * n, kernel_launches=1
+        )
+        throughput = model.throughput(n, traffic)
+        assert 33e9 < throughput < 37e9
+
+    def test_memory_vs_compute_bound(self, model):
+        memory_heavy = Traffic(hbm_read_bytes=1e9)
+        compute_heavy = Traffic(aux_ops=1e12)
+        assert model.bound_kind(memory_heavy) == "memory"
+        assert model.bound_kind(compute_heavy) == "compute"
+
+    def test_launch_latency_dominates_tiny_inputs(self, model):
+        tiny = Traffic(hbm_read_bytes=64, kernel_launches=1)
+        assert model.time(tiny) >= model.machine.kernel_launch_latency_s
+
+    def test_serial_hops_add_latency(self, model):
+        base = Traffic(hbm_read_bytes=1e6)
+        chained = Traffic(hbm_read_bytes=1e6, serial_hops=100)
+        assert model.time(chained) == pytest.approx(
+            model.time(base) + 100 * model.hop_latency_s
+        )
+
+    def test_l2_cheaper_than_hbm(self, model):
+        via_hbm = Traffic(hbm_read_bytes=1e9)
+        via_l2 = Traffic(l2_read_bytes=1e9)
+        assert model.memory_time(via_l2) < model.memory_time(via_hbm)
+
+    def test_throughput_monotone_in_traffic(self, model):
+        n = 1 << 20
+        light = Traffic(hbm_read_bytes=4.0 * n, hbm_write_bytes=4.0 * n)
+        heavy = light + Traffic(hbm_read_bytes=8.0 * n)
+        assert model.throughput(n, light) > model.throughput(n, heavy)
+
+    def test_effective_bandwidth_below_peak(self, model):
+        assert model.effective_bandwidth < model.machine.peak_bandwidth_bytes
+
+    def test_custom_machine(self):
+        model = CostModel(MachineSpec.small_test_gpu())
+        t = Traffic(hbm_read_bytes=1e6)
+        assert model.time(t) > 0

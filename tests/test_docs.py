@@ -1,0 +1,112 @@
+"""Documentation consistency: the docs must not drift from the code."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def readme() -> str:
+    return (ROOT / "README.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def cli_commands() -> set:
+    parser = build_parser()
+    subparsers = next(
+        a for a in parser._actions if a.__class__.__name__ == "_SubParsersAction"
+    )
+    return set(subparsers.choices)
+
+
+class TestReadme:
+    def test_documented_cli_commands_exist(self, readme, cli_commands):
+        documented = set(re.findall(r"^plr (\w+)", readme, re.MULTILINE))
+        unknown = documented - cli_commands
+        assert not unknown, f"README documents nonexistent commands: {unknown}"
+
+    def test_all_cli_commands_documented(self, readme, cli_commands):
+        for command in cli_commands:
+            assert f"plr {command}" in readme, f"{command} missing from README"
+
+    def test_mentioned_paths_exist(self, readme):
+        for rel in ("DESIGN.md", "EXPERIMENTS.md", "docs/algorithm.md",
+                    "docs/performance_model.md", "examples/"):
+            assert (ROOT / rel.rstrip("/")).exists(), rel
+
+    def test_quickstart_code_runs(self, readme):
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.DOTALL)
+        assert blocks, "README needs a python quickstart"
+        namespace: dict = {}
+        exec(blocks[0], namespace)  # the quickstart must actually work
+
+    def test_doi_cited(self, readme):
+        assert "10.1145/3173162.3173168" in readme
+
+
+class TestDesignAndExperiments:
+    def test_design_lists_every_figure_and_table(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for item in ["Fig 1", "Fig 9", "Fig 10", "Table 2", "Table 3"]:
+            assert item in design, item
+
+    def test_design_module_map_paths_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for module in re.findall(r"^\s{4}(\w+\.py)\s", design, re.MULTILINE):
+            hits = list((ROOT / "src").rglob(module))
+            assert hits, f"DESIGN.md references missing module {module}"
+
+    def test_experiments_covers_all_figures(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for fig in ("Figure 1", "Figures 2–3", "Figures 4–5", "Figures 6–8",
+                    "Figure 9", "Figure 10", "Table 2", "Table 3"):
+            assert fig in experiments, fig
+
+    def test_experiments_regeneration_commands_valid(self, cli_commands):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        for command in re.findall(r"^plr (\w+)", experiments, re.MULTILINE):
+            assert command in cli_commands, command
+
+
+class TestDocsDirectory:
+    def test_algorithm_doc_references_real_tests(self):
+        doc = (ROOT / "docs" / "algorithm.md").read_text()
+        for ref in re.findall(r"`tests/(test_\w+\.py)`", doc):
+            assert (ROOT / "tests" / ref).exists(), ref
+
+    def test_performance_doc_names_real_constants(self):
+        doc = (ROOT / "docs" / "performance_model.md").read_text()
+        from repro.gpusim.cost import CostModel
+
+        model = CostModel.titan_x()
+        assert str(model.bandwidth_efficiency) in doc
+        assert str(model.l2_bandwidth_ratio) in doc
+
+
+class TestExperimentIndex:
+    def test_design_bench_targets_exist(self):
+        """Every bench target in DESIGN.md's experiment index is real."""
+        design = (ROOT / "DESIGN.md").read_text()
+        targets = re.findall(r"(benchmarks/\w+\.py|tests/\w+\.py)", design)
+        assert targets, "DESIGN.md must map experiments to bench targets"
+        for target in targets:
+            assert (ROOT / target).exists(), target
+
+    def test_every_figure_has_a_benchmark_file(self):
+        for stem in (
+            "test_fig01_prefix_sum", "test_fig02_tuple2", "test_fig03_tuple3",
+            "test_fig04_order2", "test_fig05_order3", "test_fig06_lowpass1",
+            "test_fig07_lowpass2", "test_fig08_lowpass3", "test_fig09_highpass",
+            "test_fig10_optimizations", "test_table2_memory", "test_table3_l2",
+        ):
+            assert (ROOT / "benchmarks" / f"{stem}.py").exists(), stem
+
+    def test_license_present(self):
+        text = (ROOT / "LICENSE").read_text()
+        assert "MIT License" in text
+        assert "ASPLOS 2018" in text

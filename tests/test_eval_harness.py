@@ -1,0 +1,153 @@
+"""The experiment runner and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.recurrence import Recurrence
+from repro.eval.figures import FIGURE10_ORDER, figure10_throughputs, figure_definitions
+from repro.eval.harness import (
+    DEFAULT_SIZES,
+    ExperimentDef,
+    Series,
+    run_experiment,
+    validate_code,
+)
+from repro.eval.report import render_figure, render_figure10, render_table
+from repro.eval.tables import representative_recurrence, table2_memory_usage
+from repro.baselines.registry import make_code
+
+
+class TestDefinitions:
+    def test_paper_sweep(self):
+        assert DEFAULT_SIZES[0] == 2**14
+        assert DEFAULT_SIZES[-1] == 2**30
+        assert len(DEFAULT_SIZES) == 17
+
+    def test_all_figures_defined(self):
+        defs = figure_definitions()
+        assert set(defs) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5",
+            "fig6", "fig7", "fig8", "fig9.1", "fig9.2", "fig9.3",
+        }
+
+    def test_integer_figures_use_integer_codes(self):
+        defs = figure_definitions()
+        for fid in ("fig1", "fig2", "fig3", "fig4", "fig5"):
+            assert defs[fid].codes == ("memcpy", "CUB", "SAM", "Scan", "PLR")
+
+    def test_float_figures_use_filter_codes(self):
+        defs = figure_definitions()
+        for fid in ("fig6", "fig7", "fig8"):
+            assert defs[fid].codes == ("memcpy", "Alg3", "Rec", "Scan", "PLR")
+
+    def test_figure10_covers_table1(self):
+        assert len(FIGURE10_ORDER) == 11
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        definition = ExperimentDef(
+            "mini",
+            "miniature",
+            Recurrence.parse("(1: 1)"),
+            ("memcpy", "PLR"),
+            sizes=(2**14, 2**16),
+            validate_at=2000,
+        )
+        return run_experiment(definition)
+
+    def test_series_structure(self, small_result):
+        assert set(small_result.series) == {"memcpy", "PLR"}
+        series = small_result.series["PLR"]
+        assert series.sizes == [2**14, 2**16]
+        assert all(t > 0 for t in series.throughput)
+
+    def test_validation_ran(self, small_result):
+        assert small_result.validated["PLR"] is True
+        assert small_result.validated["memcpy"] is True
+
+    def test_series_at(self, small_result):
+        series = small_result.series["PLR"]
+        assert series.at(2**14) == series.throughput[0]
+        assert series.at(999) is None
+
+    def test_unsupported_marked(self):
+        definition = ExperimentDef(
+            "mini2",
+            "filter on CUB",
+            Recurrence.parse("(0.2: 0.8)"),
+            ("CUB",),
+            sizes=(2**14,),
+            validate_at=0,
+        )
+        result = run_experiment(definition, validate=False)
+        assert result.series["CUB"].supported == [False]
+        assert result.series["CUB"].at(2**14) is None
+        assert result.series["CUB"].largest_supported() is None
+
+    def test_validate_code_catches_breakage(self, monkeypatch):
+        from repro.core.errors import ValidationError
+
+        code = make_code("PLR")
+        monkeypatch.setattr(
+            type(code), "compute", lambda self, values, rec: values * 0
+        )
+        with pytest.raises(ValidationError):
+            validate_code(code, Recurrence.parse("(1: 1)"), 1000)
+
+
+class TestRendering:
+    def test_render_figure(self):
+        definition = ExperimentDef(
+            "fig1",
+            "Prefix-sum throughput",
+            Recurrence.parse("(1: 1)"),
+            ("memcpy", "PLR"),
+            sizes=(2**14,),
+            validate_at=0,
+        )
+        text = render_figure(run_experiment(definition, validate=False))
+        assert "fig1" in text
+        assert "memcpy" in text
+        assert "2^14" in text
+
+    def test_render_figure_marks_unsupported(self):
+        definition = ExperimentDef(
+            "figx",
+            "scan cap",
+            Recurrence.parse("(1: 1)"),
+            ("Scan",),
+            sizes=(2**30,),
+            validate_at=0,
+        )
+        text = render_figure(run_experiment(definition, validate=False))
+        assert "-" in text
+
+    def test_render_figure10(self):
+        text = render_figure10(figure10_throughputs())
+        assert "opts on" in text
+        assert "prefix_sum" in text
+        assert text.count("x") >= 11  # one speedup per recurrence
+
+    def test_render_table(self):
+        text = render_table(table2_memory_usage(), "Table 2")
+        assert "Table 2" in text
+        assert "PLR" in text
+        assert "order  1" in text
+
+
+class TestRepresentativeRecurrences:
+    def test_filter_codes_get_filters(self):
+        for code in ("Alg3", "Rec"):
+            for order in (1, 2, 3):
+                rec = representative_recurrence(code, order)
+                assert not rec.is_integer
+                assert rec.order == order
+
+    def test_scan_codes_get_integer(self):
+        for code in ("PLR", "CUB", "SAM", "Scan"):
+            for order in (1, 2, 3):
+                rec = representative_recurrence(code, order)
+                assert rec.is_integer
+                assert rec.order == order

@@ -1,0 +1,50 @@
+"""The shipped examples must run clean (they are executable docs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    "quickstart.py",
+    "audio_filtering.py",
+    "stream_compaction.py",
+    "inspect_compiler.py",
+    "gpu_simulation.py",
+    "extensions.py",
+]
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should narrate what they did"
+
+
+def test_reproduce_paper_fast_mode():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "reproduce_paper.py"), "--fast"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    out = result.stdout
+    assert "fig1" in out
+    assert "Table 2" in out
+    assert "Table 3" in out
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(SCRIPTS) <= present
+    assert "reproduce_paper.py" in present

@@ -1,0 +1,179 @@
+"""Data export and the calibration audit."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.recurrence import Recurrence
+from repro.eval.calibration import Anchor, calibration_report, render_calibration
+from repro.eval.export import (
+    export_csv,
+    export_everything,
+    export_json,
+    figure_to_rows,
+    table_to_rows,
+)
+from repro.eval.harness import ExperimentDef, run_experiment
+from repro.eval.tables import table2_memory_usage
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def anchors(self):
+        return calibration_report()
+
+    def test_every_anchor_within_tolerance(self, anchors):
+        failing = [a.name for a in anchors if not a.ok]
+        assert not failing, f"calibration drifted: {failing}"
+
+    def test_anchor_coverage(self, anchors):
+        names = " ".join(a.name for a in anchors)
+        for topic in ("memcpy", "Scan", "tuple", "order", "Rec", "high-pass", "fig10"):
+            assert topic in names, topic
+
+    def test_report_renders(self, anchors):
+        text = render_calibration(anchors)
+        assert "paper" in text and "model" in text
+        assert text.count("yes") == len(anchors)
+
+    def test_anchor_error_sign(self):
+        anchor = Anchor("x", paper=1.0, model=1.2, tolerance=0.1)
+        assert not anchor.ok
+        assert anchor.error == pytest.approx(0.2)
+
+
+class TestExportRows:
+    @pytest.fixture(scope="class")
+    def mini_result(self):
+        definition = ExperimentDef(
+            "mini",
+            "mini",
+            Recurrence.parse("(1: 1)"),
+            ("memcpy", "PLR"),
+            sizes=(2**14, 2**16),
+            validate_at=0,
+        )
+        return run_experiment(definition, validate=False)
+
+    def test_figure_rows_shape(self, mini_result):
+        rows = figure_to_rows(mini_result)
+        assert len(rows) == 4  # 2 codes x 2 sizes
+        assert {r["code"] for r in rows} == {"memcpy", "PLR"}
+        assert all(r["words_per_second"] > 0 for r in rows)
+
+    def test_table_rows(self):
+        rows = table_to_rows(table2_memory_usage(), "table2")
+        assert len(rows) == 21
+        assert all(r["megabytes"] > 0 for r in rows)
+
+    def test_csv_roundtrip(self, mini_result, tmp_path):
+        rows = figure_to_rows(mini_result)
+        path = tmp_path / "mini.csv"
+        export_csv(rows, path)
+        with open(path) as handle:
+            back = list(csv.DictReader(handle))
+        assert len(back) == len(rows)
+        assert back[0]["code"] in ("memcpy", "PLR")
+
+    def test_csv_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_csv([], tmp_path / "empty.csv")
+
+    def test_json_writer(self, tmp_path):
+        path = tmp_path / "x.json"
+        export_json({"a": [1, 2]}, path)
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+
+class TestExportEverything:
+    @pytest.fixture(scope="class")
+    def outdir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("export")
+        export_everything(out)
+        return out
+
+    def test_all_figures_written(self, outdir):
+        for fid in ("fig1", "fig5", "fig9_1", "fig10"):
+            assert (outdir / f"{fid}.csv").exists(), fid
+
+    def test_tables_written(self, outdir):
+        assert (outdir / "table2_memory.csv").exists()
+        assert (outdir / "table3_l2.csv").exists()
+
+    def test_manifest_provenance(self, outdir):
+        manifest = json.loads((outdir / "manifest.json").read_text())
+        assert "3173162" in manifest["paper"]
+        assert manifest["machine"]["num_sms"] == 24
+        assert 0 < manifest["cost_model"]["bandwidth_efficiency"] < 1
+        assert "fig10" in manifest["figures"]
+
+    def test_combined_json(self, outdir):
+        rows = json.loads((outdir / "all_figures.json").read_text())
+        figures = {r["figure"] for r in rows}
+        assert {"fig1", "fig6", "fig10"} <= figures
+
+    def test_unsupported_points_are_null(self, outdir):
+        with open(outdir / "fig1.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        scan_at_max = [
+            r for r in rows if r["code"] == "Scan" and r["n_words"] == str(2**30)
+        ]
+        assert scan_at_max and scan_at_max[0]["words_per_second"] == ""
+
+
+class TestSvgRendering:
+    @pytest.fixture(scope="class")
+    def fig_result(self):
+        from repro.eval.figures import figure_definitions
+
+        return run_experiment(figure_definitions()["fig1"], validate=False)
+
+    def test_figure_svg_is_valid_xml(self, fig_result):
+        import xml.dom.minidom
+
+        from repro.eval.svgplot import render_figure_svg
+
+        svg = render_figure_svg(fig_result)
+        doc = xml.dom.minidom.parseString(svg)
+        assert doc.documentElement.tagName == "svg"
+
+    def test_every_code_has_a_series_and_legend(self, fig_result):
+        from repro.eval.svgplot import render_figure_svg
+
+        svg = render_figure_svg(fig_result)
+        for code in fig_result.definition.codes:
+            assert f">{code}</text>" in svg
+        assert svg.count("<polyline") == len(fig_result.definition.codes)
+
+    def test_unsupported_points_absent(self):
+        # Scan stops at 2^29; its polyline must have fewer markers
+        # than memcpy's.
+        from repro.eval.figures import figure_definitions
+        from repro.eval.svgplot import render_figure_svg
+
+        result = run_experiment(figure_definitions()["fig1"], validate=False)
+        svg = render_figure_svg(result)
+        scan_points = sum(1 for ok in result.series["Scan"].supported if ok)
+        memcpy_points = sum(1 for ok in result.series["memcpy"].supported if ok)
+        assert scan_points < memcpy_points
+        assert svg.count("<circle") == sum(
+            sum(1 for ok in result.series[c].supported if ok)
+            for c in result.definition.codes
+        )
+
+    def test_figure10_svg(self):
+        import xml.dom.minidom
+
+        from repro.eval.figures import figure10_throughputs
+        from repro.eval.svgplot import render_figure10_svg
+
+        svg = render_figure10_svg(figure10_throughputs())
+        xml.dom.minidom.parseString(svg)
+        assert svg.count("<rect") >= 23  # 11 pairs + background
+
+    def test_export_with_svg_flag(self, tmp_path):
+        export_everything(tmp_path, svg=True)
+        assert (tmp_path / "fig1.svg").exists()
+        assert (tmp_path / "fig10.svg").exists()
+        assert (tmp_path / "fig9_1.svg").exists()

@@ -1,0 +1,186 @@
+"""Correction-factor tables: construction and structural analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import low_pass, table1_signatures
+from repro.core.signature import Signature
+from repro.core.ztransform import impulse_response
+from repro.plr.factors import FLOAT32_SMALLEST_NORMAL, CorrectionFactorTable
+
+
+def build(text: str, m: int, dtype=np.int64, **kwargs) -> CorrectionFactorTable:
+    return CorrectionFactorTable.build(Signature.parse(text), m, dtype, **kwargs)
+
+
+class TestConstruction:
+    def test_paper_example_rows(self):
+        table = build("(1: 2, -1)", 8, np.int32)
+        np.testing.assert_array_equal(table.row(0), [2, 3, 4, 5, 6, 7, 8, 9])
+        np.testing.assert_array_equal(table.row(1), [-1, -2, -3, -4, -5, -6, -7, -8])
+
+    def test_shape_and_dtype(self):
+        table = build("(1: 1, 1, 1)", 16, np.float32)
+        assert table.factors.shape == (3, 16)
+        assert table.dtype == np.float32
+        assert table.order == 3
+
+    def test_read_only(self):
+        table = build("(1: 1)", 4)
+        with pytest.raises(ValueError):
+            table.factors[0, 0] = 99
+
+    def test_non_recursive_part_stripped(self):
+        # The table is always built from the (1: b...) part; a full
+        # signature with a FIR stage yields the same factors.
+        a = CorrectionFactorTable.build(Signature.parse("(0.9, -0.9: 0.8)"), 8, np.float64)
+        b = CorrectionFactorTable.build(Signature.parse("(1: 0.8)"), 8, np.float64)
+        np.testing.assert_array_equal(a.factors, b.factors)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            build("(1: 1)", 0)
+
+    def test_factor_row_is_shifted_impulse_response(self):
+        # Carry 0's factors are the impulse response of (1: b...) from
+        # index 1 on — an independent oracle via the z-transform.
+        sig = Signature.parse("(1: 0.6, 0.3)")
+        table = CorrectionFactorTable.build(sig, 12, np.float64)
+        h = impulse_response(sig, 13)
+        np.testing.assert_allclose(table.row(0), h[1:], rtol=1e-12)
+
+    def test_int32_wraps(self):
+        table = build("(1: 1, 1)", 64, np.int32)  # Fibonacci overflows
+        assert table.dtype == np.int32  # construction must not raise
+
+
+class TestConstantDetection:
+    def test_prefix_sum_all_ones(self):
+        table = build("(1: 1)", 32)
+        assert table.constant_value(0) == 1
+
+    def test_scaled_prefix(self):
+        table = build("(1: 2, -1)", 8, np.int32)
+        assert table.constant_value(0) is None
+
+    def test_constant_negative(self):
+        # (1: -1): factors alternate -1, 1, -1 ... not constant.
+        table = build("(1: -1)", 8)
+        assert table.constant_value(0) is None
+
+
+class TestZeroOneDetection:
+    def test_tuple_rows(self):
+        table = build("(1: 0, 1)", 16)
+        assert table.is_zero_one(0)
+        assert table.is_zero_one(1)
+
+    def test_higher_order_not_zero_one(self):
+        table = build("(1: 2, -1)", 16)
+        assert not table.is_zero_one(0)
+
+    def test_prefix_sum_is_zero_one(self):
+        assert build("(1: 1)", 8).is_zero_one(0)
+
+
+class TestPeriodDetection:
+    def test_tuple2_period(self):
+        table = build("(1: 0, 1)", 16)
+        assert table.period(0) == 2
+        assert table.period(1) == 2
+
+    def test_tuple3_period(self):
+        table = build("(1: 0, 0, 1)", 16)
+        assert table.period(0) == 3
+
+    def test_period_without_divisibility(self):
+        # m = 16 is not a multiple of 3; the period must still be found.
+        table = build("(1: 0, 0, 1)", 16)
+        assert table.period(2) == 3
+
+    def test_alternating_sign_period(self):
+        table = build("(1: -1)", 16)
+        assert table.period(0) == 2
+
+    def test_constant_has_period_one(self):
+        assert build("(1: 1)", 16).period(0) == 1
+
+    def test_growing_rows_have_no_period(self):
+        table = build("(1: 2, -1)", 64, np.int64)
+        assert table.period(0) is None
+
+    def test_period_bound_respected(self):
+        table = build("(1: 2, -1)", 512, np.int64)
+        assert CorrectionFactorTable.MAX_PERIOD < 512
+        assert table.period(0) is None
+
+
+class TestDecayDetection:
+    def test_low_pass_decays(self):
+        sig = low_pass(1)
+        table = CorrectionFactorTable.build(sig.recursive_part(), 2048, np.float32)
+        cutoff = table.decay_index(0)
+        assert cutoff is not None
+        # 0.8^i falls below the float32 denormal threshold near i=391.
+        assert 350 < cutoff < 450
+        assert table.flushed_denormals
+        assert np.all(table.row(0)[cutoff:] == 0.0)
+
+    def test_flush_can_be_disabled(self):
+        sig = low_pass(1)
+        table = CorrectionFactorTable.build(
+            sig.recursive_part(), 2048, np.float32, flush_denormals=False
+        )
+        assert not table.flushed_denormals
+
+    def test_prefix_sum_never_decays(self):
+        assert build("(1: 1)", 64).decay_index(0) is None
+
+    def test_max_decay_index(self):
+        sig = low_pass(2)
+        table = CorrectionFactorTable.build(sig.recursive_part(), 2048, np.float32)
+        m = table.max_decay_index
+        assert m is not None
+        assert m == max(table.decay_index(0), table.decay_index(1))
+
+    def test_max_decay_none_when_any_row_survives(self):
+        assert build("(1: 2, -1)", 64).max_decay_index is None
+
+    def test_denormal_threshold_is_float32_tiny(self):
+        assert FLOAT32_SMALLEST_NORMAL == float(np.finfo(np.float32).tiny)
+
+
+class TestShiftedDuplicate:
+    def test_fibonacci_pure_shift(self):
+        table = build("(1: 1, 1)", 16)
+        assert table.shifted_duplicate_rows() == (0, 1)
+        np.testing.assert_array_equal(table.row(1)[1:], table.row(0)[:-1])
+
+    def test_scaled_shift(self):
+        # (1: 2, -1): last row = -1 * (first row shifted), also detected.
+        table = build("(1: 2, -1)", 16)
+        assert table.shifted_duplicate_rows() == (0, 1)
+
+    def test_first_order_has_none(self):
+        assert build("(1: 1)", 8).shifted_duplicate_rows() is None
+
+    def test_relation_holds_for_table1(self):
+        # The structural identity behind the optimization, checked on
+        # every order >= 2 recurrence in Table 1.
+        for name, sig in table1_signatures().items():
+            if sig.order < 2:
+                continue
+            table = CorrectionFactorTable.build(
+                sig.recursive_part(),
+                32,
+                np.int64 if sig.is_integer else np.float64,
+            )
+            pair = table.shifted_duplicate_rows()
+            assert pair == (0, sig.order - 1), name
+
+
+def test_describe_mentions_properties():
+    text = build("(1: 1)", 16).describe()
+    assert "constant=1" in text
+    text = build("(1: 0, 1)", 16).describe()
+    assert "zero/one" in text

@@ -1,0 +1,204 @@
+"""The loop recognizer: serial Python loops -> signatures -> parallel."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.frontend import (
+    LoopPatternError,
+    parallelize,
+    recognize_loop,
+)
+from repro.core.reference import serial_full
+from repro.core.signature import Signature
+
+
+class TestRecognition:
+    def test_low_pass(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = 0.2 * x[i] + 0.8 * y[i - 1]
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((0.2,), (0.8,))
+        assert rec.input_name == "x"
+        assert rec.output_name == "y"
+
+    def test_prefix_sum(self):
+        def loop(data, acc, n):
+            for i in range(n):
+                acc[i] = data[i] + acc[i - 1]
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((1,), (1,))
+        assert rec.input_name == "data"
+
+    def test_second_order_with_subtraction(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = x[i] + 2 * y[i - 1] - y[i - 2]
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((1,), (2, -1))
+
+    def test_high_pass_fir_terms(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = 0.9 * x[i] - 0.9 * x[i - 1] + 0.8 * y[i - 1]
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((0.9, -0.9), (0.8,))
+
+    def test_gap_offsets_fill_zeros(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = x[i] + y[i - 3]
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((1,), (0, 0, 1))
+
+    def test_constant_on_either_side(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = x[i] * 0.5 + y[i - 1] * 0.5
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((0.5,), (0.5,))
+
+    def test_repeated_terms_accumulate(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = x[i] + y[i - 1] + y[i - 1]
+
+        rec = recognize_loop(loop)
+        assert rec.signature == Signature((1,), (2,))
+
+    def test_unary_minus_coefficient(self):
+        def loop(x, y, n):
+            for i in range(n):
+                y[i] = x[i] + -0.5 * y[i - 1]
+
+        assert recognize_loop(loop).signature == Signature((1,), (-0.5,))
+
+    def test_source_string_accepted(self):
+        rec = recognize_loop(
+            "def f(a, b, n):\n"
+            "    for i in range(n):\n"
+            "        b[i] = a[i] + b[i - 1]\n"
+        )
+        assert rec.signature == Signature.prefix_sum()
+
+
+class TestRejection:
+    def _expect(self, source: str, match: str):
+        with pytest.raises(LoopPatternError, match=match):
+            recognize_loop(source)
+
+    def test_no_loop(self):
+        self._expect("def f(x):\n    return x\n", "no for-loop")
+
+    def test_nested_loops(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(n):\n"
+            "        for j in range(n):\n"
+            "            y[i] = x[i]\n",
+            "nested/multiple",
+        )
+
+    def test_nonlinear_body(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(n):\n"
+            "        y[i] = x[i] * y[i - 1]\n",
+            "literal constant",
+        )
+
+    def test_self_reference_without_offset(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(n):\n"
+            "        y[i] = x[i] + y[i]\n",
+            "not a\\s+causal",
+        )
+
+    def test_pure_map_rejected(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(n):\n"
+            "        y[i] = 2 * x[i] + x[i - 1]\n",
+            "pure map",
+        )
+
+    def test_two_inputs_rejected(self):
+        self._expect(
+            "def f(x, z, y, n):\n"
+            "    for i in range(n):\n"
+            "        y[i] = x[i] + z[i] + y[i - 1]\n",
+            "exactly one input",
+        )
+
+    def test_future_offset_rejected(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(n):\n"
+            "        y[i] = x[i] + y[i + 1]\n",
+            "sum of constant-coefficient",
+        )
+
+    def test_while_range_step_rejected(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(0, n, 2):\n"
+            "        y[i] = x[i] + y[i - 1]\n",
+            "range",
+        )
+
+    def test_multiple_statements_rejected(self):
+        self._expect(
+            "def f(x, y, n):\n"
+            "    for i in range(n):\n"
+            "        t = x[i]\n"
+            "        y[i] = t + y[i - 1]\n",
+            "single assignment",
+        )
+
+
+class TestParallelize:
+    def test_decorator_end_to_end(self, rng):
+        @parallelize
+        def smooth(x, y, n):
+            for i in range(n):
+                y[i] = 0.2 * x[i] + 0.8 * y[i - 1]
+
+        values = rng.standard_normal(20000).astype(np.float32)
+        got = smooth(values)
+        expected = serial_full(values, Signature((0.2,), (0.8,)))
+        np.testing.assert_allclose(got, expected, rtol=1e-3, atol=1e-4)
+
+    def test_parallel_matches_running_the_original(self, rng):
+        def original(x, y, n):
+            for i in range(n):
+                y[i] = x[i] + 2 * y[i - 1] - y[i - 2]
+
+        values = rng.integers(-9, 9, 3000).astype(np.int32)
+        serial_out = np.zeros_like(values)
+        # run the genuine serial loop (with zero history semantics)
+        for i in range(values.size):
+            acc = values[i]
+            if i >= 1:
+                acc += 2 * serial_out[i - 1]
+            if i >= 2:
+                acc -= serial_out[i - 2]
+            serial_out[i] = acc
+
+        fast = parallelize(original)
+        np.testing.assert_array_equal(fast(values), serial_out)
+
+    def test_recognized_metadata_attached(self):
+        @parallelize
+        def scan(src, dst, n):
+            for i in range(n):
+                dst[i] = src[i] + dst[i - 1]
+
+        assert scan.recognized.signature == Signature.prefix_sum()
+        assert "signature (1: 1)" in scan.__doc__

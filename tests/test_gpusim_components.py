@@ -1,0 +1,299 @@
+"""GPU machine model components: spec, memory, L2, warps, shared memory."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.gpusim.block import SharedMemory, ThreadBlock
+from repro.gpusim.l2cache import AccessStreamSummary, L2Cache
+from repro.gpusim.memory import DeviceMemory
+from repro.gpusim.scheduler import AtomicCounter, BlockYield, GridScheduler
+from repro.gpusim.spec import MachineSpec
+from repro.gpusim.warp import Warp
+
+
+class TestSpec:
+    def test_titan_x_section5_constants(self):
+        spec = MachineSpec.titan_x()
+        assert spec.num_sms == 24
+        assert spec.total_cores == 3072
+        assert spec.max_resident_threads == 49152
+        assert spec.shared_memory_per_block == 48 * 1024
+        assert spec.l2_cache_bytes == 2 * 1024 * 1024
+        assert spec.peak_bandwidth_bytes == 336e9
+        assert spec.core_clock_hz == 1.1e9
+        assert spec.warp_size == 32
+        assert spec.global_memory_bytes == 12 * 1024**3
+
+    def test_small_gpu_is_consistent(self):
+        spec = MachineSpec.small_test_gpu()
+        assert spec.max_threads_per_block % spec.warp_size == 0
+        assert spec.shared_memory_per_block <= spec.shared_memory_per_sm
+
+
+class TestDeviceMemory:
+    def test_alloc_free_accounting(self):
+        mem = DeviceMemory(MachineSpec.titan_x())
+        a = mem.alloc("input", 1000)
+        b = mem.alloc("output", 2000)
+        assert mem.allocated_bytes == 3000
+        mem.free(a)
+        assert mem.allocated_bytes == 2000
+        assert mem.peak_bytes == 3000
+        mem.free(b)
+
+    def test_total_includes_context(self):
+        machine = MachineSpec.titan_x()
+        mem = DeviceMemory(machine)
+        assert mem.total_bytes == machine.baseline_context_bytes
+
+    def test_out_of_memory(self):
+        mem = DeviceMemory(MachineSpec.small_test_gpu())
+        with pytest.raises(SimulationError, match="out of device memory"):
+            mem.alloc("huge", 1 << 40)
+
+    def test_double_free(self):
+        mem = DeviceMemory(MachineSpec.titan_x())
+        a = mem.alloc("x", 10)
+        mem.free(a)
+        with pytest.raises(SimulationError, match="double free"):
+            mem.free(a)
+
+    def test_negative_alloc(self):
+        mem = DeviceMemory(MachineSpec.titan_x())
+        with pytest.raises(SimulationError):
+            mem.alloc("bad", -1)
+
+
+class TestL2Cache:
+    def test_cold_misses_sequential(self):
+        cache = L2Cache(capacity_bytes=1024, line_bytes=32)
+        for addr in range(0, 1024, 4):
+            cache.read(addr)
+        assert cache.read_misses == 32  # 1024 / 32 lines
+        assert cache.read_hits == 256 - 32
+
+    def test_resident_reread_hits(self):
+        cache = L2Cache(capacity_bytes=4096, line_bytes=32)
+        for addr in range(0, 1024, 32):
+            cache.read(addr)
+        misses_before = cache.read_misses
+        for addr in range(0, 1024, 32):
+            cache.read(addr)
+        assert cache.read_misses == misses_before  # all hits
+
+    def test_streaming_reread_misses(self):
+        # Working set 4x the capacity: the second pass misses again —
+        # the Table 3 mechanism behind Alg3/Rec's doubled cold misses.
+        cache = L2Cache(capacity_bytes=1024, line_bytes=32, associativity=8)
+        span = 4096
+        for _ in range(2):
+            for addr in range(0, span, 32):
+                cache.read(addr)
+        assert cache.read_misses == 2 * span // 32
+
+    def test_miss_bytes_unit(self):
+        cache = L2Cache(capacity_bytes=1024, line_bytes=32)
+        cache.read(0)
+        assert cache.read_miss_bytes == 32
+
+    def test_write_allocate(self):
+        cache = L2Cache(capacity_bytes=1024, line_bytes=32)
+        cache.write(0)
+        assert cache.write_misses == 1
+        cache.read(0)
+        assert cache.read_hits == 1
+
+    def test_straddling_access(self):
+        cache = L2Cache(capacity_bytes=1024, line_bytes=32)
+        cache.read(30, nbytes=4)  # crosses a line boundary
+        assert cache.read_misses == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            L2Cache(capacity_bytes=100, line_bytes=32)
+
+    def test_reset(self):
+        cache = L2Cache(capacity_bytes=1024, line_bytes=32)
+        cache.read(0)
+        cache.reset_counters()
+        assert cache.read_misses == 0
+
+
+class TestAccessStreamSummary:
+    def test_cold_pass(self):
+        summary = AccessStreamSummary(MachineSpec.titan_x())
+        summary.cold_pass(256 * 1024 * 1024)
+        assert summary.total_read_miss_megabytes == 256.0
+
+    def test_repeat_beyond_capacity_misses(self):
+        summary = AccessStreamSummary(MachineSpec.titan_x())
+        summary.cold_pass(256 * 1024 * 1024)
+        summary.repeat_pass(256 * 1024 * 1024)
+        assert summary.total_read_miss_megabytes == 512.0
+
+    def test_repeat_within_capacity_free(self):
+        summary = AccessStreamSummary(MachineSpec.titan_x())
+        summary.cold_pass(1024 * 1024)
+        summary.repeat_pass(1024 * 1024)
+        assert summary.total_read_miss_megabytes == 1.0
+
+    def test_line_rounding(self):
+        summary = AccessStreamSummary(MachineSpec.titan_x())
+        summary.cold_pass(33)  # rounds to 2 lines of 32 bytes
+        assert summary.cold_bytes == 64
+
+
+class TestWarp:
+    def make_warp(self, width=4, regs=2):
+        values = np.arange(width * regs).reshape(width, regs).astype(np.int32)
+        return Warp(values)
+
+    def test_shfl_index_gather(self):
+        warp = self.make_warp()
+        out = warp.shfl_index(np.array([3, 2, 1, 0]), register=0)
+        np.testing.assert_array_equal(out, [6, 4, 2, 0])
+
+    def test_shfl_up(self):
+        warp = self.make_warp()
+        out = warp.shfl_up(register=0, delta=1)
+        np.testing.assert_array_equal(out, [0, 0, 2, 4])  # low lanes keep own
+
+    def test_shfl_down(self):
+        warp = self.make_warp()
+        out = warp.shfl_down(register=1, delta=2)
+        np.testing.assert_array_equal(out, [5, 7, 5, 7])
+
+    def test_broadcast(self):
+        warp = self.make_warp()
+        out = warp.broadcast(source_lane=2, register=1)
+        np.testing.assert_array_equal(out, [5, 5, 5, 5])
+
+    def test_shuffle_counts(self):
+        warp = self.make_warp()
+        warp.shfl_up(0, 1)
+        warp.broadcast(0, 0)
+        assert warp.shuffle_count == 2
+
+    def test_out_of_range_lane(self):
+        warp = self.make_warp()
+        with pytest.raises(SimulationError):
+            warp.shfl_index(np.array([0, 1, 2, 4]), 0)
+
+    def test_registers_unchanged_by_shuffle(self):
+        warp = self.make_warp()
+        snapshot = warp.registers.copy()
+        warp.shfl_up(0, 3)
+        np.testing.assert_array_equal(warp.registers, snapshot)
+
+
+class TestSharedMemory:
+    def test_budget_enforced(self):
+        shared = SharedMemory(capacity_bytes=64)
+        shared.allocate("a", (8,), np.int32)  # 32 bytes
+        with pytest.raises(SimulationError, match="exhausted"):
+            shared.allocate("b", (16,), np.int32)  # 64 more
+
+    def test_duplicate_name(self):
+        shared = SharedMemory(capacity_bytes=1024)
+        shared.allocate("a", (4,), np.int32)
+        with pytest.raises(SimulationError, match="twice"):
+            shared.allocate("a", (4,), np.int32)
+
+    def test_traffic_counters(self):
+        shared = SharedMemory(capacity_bytes=1024)
+        shared.record_write(3)
+        shared.record_read(2)
+        assert shared.write_count == 3
+        assert shared.read_count == 2
+
+
+class TestScheduler:
+    def test_atomic_counter(self):
+        counter = AtomicCounter()
+        assert [counter.fetch_increment() for _ in range(3)] == [0, 1, 2]
+
+    def test_runs_all_blocks(self):
+        done = []
+
+        def make(i):
+            def body():
+                yield BlockYield.PROGRESS
+                done.append(i)
+
+            return body
+
+        scheduler = GridScheduler(max_resident=2, seed=1)
+        stats = scheduler.run([make(i) for i in range(7)])
+        assert sorted(done) == list(range(7))
+        assert stats.blocks_run == 7
+        assert stats.max_resident == 2
+
+    def test_deadlock_detection(self):
+        def stuck():
+            while True:
+                yield BlockYield.WAITING
+
+        scheduler = GridScheduler(max_resident=2, seed=0, deadlock_rounds=10)
+        with pytest.raises(SimulationError, match="deadlock"):
+            scheduler.run([stuck, stuck])
+
+    def test_waiting_then_progress_no_deadlock(self):
+        state = {"released": False}
+
+        def releaser():
+            for _ in range(5):
+                yield BlockYield.PROGRESS
+            state["released"] = True
+
+        def waiter():
+            while not state["released"]:
+                yield BlockYield.WAITING
+            yield BlockYield.PROGRESS
+
+        scheduler = GridScheduler(max_resident=2, seed=0, deadlock_rounds=50)
+        stats = scheduler.run([waiter, releaser])
+        assert state["released"]
+        assert stats.wait_steps > 0
+
+    def test_deterministic_given_seed(self):
+        def noisy(i, log):
+            def body():
+                for _ in range(3):
+                    log.append(i)
+                    yield BlockYield.PROGRESS
+
+            return body
+
+        log_a: list = []
+        GridScheduler(max_resident=3, seed=42).run([noisy(i, log_a) for i in range(5)])
+        log_b: list = []
+        GridScheduler(max_resident=3, seed=42).run([noisy(i, log_b) for i in range(5)])
+        assert log_a == log_b
+
+    def test_invalid_residency(self):
+        with pytest.raises(SimulationError):
+            GridScheduler(max_resident=0).run([])
+
+
+class TestThreadBlock:
+    def test_create_distributes_values(self):
+        values = np.arange(32, dtype=np.int32)
+        block = ThreadBlock.create(values, block_size=16, warp_size=4, shared_capacity=1024)
+        assert block.values_per_thread == 2
+        np.testing.assert_array_equal(block.values(), values)
+        np.testing.assert_array_equal(block.registers[3], [6, 7])
+
+    def test_indivisible_chunk_rejected(self):
+        with pytest.raises(SimulationError):
+            ThreadBlock.create(np.arange(30), 16, 4, 1024)
+
+    def test_block_not_multiple_of_warp(self):
+        with pytest.raises(SimulationError):
+            ThreadBlock.create(np.arange(28), 14, 4, 1024)
+
+    def test_warp_view_shares_storage(self):
+        block = ThreadBlock.create(np.arange(16, dtype=np.int64), 16, 4, 1024)
+        warp = block.warp(1)
+        warp.registers[0, 0] = 99
+        assert block.registers[4, 0] == 99

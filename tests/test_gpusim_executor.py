@@ -1,0 +1,220 @@
+"""The functional GPU executor: protocol correctness under adversity."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.core.signature import Signature
+from repro.core.validation import assert_valid
+from repro.gpusim.block import ThreadBlock, block_phase1
+from repro.gpusim.executor import ProtocolFault, SimulatedPLR
+from repro.gpusim.spec import MachineSpec
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.phase1 import phase1
+from tests.conftest import make_values
+
+
+@pytest.fixture(scope="module")
+def machine() -> MachineSpec:
+    return MachineSpec.small_test_gpu()
+
+
+class TestBlockPhase1LaneLevel:
+    """The shuffle/shared-memory implementation equals the numpy one."""
+
+    @pytest.mark.parametrize("text", ["(1: 1)", "(1: 2, -1)", "(1: 1, 1, 1)"])
+    @pytest.mark.parametrize("x", [1, 2, 4])
+    def test_matches_reference_phase1(self, text, x, rng, machine):
+        sig = Signature.parse(text)
+        m = machine.max_threads_per_block * x
+        values = rng.integers(-9, 9, m).astype(np.int64)
+        table = CorrectionFactorTable.build(sig, m, np.int64)
+
+        block = ThreadBlock.create(
+            values, machine.max_threads_per_block, machine.warp_size,
+            machine.shared_memory_per_block,
+        )
+        block_phase1(block, table)
+        expected = phase1(values.copy(), table, x)
+        np.testing.assert_array_equal(block.values(), expected.reshape(-1))
+
+    def test_hierarchy_accounting(self, rng, machine):
+        m = machine.max_threads_per_block  # x = 1
+        values = rng.integers(-9, 9, m).astype(np.int64)
+        table = CorrectionFactorTable.build(Signature.parse("(1: 1)"), m, np.int64)
+        block = ThreadBlock.create(
+            values, machine.max_threads_per_block, machine.warp_size,
+            machine.shared_memory_per_block,
+        )
+        block_phase1(block, table)
+        # Warp-internal levels used shuffles; cross-warp ones used
+        # shared memory with barriers on both sides.
+        assert block.stats.shuffles > 0
+        assert block.stats.shared_writes > 0
+        assert block.stats.shared_reads > 0
+        assert block.stats.barriers > 0
+
+    def test_table_size_mismatch_rejected(self, rng, machine):
+        table = CorrectionFactorTable.build(Signature.parse("(1: 1)"), 8, np.int64)
+        block = ThreadBlock.create(
+            rng.integers(0, 5, 16).astype(np.int64), 16, 4, 4096
+        )
+        with pytest.raises(SimulationError, match="factor table"):
+            block_phase1(block, table)
+
+
+class TestEndToEndSimulation:
+    def test_all_table1(self, table1_recurrence, machine):
+        values = make_values(table1_recurrence, 700)
+        sim = SimulatedPLR(table1_recurrence, machine, values_per_thread=2, seed=5)
+        result = sim.run(values)
+        expected = serial_full(values, table1_recurrence.signature)
+        assert_valid(result.output, expected, context=str(table1_recurrence))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_schedule_independence(self, seed, machine, rng):
+        """Any interleaving produces the same (correct) result."""
+        rec = Recurrence.parse("(1: 2, -1)")
+        values = rng.integers(-9, 9, 900).astype(np.int32)
+        expected = serial_full(values, rec.signature)
+        out = SimulatedPLR(rec, machine, seed=seed).run(values).output
+        np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("n", [1, 15, 16, 17, 100, 1024])
+    def test_sizes_including_partial_chunks(self, n, machine, rng):
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-9, 9, n).astype(np.int32)
+        out = SimulatedPLR(rec, machine, seed=2).run(values).output
+        np.testing.assert_array_equal(out, np.cumsum(values, dtype=np.int32))
+
+    def test_lookback_bounded_by_depth(self, machine, rng):
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-9, 9, 2000).astype(np.int32)
+        result = SimulatedPLR(rec, machine, seed=9).run(values)
+        assert 1 <= result.max_lookback <= 32
+
+    def test_lookback_pipelining_happens(self, machine, rng):
+        # With many chunks and interleaved blocks, at least some blocks
+        # should combine over distance > 1 (the whole point of the
+        # decoupled variable look-back).
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-9, 9, 4000).astype(np.int32)
+        distances = []
+        for seed in range(6):
+            result = SimulatedPLR(rec, machine, seed=seed).run(values)
+            distances.extend(result.lookback_distances)
+        assert max(distances) > 1
+
+    def test_device_memory_reported(self, machine, rng):
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-9, 9, 256).astype(np.int32)
+        result = SimulatedPLR(rec, machine, seed=0).run(values)
+        assert result.device_memory_bytes > machine.baseline_context_bytes
+
+    def test_l2_tracking(self, machine, rng):
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-9, 9, 512).astype(np.int32)
+        result = SimulatedPLR(rec, machine, seed=0, track_l2=True).run(values)
+        assert result.l2 is not None
+        # Cold input misses at least cover the input once.
+        assert result.l2.read_miss_bytes >= values.nbytes
+
+    def test_empty_input_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            SimulatedPLR(Recurrence.parse("(1: 1)"), machine).run(
+                np.array([], dtype=np.int32)
+            )
+
+
+class TestFaultInjection:
+    def test_missing_fence_corrupts(self, machine, rng):
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(0, 10, 600).astype(np.int32)
+        expected = serial_full(values, rec.signature)
+        corrupted = 0
+        for seed in range(10):
+            sim = SimulatedPLR(
+                rec, machine, seed=seed, fault=ProtocolFault.FLAG_BEFORE_DATA
+            )
+            if not np.array_equal(sim.run(values).output, expected):
+                corrupted += 1
+        assert corrupted >= 8  # the race fires under almost any schedule
+
+    def test_skip_local_flag_degrades_but_stays_correct(self, machine, rng):
+        # Liveness: without local-carry flags, successors fall back to
+        # waiting for full global carries; slower but still correct.
+        rec = Recurrence.parse("(1: 2, -1)")
+        values = rng.integers(-9, 9, 800).astype(np.int32)
+        expected = serial_full(values, rec.signature)
+        sim = SimulatedPLR(
+            rec, machine, seed=3, fault=ProtocolFault.SKIP_LOCAL_FLAG
+        )
+        result = sim.run(values)
+        np.testing.assert_array_equal(result.output, expected)
+        assert all(d == 1 for d in result.lookback_distances)
+
+    def test_never_publish_deadlocks(self, machine, rng):
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(0, 5, 400).astype(np.int32)
+        sim = SimulatedPLR(
+            rec, machine, seed=0, fault=ProtocolFault.NEVER_PUBLISH,
+            deadlock_rounds=60,
+        )
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(values)
+
+
+class TestAgainstNumpySolver:
+    def test_simulator_equals_solver(self, machine, rng):
+        """Same algorithm, two very different engines, one answer."""
+        from repro.plr.solver import PLRSolver
+
+        rec = Recurrence.parse("(1: 3, -3, 1)")
+        values = rng.integers(-5, 5, 1200).astype(np.int32)
+        sim_out = SimulatedPLR(rec, machine, values_per_thread=2, seed=1).run(values).output
+        solver_out = PLRSolver(rec).solve(values)
+        np.testing.assert_array_equal(sim_out, solver_out)
+
+
+class TestPipeliningValue:
+    def test_deeper_lookback_reduces_waiting(self, machine, rng):
+        """The variable look-back is load-bearing: a depth-1 window
+        (wait for the immediate predecessor's global carries) spends
+        more scheduler steps busy-waiting than the full depth-32
+        window, for the same schedules."""
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-9, 9, 4000).astype(np.int32)
+        shallow_waits = deep_waits = 0
+        for seed in range(5):
+            shallow = SimulatedPLR(rec, machine, seed=seed, max_lookback=1).run(values)
+            deep = SimulatedPLR(rec, machine, seed=seed, max_lookback=32).run(values)
+            shallow_waits += shallow.schedule_wait_steps
+            deep_waits += deep.schedule_wait_steps
+            expected = np.cumsum(values, dtype=np.int32)
+            np.testing.assert_array_equal(shallow.output, expected)
+            np.testing.assert_array_equal(deep.output, expected)
+        assert deep_waits <= shallow_waits
+
+    def test_scan_pass_count_is_logarithmic(self, rng):
+        """Blelloch Scan runs ceil(log2 n) combine sweeps (its parallel
+        step complexity), vs PLR's fixed two phases."""
+        from repro.baselines import BlellochScan
+        from unittest import mock
+
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(-5, 5, 1000).astype(np.int64)
+        calls = 0
+        import repro.baselines.scan_blelloch as scan_mod
+
+        original = scan_mod.scan_operator
+
+        def counting(*args):
+            nonlocal calls
+            calls += 1
+            return original(*args)
+
+        with mock.patch.object(scan_mod, "scan_operator", counting):
+            BlellochScan().compute(values, rec)
+        assert calls == 10  # ceil(log2(1000)) doubling sweeps

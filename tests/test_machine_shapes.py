@@ -1,0 +1,118 @@
+"""The substrate under unusual machine shapes.
+
+The paper argues the algorithm fits *any* hierarchy ("the presented
+algorithm, parallelization technique, and even most of the code
+optimizations are not GPU specific").  The functional simulator should
+therefore produce correct results for machines with different warp
+widths, block sizes, and SM counts — not just the two shipped specs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.gpusim.executor import SimulatedPLR
+from repro.gpusim.spec import MachineSpec
+
+
+def make_machine(num_sms: int, warp: int, block: int) -> MachineSpec:
+    return MachineSpec(
+        name=f"sms{num_sms}-warp{warp}-block{block}",
+        num_sms=num_sms,
+        cores_per_sm=warp * 2,
+        warp_size=warp,
+        max_threads_per_block=block,
+        max_threads_per_sm=block * 2,
+        registers_per_sm=4096,
+        shared_memory_per_sm=8192,
+        shared_memory_per_block=4096,
+        l2_cache_bytes=2048,
+        l2_line_bytes=32,
+        global_memory_bytes=1 << 26,
+        peak_bandwidth_bytes=1e9,
+        core_clock_hz=1e9,
+        memory_clock_hz=1e9,
+        kernel_launch_latency_s=1e-6,
+        baseline_context_bytes=1 << 16,
+    )
+
+
+MACHINES = [
+    make_machine(1, 2, 8),  # tiny: single SM, 2-lane warps
+    make_machine(2, 8, 32),  # medium
+    make_machine(4, 4, 8),  # many SMs, warp == half-block
+    make_machine(3, 16, 16),  # block == one warp (no shared-memory phase)
+]
+
+# Phase 1's doubling requires power-of-two thread blocks (the paper's
+# are 1024); the simulator rejects anything else.
+
+
+def test_non_power_of_two_block_rejected(rng):
+    from repro.core.errors import SimulationError
+
+    machine = make_machine(1, 2, 6)
+    values = rng.integers(-5, 5, 12).astype(np.int32)
+    with pytest.raises(SimulationError, match="power of two"):
+        SimulatedPLR(Recurrence.parse("(1: 1)"), machine, seed=0).run(values)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("text", ["(1: 1)", "(1: 2, -1)", "(1: 0, 0, 1)"])
+def test_simulator_correct_on_any_shape(machine, text, rng):
+    recurrence = Recurrence.parse(text)
+    values = rng.integers(-9, 9, 500).astype(np.int32)
+    result = SimulatedPLR(recurrence, machine, seed=1).run(values)
+    np.testing.assert_array_equal(
+        result.output, serial_full(values, recurrence.signature)
+    )
+
+
+def test_single_warp_block_uses_no_shared_memory(rng):
+    # When the block is one warp, every merge is a shuffle.
+    machine = make_machine(3, 16, 16)
+    recurrence = Recurrence.parse("(1: 2, -1)")
+    values = rng.integers(-9, 9, 256).astype(np.int32)
+    result = SimulatedPLR(recurrence, machine, seed=0).run(values)
+    stats = result.block_stats[0]
+    assert stats.shuffles > 0
+    assert stats.shared_reads == 0
+
+
+def test_single_sm_machine_serializes_but_completes(rng):
+    machine = make_machine(1, 2, 8)
+    recurrence = Recurrence.parse("(1: 1)")
+    values = rng.integers(-9, 9, 640).astype(np.int32)
+    result = SimulatedPLR(recurrence, machine, seed=4).run(values)
+    np.testing.assert_array_equal(
+        result.output, np.cumsum(values, dtype=np.int32)
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    warp_exp=st.integers(1, 4),
+    block_exp=st.integers(0, 2),
+    sms=st.integers(1, 4),
+    x=st.integers(1, 3),
+    n=st.integers(1, 600),
+    seed=st.integers(0, 500),
+)
+def test_simulator_property_over_machine_space(warp_exp, block_exp, sms, x, n, seed):
+    """Random (warp, block, SM, grain) points all compute correctly."""
+    warp = 1 << warp_exp
+    block = warp * (1 << block_exp)
+    machine = make_machine(sms, warp, block)
+    recurrence = Recurrence.parse("(1: 1, 1)")
+    gen = np.random.default_rng(seed)
+    values = gen.integers(-5, 5, n).astype(np.int32)
+    sim = SimulatedPLR(
+        recurrence, machine, values_per_thread=x, seed=seed % 13
+    )
+    result = sim.run(values)
+    np.testing.assert_array_equal(
+        result.output, serial_full(values, recurrence.signature)
+    )

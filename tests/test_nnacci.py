@@ -1,0 +1,206 @@
+"""n-nacci correction factors: the core math of Section 2.1."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.nnacci import (
+    carry_seed,
+    carry_transition_matrix,
+    correction_factor_matrix,
+    correction_factors,
+    nnacci,
+    solved_correction_factors,
+)
+from repro.core.signature import Signature
+
+
+class TestSeeds:
+    def test_first_order(self):
+        assert carry_seed(1, 0) == (1,)
+
+    def test_second_order(self):
+        # Paper: "0, 1" for the w[m-1] carry, "1, 0" for w[m-2].
+        assert carry_seed(2, 0) == (0, 1)
+        assert carry_seed(2, 1) == (1, 0)
+
+    def test_third_order(self):
+        assert carry_seed(3, 0) == (0, 0, 1)
+        assert carry_seed(3, 1) == (0, 1, 0)
+        assert carry_seed(3, 2) == (1, 0, 0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            carry_seed(2, 2)
+        with pytest.raises(ValueError):
+            carry_seed(2, -1)
+
+
+class TestNnacci:
+    def test_fibonacci(self):
+        # (1: 1, 1)'s factors are the Fibonacci numbers (Section 2.1).
+        assert nnacci((1, 1), (0, 1), 8) == [1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_shifted_fibonacci(self):
+        # The second Fibonacci sequence, seeded "1, 0": shifted by one.
+        assert nnacci((1, 1), (1, 0), 8) == [1, 1, 2, 3, 5, 8, 13, 21]
+
+    def test_tribonacci_oeis_a000073(self):
+        # Seed "0, 0, 1" gives the Tribonacci numbers A000073 tail.
+        assert nnacci((1, 1, 1), (0, 0, 1), 8) == [1, 2, 4, 7, 13, 24, 44, 81]
+
+    def test_tribonacci_middle_sequence_differs(self):
+        # The paper: the middle sequence (seed "0, 1, 0") is "entirely
+        # different" (OEIS A001590 vs A000073).
+        middle = nnacci((1, 1, 1), (0, 1, 0), 8)
+        first = nnacci((1, 1, 1), (0, 0, 1), 8)
+        assert middle != first
+        # A001590 continues 0, 1, 0 with 1, 2, 3, 6, 11, 20, 37, 68.
+        assert middle == [1, 2, 3, 6, 11, 20, 37, 68]
+
+    def test_12_fibonacci(self):
+        # "(1: 1, 2) results in the so called (1,2)-Fibonacci sequence."
+        # F(n) = F(n-1) + 2 F(n-2) continuing the seed 0, 1.
+        seq = nnacci((1, 2), (0, 1), 6)
+        assert seq == [1, 3, 5, 11, 21, 43]
+
+    def test_geometric_first_order(self):
+        # (1: d): factors are d, d^2, d^3, ... (Section 2.1).
+        assert nnacci((3,), (1,), 5) == [3, 9, 27, 81, 243]
+
+    def test_float_coefficients(self):
+        seq = nnacci((0.5,), (1.0,), 4)
+        assert seq == pytest.approx([0.5, 0.25, 0.125, 0.0625])
+
+    def test_fraction_exactness(self):
+        seq = nnacci((Fraction(1, 2),), (Fraction(1),), 3)
+        assert seq == [Fraction(1, 2), Fraction(1, 4), Fraction(1, 8)]
+
+    def test_zero_length(self):
+        assert nnacci((1,), (1,), 0) == []
+
+    def test_bad_seed_length(self):
+        with pytest.raises(ValueError):
+            nnacci((1, 1), (1,), 4)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            nnacci((1,), (1,), -1)
+
+
+class TestPaperWorkedExample:
+    """Section 2.3: (1: 2, -1) with m = 8."""
+
+    SIG = Signature.parse("(1: 2, -1)")
+
+    def test_list_one(self):
+        assert correction_factors(self.SIG, 0, 8) == [2, 3, 4, 5, 6, 7, 8, 9]
+
+    def test_list_two(self):
+        assert correction_factors(self.SIG, 1, 8) == [-1, -2, -3, -4, -5, -6, -7, -8]
+
+    def test_transition_matrix_m8(self):
+        # "24 = 44 + 8*8 + -7*12 and 16 = 40 + 9*8 + -8*12": the factors
+        # at the last two positions form the hop matrix.
+        matrix = carry_transition_matrix(self.SIG, 8)
+        assert matrix == [[9, -8], [8, -7]]
+
+    def test_transition_matrix_reproduces_paper_hop(self):
+        matrix = np.array(carry_transition_matrix(self.SIG, 8))
+        # Chunk 2's local carries are (40, 44) at offsets m-1, m-2; the
+        # previous chunk's global carries are (8, 12).
+        local = np.array([40, 44])
+        prev = np.array([8, 12])
+        out = local + matrix @ prev
+        assert out.tolist() == [16, 24]
+
+
+class TestSecondOrderSymbolic:
+    def test_paper_symbolic_factors(self):
+        # Section 2.1 lists (1: d, e) factors for w[m-1]:
+        # d, d^2+e, d^3+2de, d^4+3d^2e+e^2 ...
+        d, e = Fraction(3), Fraction(5)
+        factors = nnacci((d, e), (0, 1), 4)
+        assert factors[0] == d
+        assert factors[1] == d * d + e
+        assert factors[2] == d**3 + 2 * d * e
+        assert factors[3] == d**4 + 3 * d * d * e + e * e
+
+    def test_paper_symbolic_factors_second_carry(self):
+        # For w[m-2]: e, de, d^2e+e^2, d^3e+2de^2, ...
+        d, e = Fraction(3), Fraction(5)
+        factors = nnacci((d, e), (1, 0), 4)
+        assert factors[0] == e
+        assert factors[1] == d * e
+        assert factors[2] == d * d * e + e * e
+        assert factors[3] == d**3 * e + 2 * d * e * e
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    order=st.integers(1, 4),
+    coeffs=st.data(),
+    length=st.integers(1, 24),
+)
+def test_nnacci_matches_solved_equations(order, coeffs, length):
+    """The fast n-nacci run equals the slow symbolic derivation.
+
+    The paper says it initially derived the factors by solving the
+    correction equations and later replaced that with the n-nacci
+    generation; both must agree for every recurrence.
+    """
+    feedback = tuple(
+        coeffs.draw(
+            st.integers(-5, 5).filter(lambda v: True), label=f"b{j}"
+        )
+        for j in range(order)
+    )
+    if feedback[-1] == 0:
+        feedback = feedback[:-1] + (1,)
+    sig = Signature((1,), feedback)
+    for carry in range(order):
+        fast = correction_factors(sig, carry, length)
+        slow = solved_correction_factors(sig, carry, length)
+        assert [Fraction(v) for v in fast] == slow
+
+
+@settings(max_examples=30, deadline=None)
+@given(chunk=st.integers(2, 64))
+def test_transition_matrix_equals_factor_tail(chunk):
+    """M[r][j] is factor list j at offset chunk-1-r, for any chunk size."""
+    sig = Signature.parse("(1: 2, -1)")
+    matrix = carry_transition_matrix(sig, chunk)
+    for j in range(2):
+        factors = correction_factors(sig, j, chunk)
+        for r in range(2):
+            assert matrix[r][j] == factors[chunk - 1 - r]
+
+
+class TestFactorMatrix:
+    def test_int32_wraparound(self):
+        # Fibonacci factors overflow int32 around index 45; the matrix
+        # must wrap like the GPU's 32-bit arithmetic, not raise.
+        sig = Signature.parse("(1: 1, 1)")
+        matrix = correction_factor_matrix(sig, 60, np.int32)
+        assert matrix.dtype == np.int32
+        exact = correction_factors(sig, 0, 60)
+        wrapped = ((int(exact[59]) + 2**31) % 2**32) - 2**31
+        assert int(matrix[0, 59]) == wrapped
+        assert int(exact[59]) != wrapped  # it really did overflow
+
+    def test_float_matrix(self):
+        sig = Signature.parse("(1: 0.5)")
+        matrix = correction_factor_matrix(sig, 6, np.float64)
+        np.testing.assert_allclose(matrix[0], 0.5 ** np.arange(1, 7))
+
+    def test_shape(self):
+        sig = Signature.parse("(1: 1, 2, 3)")
+        assert correction_factor_matrix(sig, 10, np.int64).shape == (3, 10)
+
+
+def test_transition_matrix_chunk_too_small():
+    with pytest.raises(ValueError):
+        carry_transition_matrix(Signature.parse("(1: 1, 1)"), 1)

@@ -1,0 +1,86 @@
+"""The CUDA occupancy calculator vs the planner's simple rule."""
+
+import pytest
+
+from repro.core.errors import PlanError
+from repro.core.signature import Signature
+from repro.gpusim.occupancy import MAX_BLOCKS_PER_SM, occupancy
+from repro.gpusim.spec import MachineSpec
+from repro.plr.planner import plan_execution
+
+TITAN = MachineSpec.titan_x()
+
+
+class TestPaperConfigurations:
+    def test_32_register_kernel(self):
+        # The paper's float/simple-int configuration: 2 blocks per SM.
+        result = occupancy(TITAN, block_size=1024, registers_per_thread=32)
+        assert result.blocks_per_sm == 2
+        assert result.resident_blocks == 48
+        assert result.limiting_resource in ("threads", "registers")
+        assert result.occupancy_fraction == 1.0
+
+    def test_64_register_kernel(self):
+        result = occupancy(TITAN, block_size=1024, registers_per_thread=64)
+        assert result.blocks_per_sm == 1
+        assert result.resident_blocks == 24
+        assert result.limiting_resource == "registers"
+        assert result.occupancy_fraction == 0.5
+
+    def test_planner_matches_calculator(self):
+        # The planner's shortcut (registers only) agrees with the full
+        # four-resource calculation for the paper's configurations.
+        for text in ("(1: 1)", "(0.2: 0.8)", "(1: 2, -1)", "(1: 3, -3, 1)"):
+            plan = plan_execution(Signature.parse(text), 1 << 24, TITAN)
+            full = occupancy(
+                TITAN,
+                block_size=plan.block_size,
+                registers_per_thread=plan.registers_per_thread,
+            )
+            assert plan.resident_blocks == full.resident_blocks, text
+
+
+class TestLimits:
+    def test_shared_memory_binds(self):
+        # 40 kB per block: only two fit in the 96 kB SM.
+        result = occupancy(
+            TITAN, block_size=128, registers_per_thread=16,
+            shared_memory_per_block=40 * 1024,
+        )
+        assert result.blocks_per_sm == 2
+        assert result.limiting_resource == "shared_memory"
+
+    def test_block_cap_binds(self):
+        result = occupancy(TITAN, block_size=32, registers_per_thread=1)
+        assert result.blocks_per_sm == MAX_BLOCKS_PER_SM
+        assert result.limiting_resource == "block_cap"
+
+    def test_threads_bind(self):
+        result = occupancy(TITAN, block_size=1024, registers_per_thread=8)
+        assert result.thread_limit == 2
+        assert result.blocks_per_sm == 2
+
+    def test_zero_shared_is_unconstrained(self):
+        result = occupancy(TITAN, block_size=256, registers_per_thread=32)
+        assert result.shared_memory_limit > MAX_BLOCKS_PER_SM
+
+
+class TestValidation:
+    def test_block_too_large(self):
+        with pytest.raises(PlanError):
+            occupancy(TITAN, block_size=2048, registers_per_thread=32)
+
+    def test_shared_over_block_budget(self):
+        with pytest.raises(PlanError):
+            occupancy(
+                TITAN, block_size=128, registers_per_thread=32,
+                shared_memory_per_block=49 * 1024,
+            )
+
+    def test_does_not_fit(self):
+        with pytest.raises(PlanError, match="does not fit"):
+            occupancy(TITAN, block_size=1024, registers_per_thread=128)
+
+    def test_bad_registers(self):
+        with pytest.raises(PlanError):
+            occupancy(TITAN, block_size=128, registers_per_thread=0)

@@ -1,0 +1,58 @@
+"""The public package surface: imports, star-exports, doctests."""
+
+import doctest
+
+import numpy as np
+import pytest
+
+
+def test_star_import_is_clean():
+    namespace: dict = {}
+    exec("from repro import *", namespace)
+    assert "PLRSolver" in namespace
+    assert "Signature" in namespace
+    assert "table1_signatures" in namespace
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro",
+        "repro.core",
+        "repro.plr",
+        "repro.codegen",
+        "repro.gpusim",
+        "repro.baselines",
+        "repro.eval",
+    ],
+)
+def test_all_exports_resolve(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name} in __all__ but missing"
+
+
+def test_version_is_set():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    ["repro.plr.streaming", "repro.core.signature", "repro.plr.semiring"],
+)
+def test_doctests_pass(module_name):
+    import importlib
+
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+
+
+def test_package_docstring_quickstart():
+    import repro
+
+    assert "PLRSolver" in repro.__doc__

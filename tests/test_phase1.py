@@ -1,0 +1,169 @@
+"""Phase 1: iterative pairwise merging and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference import serial_recurrence
+from repro.core.signature import Signature
+from repro.plr.factors import CorrectionFactorTable
+from repro.plr.phase1 import doubling_widths, merge_level, phase1, thread_local_solve
+
+PAPER_INPUT = np.array(
+    [3, -4, 5, -6, 7, -8, 9, -10, 11, -12, 13, -14, 15, -16, 17, -18, 19, -20, 21, -22],
+    dtype=np.int32,
+)
+
+
+def run_phase1(text: str, values: np.ndarray, m: int, x: int = 1) -> np.ndarray:
+    sig = Signature.parse(text)
+    table = CorrectionFactorTable.build(sig, m, values.dtype)
+    chunks = -(-values.size // m)
+    padded = np.zeros(chunks * m, dtype=values.dtype)
+    padded[:values.size] = values
+    return phase1(padded, table, x)
+
+
+class TestPaperWorkedExample:
+    """Section 2.3's intermediate sequences, byte for byte."""
+
+    def test_final_phase1_state(self):
+        out = run_phase1("(1: 2, -1)", PAPER_INPUT, 8).reshape(-1)[:20]
+        expected = [3, 2, 6, 4, 9, 6, 12, 8, 11, 10, 22, 20, 33, 30, 44, 40, 19, 18, 38, 36]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_iteration_one(self):
+        # "3 2 5 4 7 6 9 8 ..." after the first merge (chunk size 2).
+        out = run_phase1("(1: 2, -1)", PAPER_INPUT[:8], 2).reshape(-1)
+        np.testing.assert_array_equal(out, [3, 2, 5, 4, 7, 6, 9, 8])
+
+    def test_iteration_two(self):
+        # "3 2 6 4 7 6 14 12 ..." after the second merge (chunk size 4).
+        out = run_phase1("(1: 2, -1)", PAPER_INPUT[:8], 4).reshape(-1)
+        np.testing.assert_array_equal(out, [3, 2, 6, 4, 7, 6, 14, 12])
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("text", ["(1: 1)", "(1: 2, -1)", "(1: 0, 1)", "(1: 1, 1)"])
+    def test_first_chunk_is_globally_correct(self, text, rng):
+        values = rng.integers(-50, 50, 64).astype(np.int32)
+        out = run_phase1(text, values, 16)
+        sig = Signature.parse(text)
+        expected = serial_recurrence(values[:16], list(sig.feedback))
+        np.testing.assert_array_equal(out[0], expected)
+
+    @pytest.mark.parametrize("m", [1, 2, 4, 8, 16, 32])
+    def test_each_chunk_locally_correct(self, m, rng):
+        # Every chunk equals the serial solution of its own slice —
+        # the definition of Phase 1's output.
+        values = rng.integers(-20, 20, m * 4).astype(np.int32)
+        out = run_phase1("(1: 2, -1)", values, m)
+        for c in range(4):
+            piece = values[c * m : (c + 1) * m]
+            np.testing.assert_array_equal(
+                out[c], serial_recurrence(piece, [2, -1]), err_msg=f"chunk {c}"
+            )
+
+    def test_doubling_invariant_prefix_correct(self, rng):
+        # "after iteration s, the first 2^s elements are correct."
+        values = rng.integers(-9, 9, 64).astype(np.int64)
+        sig = Signature.parse("(1: 1, 1)")
+        for m in (2, 4, 8, 16, 32, 64):
+            out = run_phase1("(1: 1, 1)", values, m).reshape(-1)
+            expected = serial_recurrence(values, [1, 1])
+            np.testing.assert_array_equal(out[:m], expected[:m], err_msg=f"m={m}")
+
+    def test_phase1_does_not_modify_input(self, rng):
+        values = rng.integers(-9, 9, 32).astype(np.int32)
+        sig = Signature.parse("(1: 1)")
+        table = CorrectionFactorTable.build(sig, 8, np.int32)
+        snapshot = values.copy()
+        phase1(values, table, 1)
+        np.testing.assert_array_equal(values, snapshot)
+
+
+class TestThreadLocalStep:
+    @pytest.mark.parametrize("x", [2, 3, 4, 9, 11])
+    def test_equals_serial_per_cell(self, x, rng):
+        values = rng.integers(-9, 9, x * 6).astype(np.int32)
+        cells = values.reshape(6, x).copy()
+        thread_local_solve(cells, [2, -1], x)
+        for row in range(6):
+            np.testing.assert_array_equal(
+                cells[row], serial_recurrence(values.reshape(6, x)[row], [2, -1])
+            )
+
+    def test_x_equal_one_with_phase1(self, rng):
+        # x = 1 must behave as if there were no thread-local step.
+        values = rng.integers(-9, 9, 32).astype(np.int32)
+        a = run_phase1("(1: 2, -1)", values, 8, x=1)
+        b = run_phase1("(1: 2, -1)", values, 8, x=2)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDoublingWidths:
+    def test_power_of_two(self):
+        assert doubling_widths(1, 8) == [1, 2, 4]
+
+    def test_with_thread_grain(self):
+        assert doubling_widths(3, 24) == [3, 6, 12]
+
+    def test_paper_plan_shape(self):
+        # m = 1024 * 11 from x=11: widths 11, 22, ..., 5632.
+        widths = doubling_widths(11, 11 * 1024)
+        assert len(widths) == 10
+        assert widths[0] == 11
+        assert widths[-1] == 11 * 512
+
+    def test_m_equals_x(self):
+        assert doubling_widths(4, 4) == []
+
+    def test_invalid_combination(self):
+        with pytest.raises(ValueError):
+            doubling_widths(3, 10)
+
+
+class TestMergeLevel:
+    def test_term_suppression_small_widths(self):
+        # At width 1 an order-3 recurrence has only one available carry;
+        # the other two terms refer before the chunk and are suppressed.
+        sig = Signature.parse("(1: 1, 1, 1)")
+        table = CorrectionFactorTable.build(sig, 8, np.int64)
+        pairs = np.array([[5, 7]], dtype=np.int64)
+        merge_level(pairs, table, 1)
+        # correction: only carry 0 exists: 7 + F0[0]*5 = 7 + 1*5
+        np.testing.assert_array_equal(pairs, [[5, 12]])
+
+    def test_float_merge(self, rng):
+        values = rng.standard_normal(32).astype(np.float32)
+        out = run_phase1("(1: 0.5)", values, 8).reshape(-1)
+        expected = np.concatenate(
+            [serial_recurrence(values[i : i + 8], [0.5]) for i in range(0, 32, 8)]
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-5, atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    order=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+)
+def test_phase1_property_locally_correct(n, order, seed):
+    """Random recurrences, sizes, and data: chunks stay locally correct."""
+    gen = np.random.default_rng(seed)
+    feedback = tuple(int(v) for v in gen.integers(-3, 4, order))
+    if feedback[-1] == 0:
+        feedback = feedback[:-1] + (1,)
+    sig = Signature((1,), feedback)
+    values = gen.integers(-10, 10, n).astype(np.int64)
+    m = 16
+    table = CorrectionFactorTable.build(sig, m, np.int64)
+    chunks = -(-n // m)
+    padded = np.zeros(chunks * m, dtype=np.int64)
+    padded[:n] = values
+    out = phase1(padded, table, 1)
+    for c in range(chunks):
+        piece = padded[c * m : (c + 1) * m]
+        np.testing.assert_array_equal(out[c], serial_recurrence(piece, list(feedback)))

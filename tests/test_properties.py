@@ -1,0 +1,158 @@
+"""Cross-component property tests: one recurrence, every engine.
+
+These pit all the independent implementations against each other on
+randomly generated recurrences and inputs: the serial oracle, the
+numpy solver, the generated Python kernel, the generated C kernel, the
+functional GPU simulator, and (where supported) the Scan baseline.
+They are the reproduction's strongest correctness statement — six
+codebases computing the same thing six different ways.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.compiler import PLRCompiler
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.core.signature import Signature
+from repro.core.ztransform import cascade, impulse_response
+from repro.gpusim.executor import SimulatedPLR
+from repro.gpusim.spec import MachineSpec
+from repro.plr.solver import PLRSolver
+from repro.plr.streaming import StreamingSolver
+
+
+def random_integer_signature(data) -> Signature:
+    order = data.draw(st.integers(1, 3), label="order")
+    feedback = [data.draw(st.integers(-3, 3), label=f"b{j}") for j in range(order)]
+    if feedback[-1] == 0:
+        feedback[-1] = 1
+    p = data.draw(st.integers(0, 2), label="p")
+    feedforward = [data.draw(st.integers(-2, 2), label=f"a{j}") for j in range(p + 1)]
+    if all(a == 0 for a in feedforward):
+        feedforward[0] = 1
+    if feedforward[-1] == 0:
+        feedforward[-1] = 1
+    return Signature(tuple(feedforward), tuple(feedback))
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.data_too_large])
+@given(data=st.data(), n=st.integers(1, 1200), seed=st.integers(0, 2**20))
+def test_solver_simulator_streaming_agree(data, n, seed):
+    """Solver == GPU simulator == streaming, for random recurrences."""
+    signature = random_integer_signature(data)
+    recurrence = Recurrence(signature)
+    gen = np.random.default_rng(seed)
+    values = gen.integers(-8, 8, n).astype(np.int32)
+    expected = serial_full(values, signature)
+
+    solver_out = PLRSolver(recurrence).solve(values)
+    np.testing.assert_array_equal(solver_out, expected)
+
+    sim = SimulatedPLR(recurrence, MachineSpec.small_test_gpu(), seed=seed % 7)
+    np.testing.assert_array_equal(sim.run(values).output, expected)
+
+    stream = StreamingSolver(recurrence)
+    cut = n // 2
+    stream_out = np.concatenate([stream.push(values[:cut]), stream.push(values[cut:])])
+    np.testing.assert_array_equal(stream_out, expected)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data(), seed=st.integers(0, 2**20))
+def test_generated_kernels_agree(data, seed):
+    """Generated C and Python kernels match the oracle (random sigs)."""
+    signature = random_integer_signature(data)
+    recurrence = Recurrence(signature)
+    gen = np.random.default_rng(seed)
+    values = gen.integers(-8, 8, 5000).astype(np.int32)
+    expected = serial_full(values, signature)
+
+    compiler = PLRCompiler()
+    c_kernel = compiler.compile(recurrence, n=5000, backend="c").kernel
+    np.testing.assert_array_equal(c_kernel(values), expected)
+    py_kernel = compiler.compile(recurrence, n=5000, backend="python").kernel
+    np.testing.assert_array_equal(py_kernel(values), expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pole_a=st.floats(0.05, 0.95),
+    pole_b=st.floats(0.05, 0.95),
+    length=st.integers(1, 200),
+)
+def test_cascade_impulse_response_is_convolution(pole_a, pole_b, length):
+    """h_{A∘B} = h_A * h_B — the z-transform cascade is semantically
+    a convolution of impulse responses."""
+    from repro.core.coefficients import single_pole_low_pass
+
+    a = single_pole_low_pass(pole_a)
+    b = single_pole_low_pass(pole_b)
+    combined = cascade(a, b)
+    h_combined = impulse_response(combined, length)
+    h_a = impulse_response(a, length)
+    h_b = impulse_response(b, length)
+    h_conv = np.convolve(h_a, h_b)[:length]
+    np.testing.assert_allclose(h_combined, h_conv, rtol=1e-9, atol=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 400),
+    scale=st.floats(0.1, 0.9),
+    seed=st.integers(0, 2**16),
+)
+def test_stable_filter_output_is_bounded(n, scale, seed):
+    """BIBO stability: a stable filter's output on bounded input is
+    bounded by the input bound times the impulse-response l1 norm."""
+    from repro.core.coefficients import single_pole_low_pass
+
+    sig = single_pole_low_pass(scale)
+    gen = np.random.default_rng(seed)
+    values = gen.uniform(-1.0, 1.0, n).astype(np.float64)
+    out = PLRSolver(Recurrence(sig)).solve(values, dtype=np.float64)
+    # l1 norm of the impulse response: (1-x) * sum x^i = 1.
+    assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 2000), seed=st.integers(0, 2**16))
+def test_prefix_sum_linearity(n, seed):
+    """Prefix sums are linear: scan(a + b) == scan(a) + scan(b)."""
+    gen = np.random.default_rng(seed)
+    a = gen.integers(-50, 50, n).astype(np.int64)
+    b = gen.integers(-50, 50, n).astype(np.int64)
+    solver = PLRSolver("(1: 1)")
+    lhs = solver.solve(a + b)
+    rhs = solver.solve(a) + solver.solve(b)
+    np.testing.assert_array_equal(lhs, rhs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 1500), seed=st.integers(0, 2**16))
+def test_prefix_sum_inverse_is_difference(n, seed):
+    """diff(scan(x)) == x: the recurrence and the FIR (1, -1: 1)-style
+    difference are mutually inverse."""
+    gen = np.random.default_rng(seed)
+    values = gen.integers(-9, 9, n).astype(np.int64)
+    scanned = PLRSolver("(1: 1)").solve(values)
+    recovered = np.diff(scanned, prepend=np.int64(0))
+    np.testing.assert_array_equal(recovered, values)
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data(), seed=st.integers(0, 2**16))
+def test_scan_baseline_agrees_on_general_recurrences(data, seed):
+    """Blelloch Scan (matrix encoding) matches PLR on recurrences
+    no other baseline supports."""
+    from repro.baselines import BlellochScan
+
+    signature = random_integer_signature(data)
+    recurrence = Recurrence(signature)
+    gen = np.random.default_rng(seed)
+    values = gen.integers(-5, 5, 600).astype(np.int64)
+    scan_out = BlellochScan().compute(values, recurrence)
+    solver_out = PLRSolver(recurrence).solve(values, dtype=np.int64)
+    np.testing.assert_array_equal(scan_out, solver_out)

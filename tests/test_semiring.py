@@ -1,0 +1,150 @@
+"""Semiring recurrences: the 'operators other than addition' extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plr.semiring import (
+    BooleanSemiring,
+    MaxPlus,
+    MinPlus,
+    SlidingWindowDP,
+    semiring_correction_factors,
+    semiring_serial,
+    semiring_solve,
+)
+
+
+class TestSemiringLaws:
+    @pytest.mark.parametrize("semiring", [MaxPlus(), MinPlus(), BooleanSemiring()])
+    def test_identities(self, semiring):
+        samples = (
+            np.array([True, False])
+            if semiring.dtype == np.bool_
+            else np.array([-3.5, 0.0, 7.25])
+        )
+        for x in samples:
+            assert semiring.add(semiring.zero, x) == x
+            assert semiring.mul(semiring.one, x) == x
+
+    @pytest.mark.parametrize("semiring", [MaxPlus(), MinPlus()])
+    def test_zero_annihilates(self, semiring):
+        assert semiring.mul(semiring.zero, 5.0) == semiring.zero
+
+    @pytest.mark.parametrize("semiring", [MaxPlus(), MinPlus(), BooleanSemiring()])
+    def test_distributivity(self, semiring, rng):
+        if semiring.dtype == np.bool_:
+            a, b, c = rng.random(3) < 0.5
+        else:
+            a, b, c = rng.normal(0, 3, 3)
+        left = semiring.mul(a, semiring.add(b, c))
+        right = semiring.add(semiring.mul(a, b), semiring.mul(a, c))
+        assert left == right
+
+
+class TestFactors:
+    def test_maxplus_first_order_factors(self):
+        # (max, +) analogue of d, d^2, d^3 ... is d, 2d, 3d ...
+        rows = semiring_correction_factors([-1.5], MaxPlus(), 4)
+        np.testing.assert_allclose(rows[0], [-1.5, -3.0, -4.5, -6.0])
+
+    def test_boolean_factors_are_reachability(self):
+        rows = semiring_correction_factors([True, True], BooleanSemiring(), 4)
+        assert rows.dtype == np.bool_
+        assert rows.all()  # every offset reachable via steps of 1 and 2
+
+    def test_boolean_gap_pattern(self):
+        # Steps of exactly 2: carry w[m-1] reaches only even offsets+1...
+        rows = semiring_correction_factors([False, True], BooleanSemiring(), 6)
+        np.testing.assert_array_equal(rows[0], [False, True, False, True, False, True])
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_maxplus_matches_serial(self, order, rng):
+        values = rng.normal(0, 5, 1500)
+        feedback = list(rng.normal(-2, 1, order))
+        expected = semiring_serial(values, feedback, MaxPlus())
+        got = semiring_solve(values, feedback, MaxPlus(), chunk_size=64)
+        np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-12)
+
+    def test_minplus_matches_serial(self, rng):
+        values = rng.normal(0, 5, 900)
+        got = semiring_solve(values, [1.0, 2.5], MinPlus(), chunk_size=32)
+        expected = semiring_serial(values, [1.0, 2.5], MinPlus())
+        np.testing.assert_allclose(got, expected)
+
+    def test_boolean_matches_serial(self, rng):
+        values = rng.random(700) < 0.05
+        got = semiring_solve(values, [True, True, True], BooleanSemiring(), 64)
+        expected = semiring_serial(values, [True, True, True], BooleanSemiring())
+        np.testing.assert_array_equal(got, expected)
+
+    def test_boolean_is_window_spread(self, rng):
+        # With feedback (1,): once any element is True, everything
+        # after it is True — boolean "prefix or".
+        values = rng.random(100) < 0.1
+        if not values.any():
+            values[50] = True
+        out = semiring_solve(values, [True], BooleanSemiring(), 32)
+        first = int(np.argmax(values))
+        assert not out[:first].any()
+        assert out[first:].all()
+
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 1000])
+    def test_sizes(self, n, rng):
+        values = rng.normal(0, 1, n)
+        got = semiring_solve(values, [-0.5], MaxPlus(), chunk_size=64)
+        expected = semiring_serial(values, [-0.5], MaxPlus())
+        np.testing.assert_allclose(got, expected)
+
+    def test_empty(self):
+        out = semiring_solve(np.array([]), [1.0], MaxPlus())
+        assert out.size == 0
+
+    def test_chunk_size_must_be_power_of_two(self, rng):
+        with pytest.raises(ValueError):
+            semiring_solve(rng.normal(0, 1, 10), [1.0], MaxPlus(), chunk_size=48)
+
+    def test_no_feedback_rejected(self, rng):
+        with pytest.raises(ValueError):
+            semiring_solve(rng.normal(0, 1, 10), [], MaxPlus())
+
+
+class TestSlidingWindowDP:
+    def test_matches_explicit_dp(self, rng):
+        scores = rng.normal(0, 2, 400)
+        dp = SlidingWindowDP((-1.0, -3.0))
+        got = dp.solve(scores)
+        best = np.empty_like(scores)
+        for i in range(scores.size):
+            acc = scores[i]
+            if i >= 1:
+                acc = max(acc, best[i - 1] - 1.0)
+            if i >= 2:
+                acc = max(acc, best[i - 2] - 3.0)
+            best[i] = acc
+        np.testing.assert_allclose(got, best)
+
+    def test_monotone_under_zero_penalty(self, rng):
+        # Zero penalty makes it a running maximum.
+        scores = rng.normal(0, 2, 200)
+        got = SlidingWindowDP((0.0,)).solve(scores)
+        np.testing.assert_allclose(got, np.maximum.accumulate(scores))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    n=st.integers(1, 600),
+    order=st.integers(1, 3),
+)
+def test_semiring_property_maxplus(seed, n, order):
+    """Random tropical recurrences: parallel equals serial."""
+    gen = np.random.default_rng(seed)
+    values = gen.normal(0, 4, n)
+    feedback = list(gen.normal(-1, 2, order))
+    got = semiring_solve(values, feedback, MaxPlus(), chunk_size=32)
+    expected = semiring_serial(values, feedback, MaxPlus())
+    np.testing.assert_allclose(got, expected, rtol=1e-12, atol=1e-12)

@@ -1,0 +1,192 @@
+"""The signature DSL: parsing, validation, formatting, constructors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.errors import SignatureError
+from repro.core.signature import Signature, parse_signature
+
+
+class TestParsing:
+    def test_prefix_sum(self):
+        sig = Signature.parse("(1: 1)")
+        assert sig.feedforward == (1,)
+        assert sig.feedback == (1,)
+
+    def test_without_parentheses(self):
+        assert Signature.parse("1: 1") == Signature.parse("(1: 1)")
+
+    def test_second_order(self):
+        sig = Signature.parse("(1: 2, -1)")
+        assert sig.feedback == (2, -1)
+        assert sig.order == 2
+
+    def test_floats(self):
+        sig = Signature.parse("(0.2: 0.8)")
+        assert sig.feedforward == (0.2,)
+        assert sig.feedback == (0.8,)
+
+    def test_scientific_notation(self):
+        sig = Signature.parse("(1e-2: 8e-1)")
+        assert sig.feedforward == (0.01,)
+        assert sig.feedback == (0.8,)
+
+    def test_leading_plus(self):
+        assert Signature.parse("(+1: +1)") == Signature.parse("(1: 1)")
+
+    def test_rational_coefficients(self):
+        sig = Signature.parse("(1/5: 4/5)")
+        assert sig.feedforward == (Fraction(1, 5),)
+        assert sig.feedback == (Fraction(4, 5),)
+
+    def test_multiple_feedforward(self):
+        sig = Signature.parse("(0.9, -0.9: 0.8)")
+        assert sig.feedforward == (0.9, -0.9)
+        assert sig.fir_order == 1
+
+    def test_whitespace_tolerant(self):
+        sig = Signature.parse("  ( 1 ,  2 :  3 , 4 )  ")
+        assert sig.feedforward == (1, 2)
+        assert sig.feedback == (3, 4)
+
+    def test_integers_stay_exact(self):
+        sig = Signature.parse("(1: 3, -3, 1)")
+        assert all(isinstance(c, int) for c in sig.feedback)
+
+    def test_float_marker_forces_float(self):
+        sig = Signature.parse("(1.0: 1)")
+        assert isinstance(sig.feedforward[0], float)
+        assert not sig.is_integer
+
+    def test_module_level_alias(self):
+        assert parse_signature("(1: 1)") == Signature.parse("(1: 1)")
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "(1, 1)",  # no colon
+            "(1: 1: 1)",  # two colons
+            "(1:",  # unbalanced
+            "1: 1)",  # unbalanced
+            "(: 1)",  # empty feed-forward
+            "(1: )",  # empty feedback
+            "(1,, 2: 1)",  # empty coefficient
+            "(a: 1)",  # not a number
+            "(1: 1x)",  # trailing garbage
+            "(1: 1 2)",  # missing comma
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(SignatureError):
+            Signature.parse(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SignatureError):
+            Signature.parse(123)  # type: ignore[arg-type]
+
+
+class TestValidation:
+    def test_last_feedforward_zero_rejected(self):
+        with pytest.raises(SignatureError, match="feed-forward"):
+            Signature((1, 0), (1,))
+
+    def test_last_feedback_zero_rejected(self):
+        with pytest.raises(SignatureError, match="feedback"):
+            Signature((1,), (1, 0))
+
+    def test_all_zero_feedforward_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature.parse("(0: 1)")
+
+    def test_pure_map_rejected(self):
+        # all-b-zero means an embarrassingly parallel map: out of scope.
+        with pytest.raises(SignatureError):
+            Signature((1,), ())
+
+    def test_interior_zeros_allowed(self):
+        sig = Signature((1,), (0, 0, 1))  # 3-tuple prefix sum
+        assert sig.order == 3
+
+    def test_boolean_coefficient_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature((True,), (1,))
+
+
+class TestProperties:
+    def test_order_is_feedback_length(self):
+        assert Signature.parse("(1: 1, 0, 0, 2)").order == 4
+
+    def test_is_integer(self):
+        assert Signature.parse("(1: 2, -1)").is_integer
+        assert not Signature.parse("(0.2: 0.8)").is_integer
+
+    def test_is_pure_recursive(self):
+        assert Signature.parse("(1: 5)").is_pure_recursive
+        assert not Signature.parse("(2: 5)").is_pure_recursive
+        assert not Signature.parse("(1, 1: 5)").is_pure_recursive
+
+    def test_recursive_part(self):
+        sig = Signature.parse("(0.9, -0.9: 0.8)")
+        assert sig.recursive_part() == Signature((1,), (0.8,))
+
+    def test_map_part(self):
+        sig = Signature.parse("(0.9, -0.9: 0.8)")
+        assert sig.map_part() == (0.9, -0.9)
+
+    def test_hashable(self):
+        a = Signature.parse("(1: 2, -1)")
+        b = Signature.parse("(1: 2, -1)")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_str_roundtrip(self):
+        for text in ["(1: 1)", "(1: 2, -1)", "(0.2: 0.8)", "(0.9, -0.9: 0.8)"]:
+            sig = Signature.parse(text)
+            assert Signature.parse(str(sig)) == sig
+
+    def test_fraction_roundtrip(self):
+        sig = Signature.parse("(1/5: 4/5)")
+        assert Signature.parse(str(sig)) == sig
+
+
+class TestConstructors:
+    def test_prefix_sum(self):
+        assert Signature.prefix_sum() == Signature.parse("(1: 1)")
+
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 8])
+    def test_tuple_prefix_sum(self, size):
+        sig = Signature.tuple_prefix_sum(size)
+        assert sig.order == size
+        assert sig.feedback[-1] == 1
+        assert all(b == 0 for b in sig.feedback[:-1])
+
+    def test_tuple_size_one_is_prefix_sum(self):
+        assert Signature.tuple_prefix_sum(1) == Signature.prefix_sum()
+
+    @pytest.mark.parametrize(
+        "order,expected",
+        [(1, (1,)), (2, (2, -1)), (3, (3, -3, 1)), (4, (4, -6, 4, -1))],
+    )
+    def test_higher_order_binomials(self, order, expected):
+        assert Signature.higher_order_prefix_sum(order).feedback == expected
+
+    def test_invalid_tuple_size(self):
+        with pytest.raises(SignatureError):
+            Signature.tuple_prefix_sum(0)
+
+    def test_invalid_order(self):
+        with pytest.raises(SignatureError):
+            Signature.higher_order_prefix_sum(0)
+
+    def test_with_feedback(self):
+        sig = Signature.parse("(1: 1)").with_feedback((2, -1))
+        assert sig == Signature.parse("(1: 2, -1)")
+
+    def test_with_feedforward(self):
+        sig = Signature.parse("(1: 1)").with_feedforward((0.5,))
+        assert sig.feedforward == (0.5,)

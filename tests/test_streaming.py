@@ -1,0 +1,148 @@
+"""The streaming API: block-wise evaluation with carried state."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference import serial_full
+from repro.core.signature import Signature
+from repro.core.validation import assert_valid
+from repro.plr.streaming import StreamingSolver
+from tests.conftest import make_values
+
+
+class TestEquivalence:
+    """push()-ing blocks equals solving the concatenation."""
+
+    def test_all_table1_random_splits(self, table1_recurrence, rng):
+        total = make_values(table1_recurrence, 5000)
+        expected = serial_full(total, table1_recurrence.signature)
+        stream = StreamingSolver(table1_recurrence)
+        cuts = sorted(set(rng.integers(1, 5000, 5).tolist()))
+        out = stream.push_many(np.split(total, cuts))
+        assert_valid(out, expected, context=str(table1_recurrence))
+
+    def test_docstring_example(self):
+        stream = StreamingSolver("(1: 1)")
+        first = stream.push(np.array([1, 2, 3], dtype=np.int32))
+        np.testing.assert_array_equal(first, [1, 3, 6])
+        second = stream.push(np.array([4], dtype=np.int32))
+        np.testing.assert_array_equal(second, [10])
+
+    def test_single_element_blocks(self, rng):
+        total = rng.integers(-9, 9, 50).astype(np.int32)
+        stream = StreamingSolver("(1: 2, -1)")
+        out = stream.push_many([total[i : i + 1] for i in range(50)])
+        np.testing.assert_array_equal(
+            out, serial_full(total, Signature.parse("(1: 2, -1)"))
+        )
+
+    def test_blocks_shorter_than_order(self, rng):
+        # Order-3 recurrence fed 1- and 2-element blocks: the carry
+        # state must splice old and new outputs correctly.
+        total = rng.integers(-9, 9, 23).astype(np.int32)
+        stream = StreamingSolver("(1: 0, 0, 1)")
+        blocks = [total[0:1], total[1:3], total[3:4], total[4:23]]
+        out = stream.push_many(blocks)
+        np.testing.assert_array_equal(
+            out, serial_full(total, Signature.parse("(1: 0, 0, 1)"))
+        )
+
+    def test_fir_history_across_boundary(self, rng):
+        # High-pass filters reference prior *inputs*; a split right
+        # after position 0 exercises the retained input history.
+        total = rng.standard_normal(400).astype(np.float32)
+        sig = Signature.parse("(0.9, -0.9: 0.8)")
+        stream = StreamingSolver(sig)
+        out = stream.push_many([total[:1], total[1:200], total[200:]])
+        assert_valid(out, serial_full(total, sig))
+
+    def test_empty_block_is_noop(self, rng):
+        total = rng.integers(-9, 9, 30).astype(np.int32)
+        stream = StreamingSolver("(1: 1)")
+        a = stream.push(total[:10])
+        empty = stream.push(np.array([], dtype=np.int32))
+        assert empty.size == 0
+        b = stream.push(total[10:])
+        np.testing.assert_array_equal(
+            np.concatenate([a, b]), np.cumsum(total, dtype=np.int32)
+        )
+
+
+class TestState:
+    def test_checkpoint_resume(self, rng):
+        total = rng.integers(-9, 9, 600).astype(np.int32)
+        reference = StreamingSolver("(1: 2, -1)")
+        expected = np.concatenate(
+            [reference.push(total[:300]), reference.push(total[300:])]
+        )
+
+        first = StreamingSolver("(1: 2, -1)")
+        head = first.push(total[:300])
+        checkpoint = first.state
+
+        second = StreamingSolver("(1: 2, -1)")
+        second.load_state(checkpoint)
+        tail = second.push(total[300:])
+        np.testing.assert_array_equal(np.concatenate([head, tail]), expected)
+
+    def test_state_is_a_copy(self, rng):
+        stream = StreamingSolver("(1: 1)")
+        stream.push(np.array([5], dtype=np.int32))
+        snapshot = stream.state
+        stream.push(np.array([7], dtype=np.int32))
+        assert snapshot.outputs[0] == 5  # unaffected by later pushes
+
+    def test_position_tracks_consumption(self, rng):
+        stream = StreamingSolver("(1: 1)")
+        stream.push(np.zeros(10, dtype=np.int32))
+        stream.push(np.zeros(5, dtype=np.int32))
+        assert stream.state.position == 15
+
+    def test_reset(self, rng):
+        total = rng.integers(-9, 9, 40).astype(np.int32)
+        stream = StreamingSolver("(1: 1)")
+        stream.push(total)
+        stream.reset()
+        out = stream.push(total)
+        np.testing.assert_array_equal(out, np.cumsum(total, dtype=np.int32))
+
+    def test_load_state_validates_shape(self):
+        stream = StreamingSolver("(1: 2, -1)")
+        other = StreamingSolver("(1: 1)")
+        with pytest.raises(ValueError):
+            stream.load_state(other.state)
+
+
+class TestAPI:
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            StreamingSolver("(1: 1)").push(np.zeros((2, 2), dtype=np.int32))
+
+    def test_push_many_empty(self):
+        out = StreamingSolver("(1: 1)").push_many([])
+        assert out.size == 0
+
+    def test_dtype_override(self, rng):
+        stream = StreamingSolver("(1: 1)", dtype=np.int64)
+        out = stream.push(rng.integers(0, 9, 10).astype(np.int64))
+        assert out.dtype == np.int64
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 800),
+    num_cuts=st.integers(0, 6),
+)
+def test_streaming_property(seed, n, num_cuts):
+    """Any split of any sequence equals the one-shot solve."""
+    gen = np.random.default_rng(seed)
+    total = gen.integers(-9, 9, n).astype(np.int32)
+    cuts = sorted(set(gen.integers(1, max(n, 2), num_cuts).tolist())) if num_cuts else []
+    cuts = [c for c in cuts if c < n]
+    sig = Signature.parse("(1: 2, -1)")
+    stream = StreamingSolver(sig)
+    out = stream.push_many(np.split(total, cuts))
+    np.testing.assert_array_equal(out, serial_full(total, sig))

@@ -1,0 +1,105 @@
+"""Tables 2 and 3: paper numbers vs reproduced accounting.
+
+These are the tightest quantitative checks in the reproduction: memory
+usage and L2 misses are pure accounting, so the model should land
+within a few percent of every cell the paper prints.
+"""
+
+import pytest
+
+from repro.eval.tables import (
+    TABLE_INPUT_WORDS,
+    table2_memory_usage,
+    table3_l2_misses,
+)
+
+# Table 2 of the paper, megabytes (order -> code -> value).
+PAPER_TABLE2 = {
+    1: {"PLR": 623.5, "CUB": 623.5, "SAM": 622.5, "Scan": 1135.5, "Alg3": 895.8, "Rec": 638.5, "memcpy": 621.5},
+    2: {"PLR": 623.5, "CUB": 623.5, "SAM": 622.5, "Scan": 3188.8, "Alg3": 911.8, "Rec": 654.5, "memcpy": 621.5},
+    3: {"PLR": 624.5, "CUB": 623.5, "SAM": 622.5, "Scan": 6278.9, "Alg3": 927.8, "Rec": 670.5, "memcpy": 621.5},
+}
+
+# Table 3 of the paper, megabytes of L2 read misses.
+PAPER_TABLE3 = {
+    1: {"PLR": 256.1, "CUB": 256.5, "SAM": 256.2, "Scan": 512.3, "Alg3": 550.6, "Rec": 528.3},
+    2: {"PLR": 256.2, "CUB": 256.1, "SAM": 256.6, "Scan": 1537.1, "Alg3": 591.3, "Rec": 545.3},
+    3: {"PLR": 256.4, "CUB": 256.2, "SAM": 256.8, "Scan": 3074.1, "Alg3": 632.0, "Rec": 562.5},
+}
+
+
+@pytest.fixture(scope="module")
+def table2():
+    cells = table2_memory_usage()
+    return {(c.code, c.order): c.megabytes for c in cells}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    cells = table3_l2_misses()
+    return {(c.code, c.order): c.megabytes for c in cells}
+
+
+def test_table_input_is_2_26():
+    """'the largest input that all six recurrence codes support, i.e.,
+    67,108,864 words.'"""
+    assert TABLE_INPUT_WORDS == 2**26 == 67_108_864
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+@pytest.mark.parametrize("code", ["PLR", "CUB", "SAM", "Scan", "Alg3", "Rec", "memcpy"])
+def test_table2_cells_within_two_percent(table2, order, code):
+    got = table2[(code, order)]
+    expected = PAPER_TABLE2[order][code]
+    assert got == pytest.approx(expected, rel=0.02), (code, order)
+
+
+@pytest.mark.parametrize("order", [1, 2, 3])
+@pytest.mark.parametrize("code", ["PLR", "CUB", "SAM", "Scan", "Alg3", "Rec"])
+def test_table3_cells_within_two_percent(table3, order, code):
+    got = table3[(code, order)]
+    expected = PAPER_TABLE3[order][code]
+    assert got == pytest.approx(expected, rel=0.02), (code, order)
+
+
+class TestTable2Structure:
+    def test_plr_within_three_mb_of_memcpy(self, table2):
+        """'PLR between two and three more megabytes, i.e., less than
+        half a percent.'"""
+        for order in (1, 2, 3):
+            extra = table2[("PLR", order)] - table2[("memcpy", order)]
+            assert 1.0 < extra < 4.0
+
+    def test_scan_data_blowup(self, table2):
+        """'it requires 1024 MB for first-order, 3072 MB for
+        second-order, and 6144 MB for third-order recurrences' of data
+        alone."""
+        context = 109.5
+        for order, data_mb in ((1, 1024), (2, 3072), (3, 6144)):
+            assert table2[("Scan", order)] >= data_mb + context
+
+    def test_alg3_heaviest_filter_code(self, table2):
+        for order in (1, 2, 3):
+            assert table2[("Alg3", order)] > table2[("Rec", order)]
+
+
+class TestTable3Structure:
+    def test_single_pass_codes_near_cold_misses(self, table3):
+        """'PLR, CUB, and SAM only incur a tiny amount of additional
+        L2-cache read misses (less than one megabyte or 0.3%).'"""
+        for order in (1, 2, 3):
+            for code in ("PLR", "CUB", "SAM"):
+                assert 256.0 <= table3[(code, order)] < 257.0, (code, order)
+
+    def test_scan_multiples(self, table3):
+        """'the two, six, and twelve times higher cold misses.'"""
+        assert table3[("Scan", 1)] / 256 == pytest.approx(2, rel=0.01)
+        assert table3[("Scan", 2)] / 256 == pytest.approx(6, rel=0.01)
+        assert table3[("Scan", 3)] / 256 == pytest.approx(12, rel=0.01)
+
+    def test_alg3_rec_read_input_twice(self, table3):
+        """'Alg3 and Rec are not communication efficient as they read
+        the input data twice.'"""
+        for order in (1, 2, 3):
+            assert table3[("Alg3", order)] > 2 * 256
+            assert table3[("Rec", order)] > 2 * 256

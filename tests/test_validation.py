@@ -1,0 +1,114 @@
+"""Result validation: exact ints, 1e-3 floats (Section 5 methodology)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.core.validation import FLOAT_TOLERANCE, assert_valid, compare_results
+
+
+def test_tolerance_constant_matches_paper():
+    assert FLOAT_TOLERANCE == 1e-3
+
+
+class TestIntegerComparison:
+    def test_exact_match(self):
+        a = np.array([1, 2, 3], dtype=np.int32)
+        report = compare_results(a, a.copy())
+        assert report.ok
+        assert report.kind == "exact"
+
+    def test_single_mismatch_fails(self):
+        a = np.array([1, 2, 3], dtype=np.int32)
+        b = np.array([1, 2, 4], dtype=np.int32)
+        report = compare_results(a, b)
+        assert not report.ok
+        assert report.worst_index == 2
+
+    def test_off_by_one_fails(self):
+        # Integers get no tolerance at all.
+        a = np.arange(100, dtype=np.int64)
+        b = a.copy()
+        b[50] += 1
+        assert not compare_results(a, b).ok
+
+
+class TestFloatComparison:
+    def test_identical(self):
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        assert compare_results(a, a.copy()).ok
+
+    def test_within_tolerance(self):
+        a = np.array([1.0, 2.0], dtype=np.float32)
+        b = a + 5e-4
+        assert compare_results(a, b).ok
+
+    def test_beyond_tolerance(self):
+        a = np.array([1.0], dtype=np.float32)
+        b = np.array([1.01], dtype=np.float32)
+        assert not compare_results(a, b).ok
+
+    def test_relative_for_large_magnitudes(self):
+        a = np.array([1e9], dtype=np.float64)
+        b = np.array([1e9 * (1 + 5e-4)], dtype=np.float64)
+        assert compare_results(a, b).ok  # 5e-4 relative is fine
+
+    def test_absolute_near_zero(self):
+        a = np.array([0.0], dtype=np.float32)
+        b = np.array([5e-4], dtype=np.float32)
+        assert compare_results(a, b).ok
+        c = np.array([5e-3], dtype=np.float32)
+        assert not compare_results(a, c).ok
+
+    def test_matching_nans_ok(self):
+        a = np.array([np.nan, 1.0])
+        assert compare_results(a, a.copy()).ok
+
+    def test_mismatched_nan_fails(self):
+        a = np.array([np.nan, 1.0])
+        b = np.array([0.0, 1.0])
+        assert not compare_results(a, b).ok
+        assert not compare_results(b, a).ok
+
+    def test_custom_tolerance(self):
+        a = np.array([1.0])
+        b = np.array([1.05])
+        assert compare_results(a, b, tolerance=0.1).ok
+        assert not compare_results(a, b, tolerance=0.01).ok
+
+
+class TestAssertValid:
+    def test_raises_with_context(self):
+        a = np.array([1], dtype=np.int32)
+        b = np.array([2], dtype=np.int32)
+        with pytest.raises(ValidationError, match="myctx"):
+            assert_valid(a, b, context="myctx")
+
+    def test_returns_report_on_success(self):
+        a = np.array([1], dtype=np.int32)
+        report = assert_valid(a, a.copy())
+        assert report.ok
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError, match="shape"):
+            compare_results(np.zeros(3), np.zeros(4))
+
+
+def test_empty_arrays_ok():
+    report = compare_results(np.array([], dtype=np.int32), np.array([], dtype=np.int32))
+    assert report.ok
+    assert report.checked == 0
+
+
+def test_report_describe_mentions_index():
+    a = np.zeros(10, dtype=np.int32)
+    b = a.copy()
+    b[7] = 1
+    report = compare_results(a, b)
+    assert "7" in report.describe()
+
+
+def test_report_bool_protocol():
+    a = np.array([1], dtype=np.int32)
+    assert compare_results(a, a.copy())
+    assert not compare_results(a, a + 1)

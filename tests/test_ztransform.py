@@ -1,0 +1,171 @@
+"""z-transform utilities: cascades, stability, responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import low_pass, single_pole_low_pass
+from repro.core.errors import SignatureError
+from repro.core.signature import Signature
+from repro.core.ztransform import (
+    cascade,
+    cascade_many,
+    convolve,
+    frequency_response,
+    impulse_response,
+    is_stable,
+    poles,
+    repeat,
+    signature_from_transfer,
+    transfer_function,
+)
+
+
+class TestConvolve:
+    def test_scalar(self):
+        assert convolve((2,), (3,)) == (6,)
+
+    def test_binomial_square(self):
+        # (1 + x)^2 = 1 + 2x + x^2
+        assert convolve((1, 1), (1, 1)) == (1, 2, 1)
+
+    def test_exact_integers(self):
+        out = convolve((1, -2, 1), (1, 1))
+        assert out == (1, -1, -1, 1)
+        assert all(isinstance(v, int) for v in out)
+
+    def test_commutative(self):
+        p, q = (1, 2, 3), (4, 5)
+        assert convolve(p, q) == convolve(q, p)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convolve((), (1,))
+
+
+class TestTransferRoundtrip:
+    @pytest.mark.parametrize(
+        "text", ["(1: 1)", "(1: 2, -1)", "(0.2: 0.8)", "(0.9, -0.9: 0.8)"]
+    )
+    def test_roundtrip(self, text):
+        sig = Signature.parse(text)
+        num, den = transfer_function(sig)
+        assert signature_from_transfer(num, den) == sig
+
+    def test_denominator_sign_convention(self):
+        _, den = transfer_function(Signature.parse("(1: 2, -1)"))
+        assert den == (1, -2, 1)
+
+    def test_non_monic_rejected(self):
+        with pytest.raises(SignatureError):
+            signature_from_transfer((1,), (2, 1))
+
+    def test_trivial_denominator_rejected(self):
+        with pytest.raises(SignatureError):
+            signature_from_transfer((1,), (1,))
+
+
+class TestCascade:
+    def test_two_stage_low_pass(self):
+        lp1 = single_pole_low_pass(0.8)
+        lp2 = cascade(lp1, lp1)
+        assert math.isclose(float(lp2.feedforward[0]), 0.04, abs_tol=1e-12)
+        assert math.isclose(float(lp2.feedback[0]), 1.6, abs_tol=1e-12)
+        assert math.isclose(float(lp2.feedback[1]), -0.64, abs_tol=1e-12)
+
+    def test_repeat_matches_manual_cascade(self):
+        lp1 = single_pole_low_pass(0.8)
+        assert repeat(lp1, 3) == cascade(cascade(lp1, lp1), lp1)
+
+    def test_cascade_many(self):
+        lp1 = single_pole_low_pass(0.8)
+        assert cascade_many([lp1, lp1]) == cascade(lp1, lp1)
+
+    def test_cascade_many_empty_rejected(self):
+        with pytest.raises(SignatureError):
+            cascade_many([])
+
+    def test_repeat_zero_rejected(self):
+        with pytest.raises(SignatureError):
+            repeat(single_pole_low_pass(0.8), 0)
+
+    def test_cascade_order_adds(self):
+        a = Signature.parse("(1: 2, -1)")
+        b = Signature.parse("(1: 1)")
+        assert cascade(a, b).order == 3
+
+    def test_cascade_semantics(self, rng):
+        """Cascaded signature == running the filters back to back."""
+        from repro.core.reference import serial_full
+
+        a = single_pole_low_pass(0.7)
+        b = single_pole_low_pass(0.9)
+        combined = cascade(a, b)
+        x = rng.standard_normal(500).astype(np.float64)
+        two_step = serial_full(serial_full(x, a, dtype=np.float64), b, dtype=np.float64)
+        one_step = serial_full(x, combined, dtype=np.float64)
+        np.testing.assert_allclose(one_step, two_step, rtol=1e-9, atol=1e-9)
+
+    def test_integer_cascade_stays_integer(self):
+        a = Signature.parse("(1: 1)")
+        assert cascade(a, a) == Signature.parse("(1: 2, -1)")
+        assert cascade(a, a).is_integer
+
+    def test_higher_order_prefix_sum_is_cascaded_prefix_sum(self):
+        ps = Signature.prefix_sum()
+        assert cascade_many([ps, ps, ps]) == Signature.higher_order_prefix_sum(3)
+
+
+class TestStability:
+    def test_low_pass_stable(self):
+        for stages in (1, 2, 3):
+            assert is_stable(low_pass(stages))
+
+    def test_prefix_sum_not_stable(self):
+        assert not is_stable(Signature.prefix_sum())
+
+    def test_explosive_not_stable(self):
+        assert not is_stable(Signature.parse("(1: 1, 1)"))  # Fibonacci
+
+    def test_poles_of_single_pole(self):
+        p = poles(single_pole_low_pass(0.8))
+        assert len(p) == 1
+        assert math.isclose(abs(p[0]), 0.8, rel_tol=1e-9)
+
+    def test_double_pole(self):
+        p = sorted(abs(z) for z in poles(low_pass(2)))
+        assert all(math.isclose(m, 0.8, rel_tol=1e-6) for m in p)
+
+
+class TestResponses:
+    def test_impulse_response_of_prefix_sum_is_ones(self):
+        h = impulse_response(Signature.prefix_sum(), 10)
+        np.testing.assert_array_equal(h, np.ones(10))
+
+    def test_impulse_response_geometric_decay(self):
+        h = impulse_response(single_pole_low_pass(0.5), 8)
+        expected = 0.5 * np.power(0.5, np.arange(8))
+        np.testing.assert_allclose(h, expected, rtol=1e-12)
+
+    def test_impulse_response_length_zero(self):
+        assert impulse_response(Signature.prefix_sum(), 0).size == 0
+
+    def test_impulse_response_negative_rejected(self):
+        with pytest.raises(ValueError):
+            impulse_response(Signature.prefix_sum(), -1)
+
+    def test_low_pass_frequency_shape(self):
+        sig = low_pass(2)
+        h = frequency_response(sig, [0.0, 0.05, 0.45])
+        mags = np.abs(h)
+        assert math.isclose(mags[0], 1.0, rel_tol=1e-9)  # unity at DC
+        assert mags[0] > mags[1] > mags[2]  # monotone falling
+
+    def test_high_pass_frequency_shape(self):
+        from repro.core.coefficients import high_pass
+
+        h = frequency_response(high_pass(1), [0.0, 0.2, 0.5])
+        mags = np.abs(h)
+        assert mags[0] < 1e-12  # zero at DC
+        assert mags[2] > mags[1] > mags[0]
