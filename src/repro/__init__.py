@@ -24,11 +24,14 @@ from repro.baselines import RecurrenceCode, Workload, make_code
 from repro.codegen import PLRCompiler
 from repro.core import (
     FLOAT_TOLERANCE,
+    DeadlockError,
+    NumericalError,
     Recurrence,
     RecurrenceClass,
     ReproError,
     Signature,
     SignatureError,
+    StateError,
     ValidationError,
     assert_valid,
     classify,
@@ -41,14 +44,21 @@ from repro.core import (
     serial_full,
     table1_signatures,
 )
-from repro.gpusim import CostModel, MachineSpec, SimulatedPLR
+from repro.gpusim import CostModel, FaultKind, FaultPlan, MachineSpec, SimulatedPLR
 from repro.plr import (
     CorrectionFactorTable,
     ExecutionPlan,
     OptimizationConfig,
     PLRSolver,
+    clear_factor_cache,
     plan_execution,
     plr_solve,
+)
+from repro.resilience import (
+    FallbackPolicy,
+    ResilientSolver,
+    SolveReport,
+    run_chaos,
 )
 
 __version__ = "1.0.0"
@@ -56,9 +66,14 @@ __version__ = "1.0.0"
 __all__ = [
     "CorrectionFactorTable",
     "CostModel",
+    "DeadlockError",
     "ExecutionPlan",
     "FLOAT_TOLERANCE",
+    "FallbackPolicy",
+    "FaultKind",
+    "FaultPlan",
     "MachineSpec",
+    "NumericalError",
     "OptimizationConfig",
     "PLRCompiler",
     "PLRSolver",
@@ -66,14 +81,18 @@ __all__ = [
     "RecurrenceClass",
     "RecurrenceCode",
     "ReproError",
+    "ResilientSolver",
     "Signature",
     "SignatureError",
     "SimulatedPLR",
+    "SolveReport",
+    "StateError",
     "ValidationError",
     "Workload",
     "__version__",
     "assert_valid",
     "classify",
+    "clear_factor_cache",
     "compare_results",
     "correction_factors",
     "high_pass",
@@ -83,6 +102,7 @@ __all__ = [
     "parse_signature",
     "plan_execution",
     "plr_solve",
+    "run_chaos",
     "serial_full",
     "table1_signatures",
 ]

@@ -12,7 +12,10 @@ Subcommands:
   lists (the n-nacci sequences of Section 2.1);
 * ``plr figures [fig1 fig2 ...]`` — reproduce the paper's throughput
   figures on the modeled Titan X;
-* ``plr tables`` — reproduce Tables 2 and 3.
+* ``plr tables`` — reproduce Tables 2 and 3;
+* ``plr chaos`` — sweep random fault plans through the resilient
+  solver and check "correct output or typed error, never silent
+  corruption".
 """
 
 from __future__ import annotations
@@ -85,9 +88,28 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--seed", type=int, default=0)
     sim_p.add_argument(
         "--fault",
-        choices=("none", "flag_before_data", "skip_local_flag", "never_publish"),
         default="none",
-        help="inject a protocol fault to observe the failure mode",
+        help=(
+            "inject a protocol fault to observe the failure mode: a legacy "
+            "preset (none, flag_before_data, skip_local_flag, never_publish) "
+            "or a fault kind (delay_flag, drop_local_flag, drop_global_flag, "
+            "stale_carry, bit_flip_carry, abort_restart)"
+        ),
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="random fault plans vs the resilient solver (the resilience invariant)",
+    )
+    chaos_p.add_argument("--cases", type=int, default=200, help="sweep size")
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument("-n", type=int, default=160, help="input length per case")
+    chaos_p.add_argument(
+        "--recurrence",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to these Table 1 recurrences (repeatable; default: all)",
     )
 
     sub.add_parser(
@@ -217,7 +239,7 @@ def _cmd_tables(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.core.errors import SimulationError
-    from repro.gpusim.executor import ProtocolFault, SimulatedPLR
+    from repro.gpusim.executor import SimulatedPLR, coerce_fault_plan
     from repro.gpusim.spec import MachineSpec
 
     recurrence = Recurrence.parse(args.signature)
@@ -227,7 +249,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         recurrence,
         machine,
         seed=args.seed,
-        fault=ProtocolFault(args.fault),
+        fault=coerce_fault_plan(args.fault),
         deadlock_rounds=200,
     )
     try:
@@ -255,7 +277,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{stats.shared_reads + stats.shared_writes} shared-memory ops, "
         f"{stats.barriers} barriers"
     )
+    if result.fault_events:
+        print(
+            f"faults fired   {len(result.fault_events)} "
+            f"({', '.join(sorted({e.kind.value for e in result.fault_events}))})"
+        )
+    if result.restarts:
+        print(f"restarts       {result.restarts} aborted blocks reissued")
     print(f"result         {report.describe()}")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import run_chaos
+
+    report = run_chaos(
+        cases=args.cases,
+        seed=args.seed,
+        n=args.n,
+        recurrences=args.recurrence,
+    )
+    print(report.describe())
     return 0 if report.ok else 1
 
 
@@ -284,6 +326,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "tables": _cmd_tables,
     "simulate": _cmd_simulate,
+    "chaos": _cmd_chaos,
     "calibration": _cmd_calibration,
     "export": _cmd_export,
 }

@@ -16,10 +16,13 @@ from repro.core.coefficients import (
 from repro.core.errors import (
     BackendError,
     CodegenError,
+    DeadlockError,
+    NumericalError,
     PlanError,
     ReproError,
     SignatureError,
     SimulationError,
+    StateError,
     UnsupportedRecurrenceError,
     ValidationError,
 )
@@ -47,14 +50,17 @@ __all__ = [
     "BackendError",
     "Classification",
     "CodegenError",
+    "DeadlockError",
     "FLOAT_TOLERANCE",
     "PlanError",
     "Recurrence",
     "RecurrenceClass",
+    "NumericalError",
     "ReproError",
     "Signature",
     "SignatureError",
     "SimulationError",
+    "StateError",
     "UnsupportedRecurrenceError",
     "ValidationError",
     "assert_valid",

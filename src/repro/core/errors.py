@@ -40,6 +40,44 @@ class SimulationError(ReproError):
     """
 
 
+class DeadlockError(SimulationError):
+    """The simulated grid made no progress for many scheduler rounds.
+
+    Carries *forensics*: one wait record per stalled block describing
+    which chunk it runs, which flags it is blocked on, and at what
+    look-back distance — enough to reconstruct the broken dependence
+    chain of the Phase 2 protocol (see
+    :class:`repro.gpusim.scheduler.WaitInfo`).
+    """
+
+    def __init__(self, message: str, forensics: tuple = ()) -> None:
+        super().__init__(message)
+        self.forensics = tuple(forensics)
+
+
+class NumericalError(ReproError):
+    """A computation produced (or is predicted to produce) bad numbers.
+
+    Covers NaN/Inf contamination of outputs, overflowing correction
+    factors, and the spectral-radius overflow prediction: for a
+    signature with spectral radius rho > 1 the factor lists grow like
+    rho^m, which exceeds float32 range long before the paper's
+    m = 11264 chunk size.  :class:`~repro.resilience.ResilientSolver`
+    reacts by promoting the dtype or shrinking the chunk size.
+    """
+
+
+class StateError(ReproError, ValueError):
+    """Externally supplied solver state is malformed.
+
+    Raised by :meth:`repro.plr.streaming.StreamingSolver.load_state`
+    when a checkpoint's carry arrays have the wrong shape or dtype, or
+    contain non-finite values that would silently poison every later
+    block.  Subclasses :class:`ValueError` for backward compatibility
+    with callers that caught the old untyped error.
+    """
+
+
 class ValidationError(ReproError):
     """A computed result did not match the serial reference."""
 

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.baselines.base import RecurrenceCode, Workload
 from repro.baselines.registry import make_code
+from repro.core.errors import ReproError
 from repro.core.recurrence import Recurrence
 from repro.core.validation import assert_valid
 from repro.core.reference import serial_full
@@ -82,6 +83,10 @@ class FigureResult:
     definition: ExperimentDef
     series: dict[str, Series]
     validated: dict[str, bool]
+    validation_errors: dict[str, str] = field(default_factory=dict)
+    """Typed validation failures when running resiliently: code name ->
+    ``"ErrorType: message"`` for every code whose cross-check raised a
+    :class:`~repro.core.errors.ReproError` instead of passing."""
 
     def series_for(self, code: str) -> Series:
         return self.series[code]
@@ -109,12 +114,23 @@ def run_experiment(
     machine: MachineSpec | None = None,
     cost_model: CostModel | None = None,
     validate: bool = True,
+    resilient: bool = False,
 ) -> FigureResult:
-    """Produce every code's throughput curve for one experiment."""
+    """Produce every code's throughput curve for one experiment.
+
+    With ``resilient=True`` a code whose correctness cross-check raises
+    a typed :class:`~repro.core.errors.ReproError` is recorded as
+    failed (``validated[code] = False`` plus an entry in
+    ``validation_errors``) instead of aborting the whole sweep — one
+    broken baseline should not cost the other curves of a long
+    evaluation run.  Untyped exceptions still propagate: those are
+    bugs, not measured failures.
+    """
     machine = machine or MachineSpec.titan_x()
     cost_model = cost_model or CostModel(machine)
     series: dict[str, Series] = {}
     validated: dict[str, bool] = {}
+    validation_errors: dict[str, str] = {}
     for code_name in definition.codes:
         code = make_code(code_name)
         curve = Series(code=code_name)
@@ -132,9 +148,20 @@ def run_experiment(
         if validate and definition.validate_at:
             workload = Workload(definition.recurrence, definition.validate_at)
             if code.supports(workload, machine):
-                validated[code_name] = validate_code(
-                    code, definition.recurrence, definition.validate_at
-                )
+                try:
+                    validated[code_name] = validate_code(
+                        code, definition.recurrence, definition.validate_at
+                    )
+                except ReproError as exc:
+                    if not resilient:
+                        raise
+                    validated[code_name] = False
+                    validation_errors[code_name] = f"{type(exc).__name__}: {exc}"
             else:
                 validated[code_name] = False
-    return FigureResult(definition=definition, series=series, validated=validated)
+    return FigureResult(
+        definition=definition,
+        series=series,
+        validated=validated,
+        validation_errors=validation_errors,
+    )

@@ -14,12 +14,20 @@ Three layers, usable independently:
 """
 
 from repro.gpusim.block import BlockStats, SharedMemory, ThreadBlock, block_phase1
+from repro.gpusim.faults import (
+    FaultEngine,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    flip_bit,
+)
 from repro.gpusim.cost import CostModel, Traffic
 from repro.gpusim.executor import KernelRunResult, ProtocolFault, SimulatedPLR
 from repro.gpusim.l2cache import AccessStreamSummary, L2Cache
 from repro.gpusim.memory import Allocation, DeviceMemory
 from repro.gpusim.occupancy import OccupancyResult, occupancy
-from repro.gpusim.scheduler import AtomicCounter, BlockYield, GridScheduler
+from repro.gpusim.scheduler import AtomicCounter, BlockYield, GridScheduler, WaitInfo
 from repro.gpusim.spec import MachineSpec
 from repro.gpusim.warp import Warp
 
@@ -31,6 +39,11 @@ __all__ = [
     "BlockYield",
     "CostModel",
     "DeviceMemory",
+    "FaultEngine",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "GridScheduler",
     "KernelRunResult",
     "L2Cache",
@@ -41,7 +54,9 @@ __all__ = [
     "SimulatedPLR",
     "ThreadBlock",
     "Traffic",
+    "WaitInfo",
     "Warp",
     "block_phase1",
+    "flip_bit",
     "occupancy",
 ]

@@ -25,9 +25,17 @@ reference like any other solver.
 The memory-fence modeling: the simulator gives each block's writes
 sequential visibility (Python executes them in order), so the fence is
 represented by *ordering assertions* — flags are written strictly after
-the carries they guard, and reads check the flag first.  A
-deliberately broken protocol (flag before data) is exercised in tests
-via :class:`ProtocolFault` injection.
+the carries they guard, and reads check the flag first.
+
+Fault injection is composable: pass a
+:class:`~repro.gpusim.faults.FaultPlan` (or a legacy
+:class:`ProtocolFault`) as ``fault`` and the executor corrupts the
+protocol at the corresponding points — delayed flag visibility, dropped
+publications, stale reads, carry bit-flips, and block abort-and-restart
+(the aborted chunk id is recycled through the atomic counter and the
+scheduler reissues the block).  Busy-waiting blocks report structured
+:class:`~repro.gpusim.scheduler.WaitInfo` records, so a stuck grid
+raises :class:`~repro.core.errors.DeadlockError` with forensics.
 """
 
 from __future__ import annotations
@@ -41,9 +49,15 @@ from repro.core.errors import SimulationError
 from repro.core.recurrence import Recurrence
 from repro.core.reference import resolve_dtype
 from repro.gpusim.block import BlockStats, ThreadBlock, block_phase1
+from repro.gpusim.faults import FaultEvent, FaultKind, FaultPlan, FaultSpec, flip_bit
 from repro.gpusim.l2cache import L2Cache
 from repro.gpusim.memory import DeviceMemory
-from repro.gpusim.scheduler import AtomicCounter, BlockYield, GridScheduler
+from repro.gpusim.scheduler import (
+    AtomicCounter,
+    BlockYield,
+    GridScheduler,
+    WaitInfo,
+)
 from repro.gpusim.spec import MachineSpec
 from repro.plr.factors import CorrectionFactorTable
 from repro.plr.phase2 import transition_matrix
@@ -56,7 +70,11 @@ _FLAG_GLOBAL_READY = 2
 
 
 class ProtocolFault(enum.Enum):
-    """Deliberate protocol corruptions for fault-injection tests."""
+    """Legacy single-fault presets, kept as shorthand for common plans.
+
+    Each value maps onto a :class:`~repro.gpusim.faults.FaultPlan` via
+    :meth:`to_plan`; the composable plans subsume these presets.
+    """
 
     NONE = "none"
     FLAG_BEFORE_DATA = "flag_before_data"  # set ready flag before carries
@@ -65,6 +83,39 @@ class ProtocolFault(enum.Enum):
     # cost of pipelining — a useful liveness property to test
     NEVER_PUBLISH = "never_publish"  # neither flag is ever set: successors
     # can never make progress and the scheduler must report deadlock
+
+    def to_plan(self) -> FaultPlan:
+        """The equivalent composable fault plan."""
+        if self is ProtocolFault.NONE:
+            return FaultPlan.none()
+        if self is ProtocolFault.FLAG_BEFORE_DATA:
+            return FaultPlan.single(FaultKind.DELAY_FLAG, window=4)
+        if self is ProtocolFault.SKIP_LOCAL_FLAG:
+            return FaultPlan.single(FaultKind.DROP_LOCAL_FLAG)
+        return FaultPlan(
+            specs=(
+                FaultSpec(kind=FaultKind.DROP_LOCAL_FLAG),
+                FaultSpec(kind=FaultKind.DROP_GLOBAL_FLAG),
+            )
+        )
+
+
+def coerce_fault_plan(fault) -> FaultPlan:
+    """Normalize ``SimulatedPLR.fault`` inputs to a :class:`FaultPlan`.
+
+    Accepts None, a :class:`FaultPlan`, a :class:`ProtocolFault`, a
+    :class:`~repro.gpusim.faults.FaultKind`, a bare
+    :class:`~repro.gpusim.faults.FaultSpec`, or the string name of
+    either a legacy preset or a fault kind.
+    """
+    if isinstance(fault, ProtocolFault):
+        return fault.to_plan()
+    if isinstance(fault, str):
+        try:
+            return ProtocolFault(fault).to_plan()
+        except ValueError:
+            pass
+    return FaultPlan.coerce(fault)
 
 
 @dataclass
@@ -78,6 +129,8 @@ class KernelRunResult:
     schedule_wait_steps: int
     l2: L2Cache | None
     device_memory_bytes: int
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    restarts: int = 0
 
     @property
     def max_lookback(self) -> int:
@@ -100,7 +153,7 @@ class SimulatedPLR:
     values_per_thread: int = 1
     seed: int = 0
     max_lookback: int = 32
-    fault: ProtocolFault = ProtocolFault.NONE
+    fault: ProtocolFault | FaultPlan | FaultKind | str | None = ProtocolFault.NONE
     track_l2: bool = False
     paranoid_flag_checks: bool = True
     deadlock_rounds: int = 1000
@@ -142,6 +195,7 @@ class SimulatedPLR:
         flags = np.zeros(num_chunks, dtype=np.int32)
         counter = AtomicCounter()
         l2 = L2Cache.for_machine(self.machine) if self.track_l2 else None
+        faults = coerce_fault_plan(self.fault).engine()
 
         block_stats: list[BlockStats] = []
         lookback_distances: list[int] = []
@@ -170,6 +224,10 @@ class SimulatedPLR:
                     self.machine.shared_memory_per_block,
                 )
                 yield BlockYield.PROGRESS
+                if faults.fire(FaultKind.ABORT_RESTART, chunk_id, "after load"):
+                    counter.release(chunk_id)
+                    yield BlockYield.ABORTED
+                    return
 
                 # Section 4: Phase 1 inside the block.
                 block_phase1(tb, table)
@@ -178,15 +236,16 @@ class SimulatedPLR:
 
                 # Section 5: publish local carries, fence, set flag.
                 mine_local = chunk[m - k :][::-1].copy()
-                if self.fault not in (
-                    ProtocolFault.SKIP_LOCAL_FLAG,
-                    ProtocolFault.NEVER_PUBLISH,
-                ):
+                if not faults.fire(FaultKind.DROP_LOCAL_FLAG, chunk_id):
                     local_carries[chunk_id] = mine_local
                     # -- memory fence: data strictly before flag --
                     flags[chunk_id] = max(flags[chunk_id], _FLAG_LOCAL_READY)
                 write_global((padded.nbytes) + chunk_id * k * itemsize, k * itemsize)
                 yield BlockYield.PROGRESS
+                if faults.fire(FaultKind.ABORT_RESTART, chunk_id, "after local publish"):
+                    counter.release(chunk_id)
+                    yield BlockYield.ABORTED
+                    return
 
                 # Section 6: variable look-back for the carries.
                 if chunk_id == 0:
@@ -199,19 +258,43 @@ class SimulatedPLR:
                             if flags[c] >= _FLAG_GLOBAL_READY:
                                 base_idx = c
                                 break
-                        if base_idx >= 0 and all(
-                            flags[c] >= _FLAG_LOCAL_READY
-                            for c in range(base_idx + 1, chunk_id)
-                        ):
-                            break
-                        yield BlockYield.WAITING
+                        if base_idx >= 0:
+                            missing = tuple(
+                                c
+                                for c in range(base_idx + 1, chunk_id)
+                                if flags[c] < _FLAG_LOCAL_READY
+                            )
+                            if not missing:
+                                break
+                            yield WaitInfo(
+                                chunk_id=chunk_id,
+                                waiting_for="local",
+                                lookback_lo=lo,
+                                base_chunk=base_idx,
+                                blocked_on=missing,
+                                lookback_distance=chunk_id - base_idx,
+                            )
+                        else:
+                            yield WaitInfo(
+                                chunk_id=chunk_id,
+                                waiting_for="global",
+                                lookback_lo=lo,
+                                base_chunk=None,
+                                blocked_on=tuple(range(lo, chunk_id)),
+                                lookback_distance=None,
+                            )
                     lookback_distances.append(chunk_id - base_idx)
                     if self.paranoid_flag_checks and flags[base_idx] < _FLAG_GLOBAL_READY:
                         raise SimulationError(
                             f"chunk {chunk_id} read global carries of {base_idx} "
                             "without a ready flag"
                         )
-                    carries = global_carries[base_idx].copy()
+                    if faults.fire(FaultKind.STALE_CARRY, chunk_id, f"base {base_idx}"):
+                        # The flag is correct but the cached data is not:
+                        # the reader observes the pre-publication zeros.
+                        carries = np.zeros(k, dtype=dtype)
+                    else:
+                        carries = global_carries[base_idx].copy()
                     read_global(2 * padded.nbytes + base_idx * k * itemsize, k * itemsize)
                     for c in range(base_idx + 1, chunk_id):
                         if self.paranoid_flag_checks and flags[c] < _FLAG_LOCAL_READY:
@@ -225,17 +308,23 @@ class SimulatedPLR:
                 # Own global carries = own locals corrected by prev_global,
                 # published before the bulk correction (code section 6).
                 mine_global = mine_local + matrix @ prev_global if chunk_id else mine_local
-                if self.fault == ProtocolFault.FLAG_BEFORE_DATA:
+                flip = faults.fire(FaultKind.BIT_FLIP_CARRY, chunk_id)
+                if flip:
+                    mine_global = flip_bit(mine_global, flip.bit)
+                delay = faults.fire(FaultKind.DELAY_FLAG, chunk_id)
+                if faults.fire(FaultKind.DROP_GLOBAL_FLAG, chunk_id):
+                    pass  # carries and flag never become visible
+                elif delay:
                     # Broken protocol: the ready flag becomes visible while
                     # the carry stores are still in flight.  Without the
                     # fence, hardware gives the stores no visibility order;
                     # the extra yields model that delay window, during which
                     # successors read stale (zero) global carries.
                     flags[chunk_id] = _FLAG_GLOBAL_READY
-                    for _ in range(4):
+                    for _ in range(delay.window):
                         yield BlockYield.PROGRESS
                     global_carries[chunk_id] = mine_global
-                elif self.fault != ProtocolFault.NEVER_PUBLISH:
+                else:
                     global_carries[chunk_id] = mine_global
                     # -- memory fence: data strictly before flag --
                     flags[chunk_id] = _FLAG_GLOBAL_READY
@@ -252,16 +341,8 @@ class SimulatedPLR:
 
             return body()
 
-        resident = min(
-            self.machine.num_sms
-            * max(
-                1,
-                self.machine.max_threads_per_sm // block_size,
-            ),
-            num_chunks,
-        )
         scheduler = GridScheduler(
-            max_resident=resident,
+            max_resident=min(self.machine.resident_blocks(block_size), num_chunks),
             seed=self.seed,
             deadlock_rounds=self.deadlock_rounds,
         )
@@ -275,4 +356,6 @@ class SimulatedPLR:
             schedule_wait_steps=stats.wait_steps,
             l2=l2,
             device_memory_bytes=device.total_bytes,
+            fault_events=list(faults.events),
+            restarts=stats.restarts,
         )

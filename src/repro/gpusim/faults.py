@@ -1,0 +1,273 @@
+"""Composable fault injection for the GPU simulator.
+
+The seed version of the executor modeled exactly three hardcoded
+protocol corruptions (:class:`~repro.gpusim.executor.ProtocolFault`).
+Real lock-free pipelines fail in far richer ways: a store becomes
+visible after its guarding flag, a reader's cache serves stale data, a
+block traps and the runtime reissues its work, a DRAM bit flips.  This
+module generalizes fault injection into a *plan* of composable,
+per-chunk and probabilistic fault specifications that the executor
+consults at well-defined protocol points:
+
+======================  =================================================
+:attr:`FaultKind.DELAY_FLAG`
+                        the global-ready flag becomes visible ``window``
+                        scheduler steps *before* the carry stores (a
+                        missing memory fence) — successors may read
+                        stale zeros
+:attr:`FaultKind.DROP_LOCAL_FLAG`
+                        the local-carry publication (data + flag) is
+                        skipped; the protocol survives at the cost of
+                        pipelining (successors fall back to the global
+                        flag)
+:attr:`FaultKind.DROP_GLOBAL_FLAG`
+                        the global-carry publication is skipped; chunks
+                        more than the look-back window past the victim
+                        can never find a base and the scheduler must
+                        report deadlock with forensics
+:attr:`FaultKind.STALE_CARRY`
+                        a look-back read observes stale (zero) global
+                        carries despite a correct flag — silent data
+                        corruption
+:attr:`FaultKind.BIT_FLIP_CARRY`
+                        one bit of a published global carry flips —
+                        silent data corruption
+:attr:`FaultKind.ABORT_RESTART`
+                        the block aborts mid-flight; its chunk id is
+                        recycled through the atomic counter and the
+                        scheduler reissues a fresh block in its slot
+======================  =================================================
+
+A :class:`FaultPlan` is immutable and seedable; :meth:`FaultPlan.engine`
+creates the mutable per-run :class:`FaultEngine` that draws the
+probabilistic decisions, enforces trigger budgets, and records every
+fired fault as a :class:`FaultEvent` for post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import SimulationError
+
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEngine",
+    "FaultEvent",
+    "flip_bit",
+]
+
+MAX_RESTARTS_PER_CHUNK = 4
+"""Hard cap on :attr:`FaultKind.ABORT_RESTART` firings per chunk, so a
+probability-1.0 abort spec still terminates (the real runtime analogue:
+a watchdog gives up on a chunk that keeps trapping)."""
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault classes, keyed by protocol point."""
+
+    DELAY_FLAG = "delay_flag"
+    DROP_LOCAL_FLAG = "drop_local_flag"
+    DROP_GLOBAL_FLAG = "drop_global_flag"
+    STALE_CARRY = "stale_carry"
+    BIT_FLIP_CARRY = "bit_flip_carry"
+    ABORT_RESTART = "abort_restart"
+
+
+#: Fault kinds whose effect is silent data corruption (no protocol
+#: violation the simulator itself can detect); recovering from these
+#: requires redundant verification, which is what
+#: :class:`~repro.resilience.ResilientSolver`'s paired check provides.
+CORRUPTING_KINDS = frozenset(
+    {FaultKind.DELAY_FLAG, FaultKind.STALE_CARRY, FaultKind.BIT_FLIP_CARRY}
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: what fires, where, and how often.
+
+    Attributes
+    ----------
+    kind:
+        Which fault to inject.
+    chunks:
+        Chunk ids the rule applies to, or None for every chunk.
+    probability:
+        Per-opportunity firing probability in [0, 1].
+    window:
+        For :attr:`FaultKind.DELAY_FLAG`: scheduler steps between the
+        (premature) flag store and the carry stores.
+    bit:
+        For :attr:`FaultKind.BIT_FLIP_CARRY`: which bit of the first
+        carry word to flip (modulo the word width).
+    max_triggers:
+        Total firing budget for this rule, or None for unbounded.
+    """
+
+    kind: FaultKind
+    chunks: tuple[int, ...] | None = None
+    probability: float = 1.0
+    window: int = 4
+    bit: int = 0
+    max_triggers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise SimulationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.window < 1:
+            raise SimulationError(f"delay window must be >= 1, got {self.window}")
+        if self.max_triggers is not None and self.max_triggers < 0:
+            raise SimulationError(
+                f"max_triggers must be >= 0, got {self.max_triggers}"
+            )
+        if self.chunks is not None:
+            object.__setattr__(self, "chunks", tuple(int(c) for c in self.chunks))
+
+    def applies_to(self, chunk_id: int) -> bool:
+        return self.chunks is None or chunk_id in self.chunks
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seedable composition of fault rules.
+
+    The plan is pure configuration; per-run mutable state (RNG draws,
+    trigger budgets, the event log) lives in the :class:`FaultEngine`
+    created by :meth:`engine`, so one plan can be replayed across many
+    simulator runs deterministically.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: a perfectly healthy protocol."""
+        return cls()
+
+    @classmethod
+    def single(cls, kind: FaultKind | str, seed: int = 0, **spec_kwargs) -> "FaultPlan":
+        """A plan with one rule, e.g. ``FaultPlan.single("stale_carry")``."""
+        if isinstance(kind, str):
+            try:
+                kind = FaultKind(kind)
+            except ValueError:
+                known = ", ".join(k.value for k in FaultKind)
+                raise SimulationError(
+                    f"unknown fault kind {kind!r}; known kinds: {known}"
+                ) from None
+        return cls(specs=(FaultSpec(kind=kind, **spec_kwargs),), seed=seed)
+
+    @classmethod
+    def coerce(cls, value) -> "FaultPlan":
+        """Normalize plan-like values (None, kind, spec, name) to a plan."""
+        if value is None:
+            return cls.none()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, FaultSpec):
+            return cls(specs=(value,))
+        if isinstance(value, (FaultKind, str)):
+            return cls.single(value)
+        raise SimulationError(f"cannot interpret {value!r} as a fault plan")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.specs)
+
+    def kinds(self) -> frozenset[FaultKind]:
+        return frozenset(s.kind for s in self.specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "no faults"
+        parts = []
+        for s in self.specs:
+            where = "all chunks" if s.chunks is None else f"chunks {list(s.chunks)}"
+            parts.append(f"{s.kind.value}@{where} p={s.probability:g}")
+        return "; ".join(parts)
+
+    def engine(self) -> "FaultEngine":
+        """A fresh mutable injection engine for one simulator run."""
+        return FaultEngine(self)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired during a run."""
+
+    kind: FaultKind
+    chunk_id: int
+    detail: str = ""
+
+
+class FaultEngine:
+    """Per-run fault decision state: RNG, budgets, and the event log."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._remaining: dict[int, int | None] = {
+            i: s.max_triggers for i, s in enumerate(plan.specs)
+        }
+        self._aborts_per_chunk: dict[int, int] = {}
+        self.events: list[FaultEvent] = []
+
+    def fire(self, kind: FaultKind, chunk_id: int, detail: str = "") -> FaultSpec | None:
+        """Decide whether ``kind`` fires for ``chunk_id`` at this point.
+
+        Returns the matching spec (recording a :class:`FaultEvent` and
+        consuming budget) or None.  Abort faults are additionally capped
+        at :data:`MAX_RESTARTS_PER_CHUNK` firings per chunk so that
+        restart storms terminate.
+        """
+        if not self.plan.specs:
+            return None
+        for index, spec in enumerate(self.plan.specs):
+            if spec.kind is not kind or not spec.applies_to(chunk_id):
+                continue
+            remaining = self._remaining[index]
+            if remaining is not None and remaining <= 0:
+                continue
+            if kind is FaultKind.ABORT_RESTART:
+                if self._aborts_per_chunk.get(chunk_id, 0) >= MAX_RESTARTS_PER_CHUNK:
+                    continue
+            if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                continue
+            if remaining is not None:
+                self._remaining[index] = remaining - 1
+            if kind is FaultKind.ABORT_RESTART:
+                self._aborts_per_chunk[chunk_id] = (
+                    self._aborts_per_chunk.get(chunk_id, 0) + 1
+                )
+            self.events.append(FaultEvent(kind=kind, chunk_id=chunk_id, detail=detail))
+            return spec
+        return None
+
+
+def flip_bit(values: np.ndarray, bit: int) -> np.ndarray:
+    """Return a copy of ``values`` with one bit of element 0 flipped.
+
+    Models a radiation-style single-event upset in a published carry
+    word.  Works for any fixed-width integer or IEEE float dtype by
+    flipping through an unsigned view of the same width.
+    """
+    out = np.array(values, copy=True)
+    if out.size == 0:
+        return out
+    width_bits = out.dtype.itemsize * 8
+    as_bits = out.view(np.dtype(f"u{out.dtype.itemsize}"))
+    as_bits.flat[0] ^= np.dtype(f"u{out.dtype.itemsize}").type(1) << (bit % width_bits)
+    return out

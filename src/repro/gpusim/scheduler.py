@@ -15,9 +15,20 @@ enforced here:
   is what makes busy-waiting on predecessor flags deadlock-free.
 
 :class:`GridScheduler` drives block coroutines with a seeded RNG so
-tests can replay adversarial interleavings deterministically, and it
-detects deadlock (a full round of resident blocks all blocked with no
-new block issuable).
+tests can replay adversarial interleavings deterministically.  Beyond
+plain interleaving it supports the resilience machinery:
+
+* **restart** — a block may yield :attr:`BlockYield.ABORTED` (e.g. the
+  fault engine made it trap); the scheduler immediately reissues a
+  fresh block in the freed slot, and :meth:`AtomicCounter.release`
+  recycles the aborted chunk id so the replacement re-acquires it;
+* **deadlock forensics** — blocks busy-waiting on Phase 2 flags yield
+  :class:`WaitInfo` records instead of a bare "waiting" token; when a
+  full round of resident blocks is blocked with no new block issuable
+  for :attr:`GridScheduler.deadlock_rounds` sweeps, the scheduler
+  raises :class:`~repro.core.errors.DeadlockError` carrying the last
+  wait record of every stalled block — which chunks are blocked, on
+  which flags, at what look-back distance.
 """
 
 from __future__ import annotations
@@ -27,21 +38,40 @@ from typing import Callable, Generator, Iterator
 
 import numpy as np
 
-from repro.core.errors import SimulationError
+from repro.core.errors import DeadlockError, SimulationError
 
-__all__ = ["AtomicCounter", "BlockYield", "GridScheduler", "ScheduleStats"]
+__all__ = [
+    "AtomicCounter",
+    "BlockYield",
+    "GridScheduler",
+    "ScheduleStats",
+    "WaitInfo",
+]
 
 
 @dataclass
 class AtomicCounter:
-    """The global chunk counter each block atomically increments."""
+    """The global chunk counter each block atomically increments.
+
+    :meth:`release` returns an id to the counter (modeling a runtime
+    that reissues the work of an aborted block); released ids are
+    re-acquired LIFO before the counter advances, so a restarted block
+    picks up exactly the chunk its predecessor abandoned.
+    """
 
     value: int = 0
+    released: list[int] = field(default_factory=list)
 
     def fetch_increment(self) -> int:
+        if self.released:
+            return self.released.pop()
         current = self.value
         self.value += 1
         return current
+
+    def release(self, chunk_id: int) -> None:
+        """Recycle ``chunk_id`` so a future block can re-acquire it."""
+        self.released.append(chunk_id)
 
 
 class BlockYield:
@@ -49,6 +79,57 @@ class BlockYield:
 
     PROGRESS = "progress"  # did work, reschedule normally
     WAITING = "waiting"  # busy-waiting on a flag; made no progress
+    ABORTED = "aborted"  # block trapped; reissue a fresh block
+
+
+@dataclass(frozen=True)
+class WaitInfo:
+    """One busy-wait observation: who is blocked, on what, how far back.
+
+    Yielded by the executor's look-back loop in place of a bare
+    :attr:`BlockYield.WAITING` token; the scheduler treats it as
+    waiting and keeps the most recent record per block so a deadlock
+    report can name the broken dependence edges precisely.
+
+    Attributes
+    ----------
+    chunk_id:
+        The chunk the blocked block is computing.
+    waiting_for:
+        ``"global"`` — no chunk in the look-back window has published
+        global carries yet; ``"local"`` — a base was found but some
+        intervening local-carry flags are missing.
+    lookback_lo:
+        The lowest chunk id in the look-back window.
+    base_chunk:
+        The chunk whose global carries would be combined from, or None
+        when no base exists yet.
+    blocked_on:
+        The chunk ids whose flags are insufficient.
+    lookback_distance:
+        ``chunk_id - base_chunk`` when a base exists, else None.
+    """
+
+    chunk_id: int
+    waiting_for: str
+    lookback_lo: int
+    base_chunk: int | None
+    blocked_on: tuple[int, ...]
+    lookback_distance: int | None
+
+    def describe(self) -> str:
+        blocked = ", ".join(str(c) for c in self.blocked_on) or "none"
+        if self.waiting_for == "global":
+            return (
+                f"chunk {self.chunk_id}: no global-ready flag in window "
+                f"[{self.lookback_lo}, {self.chunk_id - 1}]; blocked on "
+                f"chunks {blocked}"
+            )
+        return (
+            f"chunk {self.chunk_id}: base {self.base_chunk} at look-back "
+            f"distance {self.lookback_distance}; blocked on local-ready "
+            f"flags of chunks {blocked}"
+        )
 
 
 @dataclass
@@ -59,9 +140,10 @@ class ScheduleStats:
     wait_steps: int = 0
     blocks_run: int = 0
     max_resident: int = 0
+    restarts: int = 0
 
 
-BlockCoroutine = Generator[str, None, None]
+BlockCoroutine = Generator[object, None, None]
 
 
 @dataclass
@@ -91,8 +173,16 @@ class GridScheduler:
         rng = np.random.default_rng(self.seed)
         pending: Iterator[Callable[[], BlockCoroutine]] = iter(block_factories)
         resident: list[BlockCoroutine] = []
+        factory_of: dict[int, Callable[[], BlockCoroutine]] = {}
+        last_wait: dict[int, WaitInfo] = {}
         exhausted = False
         stale_rounds = 0
+
+        def issue(factory: Callable[[], BlockCoroutine]) -> BlockCoroutine:
+            coroutine = factory()
+            factory_of[id(coroutine)] = factory
+            self.stats.blocks_run += 1
+            return coroutine
 
         def refill() -> None:
             nonlocal exhausted
@@ -101,9 +191,12 @@ class GridScheduler:
                 if factory is None:
                     exhausted = True
                     return
-                resident.append(factory())
-                self.stats.blocks_run += 1
+                resident.append(issue(factory))
                 self.stats.max_resident = max(self.stats.max_resident, len(resident))
+
+        def retire(coroutine: BlockCoroutine) -> None:
+            factory_of.pop(id(coroutine), None)
+            last_wait.pop(id(coroutine), None)
 
         refill()
         while resident:
@@ -120,11 +213,27 @@ class GridScheduler:
                     progressed = True
                     continue
                 self.stats.steps += 1
-                if state == BlockYield.WAITING:
+                if isinstance(state, WaitInfo):
+                    last_wait[id(coroutine)] = state
                     self.stats.wait_steps += 1
+                elif state == BlockYield.WAITING:
+                    self.stats.wait_steps += 1
+                elif state == BlockYield.ABORTED:
+                    # The block trapped: reissue a fresh block in the
+                    # same SM slot (the freed resources are re-filled
+                    # immediately, like a runtime relaunching failed
+                    # work).  The executor released the chunk id first,
+                    # so the replacement re-acquires it.
+                    factory = factory_of[id(coroutine)]
+                    retire(coroutine)
+                    coroutine.close()
+                    resident[idx] = issue(factory)
+                    self.stats.restarts += 1
+                    progressed = True
                 else:
                     progressed = True
             for coroutine in finished:
+                retire(coroutine)
                 resident.remove(coroutine)
             refill()
             if progressed:
@@ -132,8 +241,14 @@ class GridScheduler:
             else:
                 stale_rounds += 1
                 if stale_rounds >= self.deadlock_rounds:
-                    raise SimulationError(
+                    forensics = tuple(
+                        last_wait[id(c)] for c in resident if id(c) in last_wait
+                    )
+                    lines = "".join(f"\n  {info.describe()}" for info in forensics)
+                    raise DeadlockError(
                         f"deadlock: {len(resident)} resident blocks made no "
                         f"progress for {stale_rounds} scheduler rounds"
+                        + (lines if lines else ""),
+                        forensics=forensics,
                     )
         return self.stats

@@ -55,6 +55,17 @@ class MachineSpec:
     def max_resident_threads(self) -> int:
         return self.num_sms * self.max_threads_per_sm
 
+    def resident_blocks(self, block_size: int) -> int:
+        """How many blocks of ``block_size`` threads the GPU holds at once.
+
+        The thread-count bound only; register- and shared-memory-limited
+        residency is the occupancy model's job
+        (:func:`repro.gpusim.occupancy.occupancy`).
+        """
+        if block_size < 1:
+            raise ValueError(f"block size must be >= 1, got {block_size}")
+        return self.num_sms * max(1, self.max_threads_per_sm // block_size)
+
     @classmethod
     def titan_x(cls) -> "MachineSpec":
         """The GeForce GTX Titan X exactly as Section 5 describes it."""

@@ -26,7 +26,7 @@ from repro.plr.semiring import (
     semiring_serial,
     semiring_solve,
 )
-from repro.plr.solver import PLRSolver, SolveArtifacts, plr_solve
+from repro.plr.solver import PLRSolver, SolveArtifacts, clear_factor_cache, plr_solve
 from repro.plr.streaming import StreamingSolver, StreamState
 
 __all__ = [
@@ -44,6 +44,7 @@ __all__ = [
     "SolveArtifacts",
     "StreamState",
     "StreamingSolver",
+    "clear_factor_cache",
     "filter2d",
     "filter_axis",
     "lookback_combine",

@@ -19,6 +19,7 @@ The table also answers the structural questions the PLR optimizer asks
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -26,6 +27,7 @@ import numpy as np
 
 from repro.core.nnacci import correction_factors
 from repro.core.signature import Signature
+from repro.core.ztransform import poles
 
 __all__ = ["CorrectionFactorTable", "FLOAT32_SMALLEST_NORMAL"]
 
@@ -50,6 +52,17 @@ class CorrectionFactorTable:
     chunk_size: int
     factors: np.ndarray  # shape (k, chunk_size)
     flushed_denormals: bool
+    spectral_radius: float | None = None
+    """Largest pole magnitude of the recursive signature (float tables
+    only).  The factor lists are n-nacci runs, i.e. geometric sequences
+    with this growth rate: for spectral radius rho > 1 the factors grow
+    like rho^m and overflow float32 long before the paper's m = 11264
+    chunk size."""
+    overflow_risk: bool = False
+    """True when the spectral radius predicts (or the built table
+    contains) values beyond the dtype's finite range.  Integer tables
+    never set this: they wrap around like the 32-bit CUDA arithmetic
+    they model."""
 
     @classmethod
     def build(
@@ -74,6 +87,8 @@ class CorrectionFactorTable:
         k = recursive.order
         table = np.empty((k, chunk_size), dtype=dtype)
         flushed = False
+        radius: float | None = None
+        overflow = False
         if np.issubdtype(dtype, np.integer):
             info = np.iinfo(dtype)
             width = int(info.max) - int(info.min) + 1
@@ -85,17 +100,28 @@ class CorrectionFactorTable:
         else:
             # Generate in float64 then cast, so that decay behaviour is
             # governed by the target precision, not by python floats.
-            for j in range(k):
-                exact = correction_factors(recursive, j, chunk_size)
-                row = np.asarray([float(v) for v in exact], dtype=np.float64)
-                table[j, :] = row.astype(dtype)
+            with np.errstate(over="ignore"):
+                for j in range(k):
+                    exact = correction_factors(recursive, j, chunk_size)
+                    row = np.asarray([float(v) for v in exact], dtype=np.float64)
+                    table[j, :] = row.astype(dtype)
             if flush_denormals and dtype == np.float32:
                 mask = np.abs(table) < FLOAT32_SMALLEST_NORMAL
                 if mask.any():
                     table[mask] = 0.0
                     flushed = True
+            # Overflow prediction (resilience): factor row j is an
+            # n-nacci run whose growth rate is the spectral radius, so
+            # rho^(m-1) estimates the largest factor magnitude without
+            # touching the (possibly already saturated) table values.
+            radius = max((abs(p) for p in poles(recursive)), default=0.0)
+            if radius > 1.0:
+                log_peak = (chunk_size - 1) * math.log(radius)
+                overflow = log_peak > math.log(float(np.finfo(dtype).max))
+            if not overflow:
+                overflow = not bool(np.isfinite(table).all())
         table.setflags(write=False)
-        return cls(signature, chunk_size, table, flushed)
+        return cls(signature, chunk_size, table, flushed, radius, overflow)
 
     # ------------------------------------------------------------------
     @property

@@ -33,7 +33,7 @@ from repro.plr.phase1 import phase1
 from repro.plr.phase2 import phase2
 from repro.plr.planner import ExecutionPlan, plan_execution
 
-__all__ = ["PLRSolver", "SolveArtifacts", "plr_solve"]
+__all__ = ["PLRSolver", "SolveArtifacts", "clear_factor_cache", "plr_solve"]
 
 
 @dataclass(frozen=True)
@@ -61,11 +61,35 @@ class SolveArtifacts:
 
 # Factor tables are pure functions of (signature, m, dtype); building
 # one for m = 11264 costs ~m python-level steps per carry, so memoize.
+#
+# Cache-key contract: the key is the exact triple
+# ``(recursive_signature, chunk_size, dtype_str)``.  Signatures hash by
+# coefficient value (frozen dataclass), so "(1: 2, -1)" and the same
+# coefficients built programmatically share an entry; the dtype is keyed
+# by its *string* form (``np.dtype(x).str``, e.g. ``"<f4"``) so that
+# spelling variants — np.float32, "float32", dtype('float32') — cannot
+# create duplicate entries.  Entries hold read-only arrays shared across
+# solvers and threads; evicting one (LRU, 64 entries) only costs
+# recomputation.  The cache is process-global: long-running services
+# sweeping many signatures can reclaim the memory with
+# :func:`clear_factor_cache`.
 @lru_cache(maxsize=64)
 def _cached_table(
     signature: Signature, chunk_size: int, dtype_str: str
 ) -> CorrectionFactorTable:
     return CorrectionFactorTable.build(signature, chunk_size, np.dtype(dtype_str))
+
+
+def clear_factor_cache() -> None:
+    """Drop every memoized correction-factor table.
+
+    Tables are immutable and derived purely from their cache key, so
+    clearing is always safe — the next solve just rebuilds what it
+    needs.  Useful for bounding memory in services that touch many
+    (signature, chunk size, dtype) combinations, and for tests that
+    measure cold-cache behaviour.
+    """
+    _cached_table.cache_clear()
 
 
 class PLRSolver:

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import StateError
 from repro.core.recurrence import Recurrence
 from repro.core.signature import Signature
 from repro.plr.factors import CorrectionFactorTable
@@ -114,18 +115,45 @@ class StreamingSolver:
         return self._state.copy()
 
     def load_state(self, state: StreamState) -> None:
-        """Resume from a previously captured :attr:`state`."""
-        if state.outputs.shape != (self._order,):
-            raise ValueError(
-                f"state carries {state.outputs.shape[0]} outputs, "
-                f"recurrence needs {self._order}"
+        """Resume from a previously captured :attr:`state`.
+
+        The state usually comes from the outside world (a checkpoint
+        file, another process), so it is validated before it can poison
+        every subsequent block: wrong shapes, dtypes that cannot be
+        cast safely, non-finite carries, and negative positions all
+        raise :class:`~repro.core.errors.StateError` (a
+        :class:`ValueError` subclass).
+        """
+        outputs = np.asarray(state.outputs)
+        inputs = np.asarray(state.inputs)
+        if outputs.ndim != 1 or outputs.shape != (self._order,):
+            raise StateError(
+                f"state carries outputs of shape {outputs.shape}, "
+                f"recurrence needs ({self._order},)"
             )
-        if state.inputs.shape != (max(self._fir_order, 0),):
-            raise ValueError(
-                f"state carries {state.inputs.shape[0]} inputs, "
-                f"map stage needs {self._fir_order}"
+        if inputs.ndim != 1 or inputs.shape != (max(self._fir_order, 0),):
+            raise StateError(
+                f"state carries inputs of shape {inputs.shape}, "
+                f"map stage needs ({max(self._fir_order, 0)},)"
             )
-        self._state = state.copy()
+        for name, array in (("outputs", outputs), ("inputs", inputs)):
+            if not np.can_cast(array.dtype, self.dtype, casting="same_kind"):
+                raise StateError(
+                    f"state {name} dtype {array.dtype} cannot be cast to "
+                    f"the solver's {self.dtype} (same-kind rule)"
+                )
+            if np.issubdtype(array.dtype, np.floating) and not np.isfinite(array).all():
+                raise StateError(
+                    f"state {name} contain non-finite values; restoring them "
+                    f"would silently corrupt every later block"
+                )
+        if state.position < 0:
+            raise StateError(f"state position must be >= 0, got {state.position}")
+        self._state = StreamState(
+            outputs=outputs.astype(self.dtype, copy=True),
+            inputs=inputs.astype(self.dtype, copy=True),
+            position=int(state.position),
+        )
 
     def reset(self) -> None:
         """Forget all history; the next push starts a fresh sequence."""

@@ -1,0 +1,67 @@
+"""Resilient execution: fault injection, forensics, graceful degradation.
+
+The paper's Phase 2 protocol (decoupled variable look-back with flags
+and memory fences, Sections 2.2 and 3) is exactly the kind of lock-free
+pipeline that fails silently under store reordering, stalled blocks,
+and numerical blow-up.  This package makes the reproduction *prove* it
+degrades gracefully instead of corrupting data:
+
+* :mod:`repro.gpusim.faults` (re-exported here) — composable, seedable
+  fault plans the GPU simulator injects at protocol points;
+* :mod:`repro.resilience.health` — numerical health: NaN/Inf detection
+  and the spectral-radius overflow prediction for factor tables;
+* :mod:`repro.resilience.solver` — :class:`ResilientSolver`, a
+  policy-driven fallback chain around the PLR solver and the simulator:
+  dtype promotion, chunk-size reduction, bounded retry with backoff,
+  and a final serial-reference fallback, with every solve returning a
+  typed :class:`SolveReport` of what degraded and why;
+* :mod:`repro.resilience.chaos` — the chaos harness sweeping random
+  fault plans x scheduler seeds x the Table 1 recurrences and checking
+  the invariant *correct output or typed error, never silent
+  corruption*.
+"""
+
+from repro.gpusim.faults import (
+    FaultEngine,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    flip_bit,
+)
+from repro.resilience.chaos import ChaosCase, ChaosOutcome, ChaosReport, run_chaos
+from repro.resilience.health import (
+    HealthReport,
+    array_health,
+    check_finite,
+    predict_table_overflow,
+    spectral_radius,
+)
+from repro.resilience.solver import (
+    AttemptRecord,
+    FallbackPolicy,
+    ResilientSolver,
+    SolveReport,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "ChaosCase",
+    "ChaosOutcome",
+    "ChaosReport",
+    "FallbackPolicy",
+    "FaultEngine",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "HealthReport",
+    "ResilientSolver",
+    "SolveReport",
+    "array_health",
+    "check_finite",
+    "flip_bit",
+    "predict_table_overflow",
+    "run_chaos",
+    "spectral_radius",
+]

@@ -1,0 +1,294 @@
+"""Chaos harness: random fault plans against the resilient solver.
+
+The harness sweeps random :class:`~repro.gpusim.faults.FaultPlan`
+combinations x scheduler seeds x the paper's Table 1 recurrences
+through a :class:`~repro.resilience.solver.ResilientSolver` driving the
+event-ordered GPU simulator, and checks the resilience invariant:
+
+    every solve ends in a *correct output* (validated against the
+    serial reference) or a *typed error* — never silent corruption,
+    never an untyped crash.
+
+About 80%% of cases run with the serial fallback enabled (the
+production configuration, where correctness is mandatory); the rest
+disable it so typed-error escalation gets exercised too.  Everything is
+seeded, so a failing case number reproduces exactly.
+
+Run it as ``python -m repro.cli chaos`` or via :func:`run_chaos`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.coefficients import table1_signatures
+from repro.core.errors import ReproError, SignatureError
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype, serial_full
+from repro.core.validation import compare_results
+from repro.gpusim.faults import FaultKind, FaultPlan, FaultSpec
+from repro.gpusim.spec import MachineSpec
+from repro.resilience.solver import FallbackPolicy, ResilientSolver
+
+__all__ = [
+    "ChaosCase",
+    "ChaosOutcome",
+    "ChaosReport",
+    "random_fault_plan",
+    "run_chaos",
+]
+
+
+@dataclass(frozen=True)
+class ChaosCase:
+    """One sampled point of the sweep — enough to reproduce it alone."""
+
+    index: int
+    recurrence: str  # Table 1 name
+    plan: FaultPlan
+    sim_seed: int
+    serial_fallback: bool
+    n: int
+
+    def describe(self) -> str:
+        return (
+            f"case {self.index}: {self.recurrence} n={self.n} "
+            f"sim_seed={self.sim_seed} serial_fallback={self.serial_fallback} "
+            f"faults=[{self.plan.describe()}]"
+        )
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """How one case ended.
+
+    ``status`` is one of:
+
+    * ``"correct"`` — the solver produced output matching the serial
+      reference (possibly after degrading);
+    * ``"typed_error"`` — the solver failed with a :class:`ReproError`
+      subclass (only reachable with the serial fallback disabled);
+    * ``"violation"`` — the invariant broke: silently wrong output, or
+      an untyped exception escaped.
+    """
+
+    case: ChaosCase
+    status: str
+    detail: str = ""
+    attempts: int = 0
+    degraded: bool = False
+    engine: str | None = None
+    fault_events: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "violation"
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate result of a chaos sweep."""
+
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for o in self.outcomes:
+            tally[o.status] = tally.get(o.status, 0) + 1
+        return tally
+
+    def describe(self) -> str:
+        tally = self.counts()
+        degraded = sum(1 for o in self.outcomes if o.degraded)
+        breakdown = ", ".join(f"{v} {k}" for k, v in sorted(tally.items()))
+        lines = [
+            f"chaos sweep: {len(self.outcomes)} cases"
+            + (f", {breakdown}" if breakdown else "")
+            + f", {degraded} degraded"
+        ]
+        for o in self.violations:
+            lines.append(f"  VIOLATION {o.case.describe()}: {o.detail}")
+        if self.ok:
+            lines.append("invariant held: correct output or typed error in every case")
+        return "\n".join(lines)
+
+
+_KINDS = tuple(FaultKind)
+
+
+def random_fault_plan(
+    rng: np.random.Generator, num_chunks: int, seed: int
+) -> FaultPlan:
+    """Sample a composable fault plan: 1-3 specs over random kinds.
+
+    Each spec independently picks a fault kind, a target (a random
+    subset of chunks or all of them), a trigger probability, and the
+    kind-specific knobs (visibility window, bit position).
+    """
+    specs = []
+    for _ in range(int(rng.integers(1, 4))):
+        kind = _KINDS[int(rng.integers(len(_KINDS)))]
+        if rng.random() < 0.5:
+            count = int(rng.integers(1, max(2, num_chunks // 2)))
+            chunks = tuple(
+                int(c) for c in rng.choice(num_chunks, size=count, replace=False)
+            )
+        else:
+            chunks = None  # all chunks, gated by probability
+        probability = 1.0 if chunks is not None else float(rng.uniform(0.05, 0.5))
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                chunks=chunks,
+                probability=probability,
+                window=int(rng.integers(1, 7)),
+                bit=int(rng.integers(0, 32)),
+                max_triggers=int(rng.integers(1, 5)) if rng.random() < 0.5 else None,
+            )
+        )
+    return FaultPlan(specs=tuple(specs), seed=seed)
+
+
+def _chaos_input(recurrence: Recurrence, n: int, seed: int = 7) -> np.ndarray:
+    """Deterministic input in the dtype the paper uses for this class."""
+    generator = np.random.default_rng(seed)
+    if recurrence.is_integer:
+        return generator.integers(-100, 100, size=n).astype(np.int32)
+    return generator.standard_normal(n).astype(np.float32)
+
+
+def run_chaos(
+    cases: int = 200,
+    seed: int = 0,
+    n: int = 160,
+    recurrences: Mapping[str, object] | Sequence[str] | None = None,
+    machine: MachineSpec | None = None,
+    max_retries: int = 1,
+    deadlock_rounds: int = 40,
+    progress: Callable[[ChaosOutcome], None] | None = None,
+) -> ChaosReport:
+    """Sweep ``cases`` random (fault plan, scheduler seed, recurrence)
+    combinations and check the resilience invariant on each.
+
+    The ground truth for every (recurrence, n) pair is the serial
+    reference, computed once and cached; with the default n=160 and the
+    small test GPU (16-element chunks, 10 chunks) a 200-case sweep runs
+    within a tier-1 test budget.
+    """
+    table = table1_signatures()
+    if recurrences is None:
+        names = list(table.keys())
+    elif isinstance(recurrences, Mapping):
+        names = list(recurrences.keys())
+    else:
+        names = list(recurrences)
+    unknown = [name for name in names if name not in table]
+    if unknown:
+        raise SignatureError(
+            f"unknown Table 1 recurrences: {', '.join(unknown)}; "
+            f"known: {', '.join(table)}"
+        )
+    machine = machine or MachineSpec.small_test_gpu()
+    num_chunks = -(-n // machine.max_threads_per_block)
+
+    rng = np.random.default_rng(seed)
+    truth: dict[str, np.ndarray] = {}
+    inputs: dict[str, np.ndarray] = {}
+    report = ChaosReport()
+
+    for index in range(cases):
+        name = names[int(rng.integers(len(names)))]
+        recurrence = Recurrence(table[name])
+        if name not in truth:
+            values = _chaos_input(recurrence, n)
+            inputs[name] = values
+            dtype = resolve_dtype(recurrence.signature, values.dtype)
+            truth[name] = serial_full(values, recurrence.signature, dtype=dtype)
+        case = ChaosCase(
+            index=index,
+            recurrence=name,
+            plan=random_fault_plan(rng, num_chunks, seed=int(rng.integers(2**31))),
+            sim_seed=int(rng.integers(2**31)),
+            serial_fallback=bool(rng.random() < 0.8),
+            n=n,
+        )
+        outcome = _run_case(
+            case, recurrence, inputs[name], truth[name], machine,
+            max_retries, deadlock_rounds,
+        )
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+    return report
+
+
+def _run_case(
+    case: ChaosCase,
+    recurrence: Recurrence,
+    values: np.ndarray,
+    expected: np.ndarray,
+    machine: MachineSpec,
+    max_retries: int,
+    deadlock_rounds: int,
+) -> ChaosOutcome:
+    solver = ResilientSolver(
+        recurrence,
+        machine=machine,
+        engine="sim",
+        fault=case.plan,
+        sim_seed=case.sim_seed,
+        deadlock_rounds=deadlock_rounds,
+        policy=FallbackPolicy(
+            max_retries=max_retries,
+            serial_fallback=case.serial_fallback,
+        ),
+    )
+    try:
+        rep = solver.solve_with_report(values)
+    except ReproError as exc:
+        # solve_with_report reports rather than raises; a raise here
+        # still satisfies the invariant as long as it is typed.
+        return ChaosOutcome(case, "typed_error", f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 — the invariant under test
+        return ChaosOutcome(case, "violation", f"untyped {type(exc).__name__}: {exc}")
+
+    attempts = len(rep.attempts)
+    if rep.ok:
+        verdict = compare_results(rep.output, expected)
+        if verdict.ok:
+            return ChaosOutcome(
+                case, "correct", verdict.describe(), attempts,
+                rep.degraded, rep.engine, len(rep.fault_events),
+            )
+        return ChaosOutcome(
+            case,
+            "violation",
+            f"silent corruption: {verdict.describe()} "
+            f"(degradations: {'; '.join(rep.degradations) or 'none'})",
+            attempts,
+            rep.degraded,
+            rep.engine,
+            len(rep.fault_events),
+        )
+    if isinstance(rep.error, ReproError):
+        return ChaosOutcome(
+            case, "typed_error",
+            f"{type(rep.error).__name__}: {rep.error}",
+            attempts, rep.degraded, rep.engine, len(rep.fault_events),
+        )
+    return ChaosOutcome(
+        case, "violation",
+        f"failed without a typed error: {rep.error!r}",
+        attempts, rep.degraded, rep.engine, len(rep.fault_events),
+    )

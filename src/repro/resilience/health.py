@@ -1,0 +1,113 @@
+"""Numerical health checks: NaN/Inf detection and overflow prediction.
+
+Blelloch's scan formulation reminds us the correction factors of a
+linear recurrence are geometric sequences: each factor row is an
+n-nacci run whose asymptotic growth rate is the *spectral radius* of
+the recurrence — the largest pole magnitude of its transfer function.
+For a signature with spectral radius rho > 1 the factors grow like
+rho^m, so they overflow float32 (max ~3.4e38) once
+``m > log(float32_max) / log(rho)`` — long before the paper's
+m = 11264 chunk size for any seriously unstable signature.  Numerical
+health is therefore a first-class failure mode, not a corner case, and
+this module gives the :class:`~repro.resilience.ResilientSolver` the
+predicates it needs to *predict* overflow before solving and to
+*detect* contamination after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+import numpy as np
+
+from repro.core.errors import NumericalError
+from repro.core.signature import Signature
+from repro.core.ztransform import poles
+
+__all__ = [
+    "HealthReport",
+    "array_health",
+    "check_finite",
+    "predict_table_overflow",
+    "spectral_radius",
+]
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """Summary of an array's numerical condition."""
+
+    finite: bool
+    nan_count: int
+    inf_count: int
+    max_abs: float
+    size: int
+
+    def describe(self) -> str:
+        if self.finite:
+            return f"healthy ({self.size} values, max |x| = {self.max_abs:.3g})"
+        return (
+            f"contaminated: {self.nan_count} NaN, {self.inf_count} Inf "
+            f"of {self.size} values"
+        )
+
+
+def array_health(values: np.ndarray) -> HealthReport:
+    """Inspect an array for NaN/Inf contamination.
+
+    Integer arrays are always healthy: integer signatures deliberately
+    wrap around like the 32-bit CUDA arithmetic the paper generates.
+    """
+    values = np.asarray(values)
+    if values.size == 0 or not np.issubdtype(values.dtype, np.floating):
+        return HealthReport(True, 0, 0, 0.0, int(values.size))
+    finite_mask = np.isfinite(values)
+    if finite_mask.all():
+        return HealthReport(
+            True, 0, 0, float(np.abs(values).max(initial=0.0)), int(values.size)
+        )
+    nan_count = int(np.isnan(values).sum())
+    inf_count = int(np.isinf(values).sum())
+    finite_values = values[finite_mask]
+    max_abs = float(np.abs(finite_values).max(initial=0.0)) if finite_values.size else math.inf
+    return HealthReport(False, nan_count, inf_count, max_abs, int(values.size))
+
+
+def check_finite(values: np.ndarray, context: str) -> None:
+    """Raise :class:`NumericalError` when a float array is contaminated."""
+    report = array_health(values)
+    if not report.finite:
+        raise NumericalError(f"{context}: {report.describe()}")
+
+
+def spectral_radius(signature: Signature) -> float:
+    """The largest pole magnitude of the signature's recursive part.
+
+    The growth rate of the correction factors and of the homogeneous
+    solution: < 1 means the factor lists decay (stable filters, the
+    paper's decay optimization), exactly 1 means polynomial growth
+    (prefix sums), > 1 means geometric blow-up (Fibonacci-like
+    recurrences).
+    """
+    return max((abs(p) for p in poles(signature.recursive_part())), default=0.0)
+
+
+def predict_table_overflow(
+    signature: Signature, chunk_size: int, dtype: np.dtype | type
+) -> bool:
+    """Will a (signature, chunk_size) factor table overflow ``dtype``?
+
+    Pure prediction from the spectral radius — no table is built.  The
+    largest factor magnitude is ~rho^(chunk_size-1); comparison happens
+    in log space so the prediction itself cannot overflow.  Integer
+    dtypes always return False (wrap-around semantics).
+    """
+    dtype = np.dtype(dtype)
+    if not np.issubdtype(dtype, np.floating):
+        return False
+    rho = spectral_radius(signature)
+    if rho <= 1.0:
+        return False
+    return (chunk_size - 1) * math.log(rho) > math.log(float(np.finfo(dtype).max))

@@ -1,0 +1,477 @@
+"""The graceful-degradation solver chain.
+
+:class:`ResilientSolver` wraps the fast numpy
+:class:`~repro.plr.solver.PLRSolver` (or the fault-injectable
+:class:`~repro.gpusim.executor.SimulatedPLR`) with a policy-driven
+fallback chain whose contract is *correct output or typed error, never
+silent corruption*:
+
+* **numerical faults** (a factor table predicted to overflow via its
+  spectral radius, NaN/Inf in the output) trigger dtype promotion
+  (float32 -> float64) and then chunk-size reduction;
+* **simulation faults** (protocol violations, deadlocks — i.e. the
+  failure modes injected by :class:`~repro.gpusim.faults.FaultPlan`)
+  and **verification mismatches** (silent corruption caught by the
+  paired redundant solve) trigger bounded retry with backoff under a
+  fresh scheduler seed;
+* **deadline overruns** and exhausted retries fall back to the serial
+  reference (:func:`repro.core.reference.serial_full`), which is slow
+  but definitionally correct.
+
+Every solve returns a typed :class:`SolveReport` recording each
+attempt, what degraded, and why — so a service can alert on degraded
+solves instead of discovering corrupt data downstream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.errors import (
+    DeadlockError,
+    NumericalError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype, serial_full
+from repro.core.signature import Signature
+from repro.core.validation import compare_results
+from repro.gpusim.executor import SimulatedPLR
+from repro.gpusim.faults import FaultEvent, FaultPlan
+from repro.gpusim.spec import MachineSpec
+from repro.plr.planner import ExecutionPlan
+from repro.plr.solver import PLRSolver
+
+__all__ = ["AttemptRecord", "FallbackPolicy", "ResilientSolver", "SolveReport"]
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """Knobs of the degradation chain; defaults suit a service's hot path.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries (with a fresh scheduler seed) after a simulation fault
+        or a verification mismatch, before falling back to serial.
+    promote_dtype:
+        Allow float32 -> float64 promotion on numerical faults.
+    shrink_chunk:
+        Allow halving the chunk size when promotion is unavailable or
+        insufficient (smaller m keeps rho^m inside the dtype's range).
+    min_chunk_size:
+        Floor for chunk-size reduction.
+    serial_fallback:
+        Whether the chain may end at the serial reference.  When False,
+        an exhausted chain reports (and :meth:`ResilientSolver.solve`
+        raises) the last typed error instead.
+    verify:
+        ``"auto"`` — paired verification only for the simulator engine
+        (the fault-injectable one); ``"paired"`` — always cross-check
+        against an independent second engine; ``"none"`` — trust the
+        primary engine.
+    deadline_s:
+        Wall-clock budget; once exceeded the chain stops degrading
+        gradually and jumps straight to the serial fallback.
+    backoff_base_s:
+        Sleep ``backoff_base_s * 2**retry`` between retries (0 in
+        tests; nonzero for a service sharing a contended accelerator).
+    max_attempts:
+        Hard cap on total attempts, bounding pathological policies.
+    """
+
+    max_retries: int = 2
+    promote_dtype: bool = True
+    shrink_chunk: bool = True
+    min_chunk_size: int = 64
+    serial_fallback: bool = True
+    verify: str = "auto"
+    deadline_s: float | None = None
+    backoff_base_s: float = 0.0
+    max_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.verify not in ("auto", "paired", "none"):
+            raise ValueError(f"verify must be auto|paired|none, got {self.verify!r}")
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of the chain: configuration, outcome, and cost."""
+
+    engine: str  # "plr" | "sim" | "serial"
+    dtype: str
+    chunk_size: int | None
+    seed: int | None
+    outcome: str  # "ok" | "numerical" | "simulation" | "deadlock" | "corrupt"
+    detail: str = ""
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class SolveReport:
+    """What a resilient solve did, degraded, and produced."""
+
+    ok: bool
+    output: np.ndarray | None
+    engine: str | None
+    dtype: np.dtype | None
+    attempts: list[AttemptRecord] = field(default_factory=list)
+    degradations: list[str] = field(default_factory=list)
+    error: ReproError | None = None
+    fault_events: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+    def describe(self) -> str:
+        if self.ok:
+            head = f"OK via {self.engine} ({np.dtype(self.dtype).name})"
+        else:
+            head = f"FAILED: {type(self.error).__name__}: {self.error}"
+        lines = [head]
+        for a in self.attempts:
+            lines.append(
+                f"  attempt[{a.engine} dtype={a.dtype} m={a.chunk_size} "
+                f"seed={a.seed}]: {a.outcome}"
+                + (f" — {a.detail}" if a.detail else "")
+            )
+        if self.degradations:
+            lines.append("  degradations: " + "; ".join(self.degradations))
+        return "\n".join(lines)
+
+
+class ResilientSolver:
+    """Policy-driven fault-tolerant front end for computing recurrences.
+
+    Parameters
+    ----------
+    recurrence:
+        The recurrence (or signature / signature string) to compute.
+    machine:
+        Machine for planning (``engine="plr"``) or simulation
+        (``engine="sim"``; defaults to the small test GPU there).
+    policy:
+        The :class:`FallbackPolicy`; defaults are production-shaped.
+    engine:
+        ``"plr"`` — the numpy solver (the fast path); ``"sim"`` — the
+        event-ordered GPU simulator, which honours ``fault`` plans and
+        exercises the full Phase 2 protocol.
+    fault:
+        A :class:`~repro.gpusim.faults.FaultPlan` (or legacy
+        :class:`~repro.gpusim.executor.ProtocolFault`) injected into
+        the simulator engine — the chaos harness's entry point.
+    sim_seed:
+        Base scheduler seed; retries bump it to re-roll the schedule.
+    chunk_size:
+        Optional chunk-size override for the plr engine (otherwise the
+        paper's planner decides).
+    deadlock_rounds:
+        Watchdog patience handed to the simulator's scheduler.
+    """
+
+    def __init__(
+        self,
+        recurrence: Recurrence | Signature | str,
+        machine: MachineSpec | None = None,
+        policy: FallbackPolicy | None = None,
+        engine: str = "plr",
+        fault: object | None = None,
+        sim_seed: int = 0,
+        chunk_size: int | None = None,
+        deadlock_rounds: int = 200,
+    ) -> None:
+        if isinstance(recurrence, str):
+            recurrence = Recurrence.parse(recurrence)
+        elif isinstance(recurrence, Signature):
+            recurrence = Recurrence(recurrence)
+        if engine not in ("plr", "sim"):
+            raise ValueError(f"engine must be plr|sim, got {engine!r}")
+        self.recurrence = recurrence
+        self.engine = engine
+        self.machine = machine or (
+            MachineSpec.small_test_gpu() if engine == "sim" else MachineSpec.titan_x()
+        )
+        self.policy = policy or FallbackPolicy()
+        self.fault = fault
+        self.sim_seed = sim_seed
+        self.chunk_size = chunk_size
+        self.deadlock_rounds = deadlock_rounds
+        self._solver = PLRSolver(recurrence, machine=self.machine if engine == "plr" else None)
+        self._pending_events: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    def solve(self, values: np.ndarray) -> np.ndarray:
+        """Compute the recurrence; raise the typed error on failure."""
+        report = self.solve_with_report(values)
+        if not report.ok:
+            assert report.error is not None
+            raise report.error
+        return report.output
+
+    def solve_with_report(self, values: np.ndarray) -> SolveReport:
+        """Compute the recurrence and report what degraded and why.
+
+        Never raises for failures the chain understands: the report's
+        ``ok``/``error`` fields carry the outcome.
+        """
+        values = np.asarray(values)
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("need a non-empty 1D input")
+        policy = self.policy
+        report = SolveReport(ok=False, output=None, engine=None, dtype=None)
+        start = time.monotonic()
+
+        dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        promotable = dtype == np.float32
+        if np.issubdtype(values.dtype, np.floating) and not np.isfinite(values).all():
+            # No degradation repairs poisoned input; the serial
+            # reference at least propagates it with defined semantics.
+            report.degradations.append("non-finite input: direct serial fallback")
+            return self._serial_fallback(values, dtype, report, start)
+
+        plan = self._base_plan(values.size, dtype) if self.engine == "plr" else None
+        seed = self.sim_seed
+        retries = 0
+        last_error: ReproError = SimulationError("no attempts ran")
+
+        while len(report.attempts) < policy.max_attempts:
+            if (
+                policy.deadline_s is not None
+                and time.monotonic() - start > policy.deadline_s
+            ):
+                report.degradations.append(
+                    f"deadline {policy.deadline_s:g}s exceeded: serial fallback"
+                )
+                last_error = SimulationError(
+                    f"deadline of {policy.deadline_s:g}s exceeded"
+                )
+                break
+            t0 = time.monotonic()
+            self._pending_events = []
+            try:
+                output = self._attempt(values, dtype, plan, seed)
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "ok", "", t0)
+                )
+                report.ok = True
+                report.output = output
+                report.engine = self.engine
+                report.dtype = np.dtype(dtype)
+                return report
+            except NumericalError as exc:
+                last_error = exc
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "numerical", str(exc), t0)
+                )
+                if policy.promote_dtype and promotable:
+                    dtype = np.dtype(np.float64)
+                    promotable = False
+                    plan = self._base_plan(values.size, dtype) if plan else None
+                    report.degradations.append("dtype promoted float32 -> float64")
+                    continue
+                shrunk = self._shrunk_plan(plan, values.size)
+                if shrunk is not None:
+                    report.degradations.append(
+                        f"chunk size reduced {plan.chunk_size} -> {shrunk.chunk_size}"
+                    )
+                    plan = shrunk
+                    continue
+                break
+            except DeadlockError as exc:
+                last_error = exc
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "deadlock", str(exc).splitlines()[0], t0)
+                )
+            except ValidationError as exc:
+                last_error = exc
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "corrupt", str(exc), t0)
+                )
+            except SimulationError as exc:
+                last_error = exc
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "simulation", str(exc), t0)
+                )
+            finally:
+                # Injected-fault event log of the simulator attempt, if
+                # the run got far enough to surface one.
+                report.fault_events.extend(self._pending_events)
+                self._pending_events = []
+            # Shared retry path for simulation faults / corruption.
+            if retries >= policy.max_retries:
+                break
+            if policy.backoff_base_s:
+                time.sleep(policy.backoff_base_s * 2**retries)
+            retries += 1
+            seed += 1
+            report.degradations.append(
+                f"retry {retries}/{policy.max_retries} with scheduler seed {seed}"
+            )
+
+        if policy.serial_fallback:
+            if report.attempts and not any(
+                d.startswith("serial") or "serial fallback" in d
+                for d in report.degradations
+            ):
+                report.degradations.append("fell back to serial reference")
+            return self._serial_fallback(values, dtype, report, start)
+        report.error = last_error
+        return report
+
+    # ------------------------------------------------------------------
+    def _base_plan(self, n: int, dtype: np.dtype) -> ExecutionPlan:
+        plan = self._solver.plan_for(n)
+        if self.chunk_size is not None:
+            plan = replace(
+                plan,
+                chunk_size=self.chunk_size,
+                values_per_thread=1,
+                num_chunks=-(-n // self.chunk_size),
+            )
+        return plan
+
+    def _shrunk_plan(self, plan: ExecutionPlan | None, n: int) -> ExecutionPlan | None:
+        """Halve the chunk size, or None when shrinking is exhausted."""
+        if plan is None or not self.policy.shrink_chunk:
+            return None
+        half = plan.chunk_size // 2
+        floor = max(
+            self.policy.min_chunk_size,
+            plan.values_per_thread,
+            self.recurrence.order,
+        )
+        if half < floor:
+            return None
+        return replace(plan, chunk_size=half, num_chunks=-(-n // half))
+
+    def _record(
+        self,
+        dtype: np.dtype,
+        plan: ExecutionPlan | None,
+        seed: int,
+        outcome: str,
+        detail: str,
+        t0: float,
+    ) -> AttemptRecord:
+        return AttemptRecord(
+            engine=self.engine,
+            dtype=np.dtype(dtype).name,
+            chunk_size=plan.chunk_size if plan else None,
+            seed=seed if self.engine == "sim" else None,
+            outcome=outcome,
+            detail=detail,
+            elapsed_s=time.monotonic() - t0,
+        )
+
+    def _should_verify(self) -> bool:
+        if self.policy.verify == "none":
+            return False
+        if self.policy.verify == "paired":
+            return True
+        return self.engine == "sim"
+
+    def _attempt(
+        self,
+        values: np.ndarray,
+        dtype: np.dtype,
+        plan: ExecutionPlan | None,
+        seed: int,
+    ) -> np.ndarray:
+        work = values.astype(dtype, copy=False)
+        if self.engine == "sim":
+            sim = SimulatedPLR(
+                self.recurrence,
+                self.machine,
+                seed=seed,
+                fault=self.fault,
+                deadlock_rounds=self.deadlock_rounds,
+            )
+            # Injected faults may blow up float arithmetic mid-protocol;
+            # the health check and paired verification below are the
+            # detectors, so keep numpy quiet during the attempt.
+            with np.errstate(over="ignore", invalid="ignore"):
+                result = sim.run(work)
+            self._pending_events = list(result.fault_events)
+            output = result.output
+        else:
+            table = self._solver.factor_table(plan, dtype)
+            if table.overflow_risk:
+                raise NumericalError(
+                    f"factor table for m={plan.chunk_size} predicted to "
+                    f"overflow {np.dtype(dtype).name} (spectral radius "
+                    f"{table.spectral_radius:.4g})"
+                )
+            # An attempt is allowed to overflow — that is precisely what
+            # the health check below detects — so keep numpy quiet here.
+            with np.errstate(over="ignore", invalid="ignore"):
+                output = self._solver.solve(values, plan=plan, dtype=dtype)
+        if np.issubdtype(np.dtype(dtype), np.floating) and not np.isfinite(output).all():
+            bad = int((~np.isfinite(output)).sum())
+            raise NumericalError(
+                f"output contains {bad} non-finite values in {np.dtype(dtype).name}"
+            )
+        if self._should_verify():
+            self._verify(work, output, dtype)
+        return output
+
+    def _verify(self, work: np.ndarray, output: np.ndarray, dtype: np.dtype) -> None:
+        """Redundant-execution check: an independent engine must agree.
+
+        The paired engine (the numpy solver for the simulator, and vice
+        versa a freshly planned solve for the numpy path) shares no
+        scheduler, no fault plan, and no chunking with the primary, so
+        silently corrupted carries (stale reads, bit flips, fence
+        elision) surface as a mismatch here — which the chain treats
+        like any other transient fault.
+        """
+        reference = PLRSolver(self.recurrence).solve(work, dtype=dtype)
+        outcome = compare_results(output, reference)
+        if not outcome.ok:
+            raise ValidationError(
+                f"paired verification failed: {outcome.describe()}"
+            )
+
+    def _serial_fallback(
+        self,
+        values: np.ndarray,
+        dtype: np.dtype,
+        report: SolveReport,
+        start: float,
+    ) -> SolveReport:
+        t0 = time.monotonic()
+        output = serial_full(values, self.recurrence.signature, dtype=dtype)
+        if (
+            np.issubdtype(np.dtype(dtype), np.floating)
+            and dtype == np.float32
+            and self.policy.promote_dtype
+            and not np.isfinite(output).all()
+            and np.isfinite(values).all()
+        ):
+            # Even the reference overflows in float32; promotion is the
+            # only remaining lever and the serial engine supports it.
+            report.degradations.append("dtype promoted float32 -> float64 (serial)")
+            dtype = np.dtype(np.float64)
+            output = serial_full(values, self.recurrence.signature, dtype=dtype)
+        report.attempts.append(
+            AttemptRecord(
+                engine="serial",
+                dtype=np.dtype(dtype).name,
+                chunk_size=None,
+                seed=None,
+                outcome="ok",
+                elapsed_s=time.monotonic() - t0,
+            )
+        )
+        report.ok = True
+        report.output = output
+        report.engine = "serial"
+        report.dtype = np.dtype(dtype)
+        report.error = None
+        return report

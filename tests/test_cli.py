@@ -136,3 +136,31 @@ class TestSimulateCommand:
         # The race fires under essentially every schedule at this size.
         assert code == 1
         assert "MISMATCH" in out
+
+    def test_generalized_fault_kind_accepted(self, capsys):
+        assert main(["simulate", "(1: 1)", "-n", "400", "--fault", "abort_restart"]) == 0
+        out = capsys.readouterr().out
+        assert "restarts" in out
+        assert "OK" in out
+
+    def test_unknown_fault_is_clean_error(self, capsys):
+        assert main(["simulate", "(1: 1)", "--fault", "meteor_strike"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_small_sweep_holds_invariant(self, capsys):
+        assert main(["chaos", "--cases", "25", "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "25 cases" in out
+        assert "invariant held" in out
+
+    def test_recurrence_filter(self, capsys):
+        assert main(
+            ["chaos", "--cases", "10", "--recurrence", "prefix_sum"]
+        ) == 0
+        assert "10 cases" in capsys.readouterr().out
+
+    def test_unknown_recurrence_is_clean_error(self, capsys):
+        assert main(["chaos", "--cases", "1", "--recurrence", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err

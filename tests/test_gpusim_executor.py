@@ -165,6 +165,52 @@ class TestFaultInjection:
         with pytest.raises(SimulationError, match="deadlock"):
             sim.run(values)
 
+    @pytest.mark.parametrize("seed", range(16))
+    def test_skip_local_flag_liveness_across_seeds(self, seed, machine):
+        """Liveness of the global-flag fallback under 16 adversarial
+        schedules: dropping every local publication must never hang the
+        grid, and the output stays exact with look-back pinned to 1."""
+        rec = Recurrence.parse("(1: 2, -1)")
+        values = np.random.default_rng(seed).integers(-9, 9, 640).astype(np.int32)
+        expected = serial_full(values, rec.signature)
+        sim = SimulatedPLR(
+            rec, machine, seed=seed, fault=ProtocolFault.SKIP_LOCAL_FLAG,
+            deadlock_rounds=200,
+        )
+        result = sim.run(values)
+        np.testing.assert_array_equal(result.output, expected)
+        assert all(d == 1 for d in result.lookback_distances)
+
+    def test_deadlock_forensics_content(self, machine, rng):
+        """The watchdog must name the stalled chunks, the flag class
+        they wait for, and the blocking chunk ids."""
+        from repro.core.errors import DeadlockError
+        from repro.gpusim.faults import FaultKind, FaultPlan
+
+        rec = Recurrence.parse("(1: 1)")
+        values = rng.integers(0, 5, 400).astype(np.int32)
+        sim = SimulatedPLR(
+            rec, machine, seed=0,
+            fault=FaultPlan.single(FaultKind.DROP_GLOBAL_FLAG, chunks=(0,)),
+            deadlock_rounds=60,
+        )
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run(values)
+        err = excinfo.value
+        assert isinstance(err, SimulationError)  # chaos-contract typing
+        assert err.forensics, "deadlock must carry per-block wait records"
+        # Every stalled block is ultimately blocked on the victim chunk 0.
+        for wait in err.forensics:
+            assert wait.waiting_for == "global"
+            assert 0 in wait.blocked_on
+            # No global-ready base exists anywhere in the window, so
+            # the distance is unresolved and the window is reported.
+            assert wait.lookback_distance is None
+            assert wait.chunk_id - wait.lookback_lo >= 1
+        message = str(err)
+        assert "deadlock" in message
+        assert "blocked on" in message and "chunk" in message
+
 
 class TestAgainstNumpySolver:
     def test_simulator_equals_solver(self, machine, rng):

@@ -114,6 +114,66 @@ class TestState:
         with pytest.raises(ValueError):
             stream.load_state(other.state)
 
+    def test_load_state_errors_are_typed(self):
+        from repro.core.errors import StateError
+
+        stream = StreamingSolver("(1: 2, -1)")
+        other = StreamingSolver("(1: 1)")
+        with pytest.raises(StateError, match="outputs of shape"):
+            stream.load_state(other.state)
+
+    def test_load_state_rejects_uncastable_dtype(self):
+        from repro.core.errors import StateError
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(1: 1)")  # int32 solver
+        bad = StreamState(
+            outputs=np.array([1.5], dtype=np.float64),
+            inputs=np.zeros(0, dtype=np.int32),
+        )
+        with pytest.raises(StateError, match="dtype"):
+            stream.load_state(bad)
+
+    def test_load_state_rejects_nonfinite_carries(self):
+        from repro.core.errors import StateError
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(0.2: 0.8)")
+        bad = StreamState(
+            outputs=np.array([np.nan], dtype=np.float32),
+            inputs=np.zeros(0, dtype=np.float32),
+        )
+        with pytest.raises(StateError, match="non-finite"):
+            stream.load_state(bad)
+
+    def test_load_state_rejects_negative_position(self):
+        from repro.core.errors import StateError
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(1: 1)")
+        bad = StreamState(
+            outputs=np.zeros(1, dtype=np.int32),
+            inputs=np.zeros(0, dtype=np.int32),
+            position=-3,
+        )
+        with pytest.raises(StateError, match="position"):
+            stream.load_state(bad)
+
+    def test_load_state_casts_compatible_dtype(self):
+        """A same-kind checkpoint (int64 for an int32 solver) restores."""
+        stream = StreamingSolver("(1: 1)")
+        from repro.plr.streaming import StreamState
+
+        stream.load_state(
+            StreamState(
+                outputs=np.array([5], dtype=np.int64),
+                inputs=np.zeros(0, dtype=np.int64),
+                position=1,
+            )
+        )
+        out = stream.push(np.array([1], dtype=np.int32))
+        assert out[0] == 6  # carry applied after the cast
+
 
 class TestAPI:
     def test_rejects_2d(self):
