@@ -45,6 +45,14 @@ from repro.core import (
     table1_signatures,
 )
 from repro.gpusim import CostModel, FaultKind, FaultPlan, MachineSpec, SimulatedPLR
+from repro.obs import (
+    MetricsRegistry,
+    PipelineProfile,
+    Tracer,
+    chrome_trace,
+    global_metrics,
+    profile_simulation,
+)
 from repro.plr import (
     CorrectionFactorTable,
     ExecutionPlan,
@@ -73,10 +81,12 @@ __all__ = [
     "FaultKind",
     "FaultPlan",
     "MachineSpec",
+    "MetricsRegistry",
     "NumericalError",
     "OptimizationConfig",
     "PLRCompiler",
     "PLRSolver",
+    "PipelineProfile",
     "Recurrence",
     "RecurrenceClass",
     "RecurrenceCode",
@@ -87,14 +97,17 @@ __all__ = [
     "SimulatedPLR",
     "SolveReport",
     "StateError",
+    "Tracer",
     "ValidationError",
     "Workload",
     "__version__",
     "assert_valid",
+    "chrome_trace",
     "classify",
     "clear_factor_cache",
     "compare_results",
     "correction_factors",
+    "global_metrics",
     "high_pass",
     "low_pass",
     "make_code",
@@ -102,6 +115,7 @@ __all__ = [
     "parse_signature",
     "plan_execution",
     "plr_solve",
+    "profile_simulation",
     "run_chaos",
     "serial_full",
     "table1_signatures",

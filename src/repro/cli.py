@@ -15,7 +15,12 @@ Subcommands:
 * ``plr tables`` — reproduce Tables 2 and 3;
 * ``plr chaos`` — sweep random fault plans through the resilient
   solver and check "correct output or typed error, never silent
-  corruption".
+  corruption";
+* ``plr trace`` — run a traced solve and write a Chrome trace-event
+  JSON file (load it in Perfetto or chrome://tracing);
+* ``plr profile`` — run the simulator under tracing and write the
+  trace, the metrics snapshot, and an SVG timeline, plus a pipeline
+  profile (look-back depths, stalls, critical path) to stdout.
 """
 
 from __future__ import annotations
@@ -123,6 +128,41 @@ def build_parser() -> argparse.ArgumentParser:
     export_p.add_argument(
         "--svg", action="store_true", help="also render each figure as SVG"
     )
+
+    trace_p = sub.add_parser(
+        "trace", help="run a traced solve and write Chrome trace-event JSON"
+    )
+    trace_p.add_argument("signature")
+    trace_p.add_argument("-n", "--n", type=int, default=1 << 16)
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument(
+        "--engine",
+        choices=("sim", "solver"),
+        default="sim",
+        help="sim: the event-ordered GPU simulator (per-block protocol "
+        "events); solver: the numpy solver (phase-level spans)",
+    )
+    trace_p.add_argument(
+        "-o",
+        "--output",
+        default="plr-trace.json",
+        help="trace file to write (default: plr-trace.json)",
+    )
+
+    profile_p = sub.add_parser(
+        "profile",
+        help="profile a simulated run: trace + metrics + SVG timeline + "
+        "pipeline report",
+    )
+    profile_p.add_argument("signature")
+    profile_p.add_argument("-n", "--n", type=int, default=1 << 16)
+    profile_p.add_argument("--seed", type=int, default=0)
+    profile_p.add_argument(
+        "--outdir",
+        default="plr-profile",
+        help="directory for trace.json / metrics.json / timeline.svg / "
+        "profile.json (default: plr-profile)",
+    )
     return parser
 
 
@@ -195,6 +235,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
             f"carry {decision.carry_index}        "
             f"{decision.realization.value}{suffix}"
         )
+    from repro.plr.solver import factor_cache_stats
+
+    stats = factor_cache_stats()
+    print(
+        f"factor cache   {stats['hits']} hits, {stats['misses']} misses, "
+        f"{stats['size']}/{stats['max_size']} tables resident"
+    )
     return 0
 
 
@@ -318,6 +365,65 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.tracer import Tracer
+
+    recurrence = Recurrence.parse(args.signature)
+    values = _make_input(recurrence, args.n, args.seed)
+    tracer = Tracer()
+    if args.engine == "sim":
+        from repro.gpusim.executor import SimulatedPLR
+        from repro.gpusim.spec import MachineSpec
+
+        sim = SimulatedPLR(
+            recurrence,
+            MachineSpec.small_test_gpu(),
+            seed=args.seed,
+            tracer=tracer,
+        )
+        sim.run(values)
+    else:
+        PLRSolver(recurrence, tracer=tracer).solve(values)
+    path = write_chrome_trace(tracer, args.output)
+    print(
+        f"wrote {len(tracer.events)} events to {path} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.exporters import (
+        timeline_svg,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+    from repro.obs.profile import profile_simulation, write_profile_json
+
+    profile, tracer, metrics, _ = profile_simulation(
+        args.signature, args.n, seed=args.seed
+    )
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written = [
+        write_chrome_trace(tracer, outdir / "trace.json"),
+        write_metrics_json(metrics, outdir / "metrics.json"),
+        write_profile_json(profile, outdir / "profile.json"),
+    ]
+    svg_path = outdir / "timeline.svg"
+    svg_path.write_text(
+        timeline_svg(tracer, title=f"{args.signature} n={args.n} seed={args.seed}")
+    )
+    written.append(svg_path)
+    print(profile.describe())
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
@@ -329,6 +435,8 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "calibration": _cmd_calibration,
     "export": _cmd_export,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

@@ -47,12 +47,21 @@ class DeadlockError(SimulationError):
     which chunk it runs, which flags it is blocked on, and at what
     look-back distance — enough to reconstruct the broken dependence
     chain of the Phase 2 protocol (see
-    :class:`repro.gpusim.scheduler.WaitInfo`).
+    :class:`repro.gpusim.scheduler.WaitInfo`).  When the run was
+    traced, ``trace_tails`` maps each stalled chunk id to its last few
+    :class:`~repro.obs.tracer.TraceEvent` records, showing how the
+    block got stuck rather than only what it waits on.
     """
 
-    def __init__(self, message: str, forensics: tuple = ()) -> None:
+    def __init__(
+        self,
+        message: str,
+        forensics: tuple = (),
+        trace_tails: dict | None = None,
+    ) -> None:
         super().__init__(message)
         self.forensics = tuple(forensics)
+        self.trace_tails = dict(trace_tails or {})
 
 
 class NumericalError(ReproError):

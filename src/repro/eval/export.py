@@ -100,11 +100,14 @@ def export_everything(
     machine: MachineSpec | None = None,
     cost_model: CostModel | None = None,
     svg: bool = False,
+    tracer=None,
 ) -> list[Path]:
     """Write every figure and table under ``outdir``; returns the paths.
 
     With ``svg=True``, also renders each figure as a standalone SVG
-    chart (no plotting stack required).
+    chart (no plotting stack required).  A ``tracer`` is threaded into
+    every :func:`run_experiment` sweep so a full export can be profiled
+    end to end.
     """
     machine = machine or MachineSpec.titan_x()
     cost_model = cost_model or CostModel(machine)
@@ -115,7 +118,11 @@ def export_everything(
     all_figure_rows: list[dict] = []
     for fid, definition in sorted(figure_definitions().items()):
         result = run_experiment(
-            definition, machine=machine, cost_model=cost_model, validate=False
+            definition,
+            machine=machine,
+            cost_model=cost_model,
+            validate=False,
+            tracer=tracer,
         )
         rows = figure_to_rows(result)
         all_figure_rows.extend(rows)

@@ -23,6 +23,7 @@ from repro.core.validation import assert_valid
 from repro.core.reference import serial_full
 from repro.gpusim.cost import CostModel
 from repro.gpusim.spec import MachineSpec
+from repro.obs.tracer import coerce_tracer
 
 __all__ = [
     "DEFAULT_SIZES",
@@ -115,6 +116,7 @@ def run_experiment(
     cost_model: CostModel | None = None,
     validate: bool = True,
     resilient: bool = False,
+    tracer=None,
 ) -> FigureResult:
     """Produce every code's throughput curve for one experiment.
 
@@ -125,25 +127,38 @@ def run_experiment(
     broken baseline should not cost the other curves of a long
     evaluation run.  Untyped exceptions still propagate: those are
     bugs, not measured failures.
+
+    ``tracer`` (``True`` / a :class:`~repro.obs.tracer.Tracer` /
+    ``None``) records one ``sweep`` span per code plus a ``validate``
+    instant per cross-check outcome, so a long figure run shows where
+    the wall-clock went.
     """
     machine = machine or MachineSpec.titan_x()
     cost_model = cost_model or CostModel(machine)
+    tracer = coerce_tracer(tracer)
     series: dict[str, Series] = {}
     validated: dict[str, bool] = {}
     validation_errors: dict[str, str] = {}
     for code_name in definition.codes:
         code = make_code(code_name)
         curve = Series(code=code_name)
-        for n in definition.sizes:
-            workload = Workload(definition.recurrence, n)
-            ok = code.supports(workload, machine)
-            curve.sizes.append(n)
-            curve.supported.append(ok)
-            if ok:
-                traffic = code.traffic(workload, machine)
-                curve.throughput.append(cost_model.throughput(n, traffic))
-            else:
-                curve.throughput.append(0.0)
+        with tracer.span(
+            "sweep",
+            cat="eval",
+            args={"code": code_name, "figure": definition.figure_id}
+            if tracer.enabled
+            else None,
+        ):
+            for n in definition.sizes:
+                workload = Workload(definition.recurrence, n)
+                ok = code.supports(workload, machine)
+                curve.sizes.append(n)
+                curve.supported.append(ok)
+                if ok:
+                    traffic = code.traffic(workload, machine)
+                    curve.throughput.append(cost_model.throughput(n, traffic))
+                else:
+                    curve.throughput.append(0.0)
         series[code_name] = curve
         if validate and definition.validate_at:
             workload = Workload(definition.recurrence, definition.validate_at)
@@ -159,6 +174,12 @@ def run_experiment(
                     validation_errors[code_name] = f"{type(exc).__name__}: {exc}"
             else:
                 validated[code_name] = False
+            if tracer.enabled:
+                tracer.instant(
+                    "validate",
+                    cat="eval",
+                    args={"code": code_name, "ok": validated[code_name]},
+                )
     return FigureResult(
         definition=definition,
         series=series,

@@ -18,7 +18,12 @@ from dataclasses import dataclass
 from repro.eval.figures import Figure10Bar
 from repro.eval.harness import FigureResult
 
-__all__ = ["render_figure_svg", "render_figure10_svg", "SvgStyle"]
+__all__ = [
+    "render_figure_svg",
+    "render_figure10_svg",
+    "render_timeline_svg",
+    "SvgStyle",
+]
 
 # Distinguishable line colors; memcpy gets neutral gray like the paper.
 _PALETTE = {
@@ -167,6 +172,131 @@ def render_figure_svg(result: FigureResult, style: SvgStyle | None = None) -> st
         )
         legend_y += 20
 
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# Event categories -> timeline colors (trace timelines, repro.obs).
+_TIMELINE_PALETTE = {
+    "phase1": "#1f77b4",
+    "phase2": "#2ca02c",
+    "sim": "#9467bd",
+    "sched": "#ff7f0e",
+    "solver": "#17becf",
+    "resilience": "#d62728",
+}
+_TIMELINE_INSTANT = {
+    "lookback": "#2ca02c",
+    "spin": "#d62728",
+    "publish_local": "#ff7f0e",
+    "publish_global": "#9467bd",
+}
+
+
+def render_timeline_svg(
+    events: list, title: str = "trace timeline", max_rows: int = 160
+) -> str:
+    """A Gantt timeline of trace events: one row per (pid, tid) lane.
+
+    ``events`` are :class:`~repro.obs.tracer.TraceEvent`-shaped objects
+    (duck-typed: name/ph/ts/dur/cat/pid/tid).  Complete ("X") events
+    draw as bars colored by category; instants draw as ticks colored by
+    name.  The x-axis is whatever clock the tracer used — scheduler
+    steps for simulator traces, microseconds for host traces.  Lanes
+    beyond ``max_rows`` are dropped with a note, keeping pathological
+    traces renderable.
+    """
+    spans = [e for e in events if e.ph == "X" and e.dur is not None]
+    instants = [e for e in events if e.ph == "i"]
+    lanes = sorted({(e.pid, e.tid) for e in spans + instants})
+    omitted = max(0, len(lanes) - max_rows)
+    lanes = lanes[:max_rows]
+    lane_index = {lane: i for i, lane in enumerate(lanes)}
+
+    row_h = 14
+    margin_left, margin_top, margin_right, margin_bottom = 110, 48, 20, 30
+    width = 860
+    height = margin_top + max(1, len(lanes)) * row_h + margin_bottom
+    plot_w = width - margin_left - margin_right
+
+    ts_all = [e.ts for e in spans + instants] + [
+        e.ts + e.dur for e in spans
+    ]
+    t_lo = min(ts_all, default=0.0)
+    t_hi = max(ts_all, default=1.0)
+    span_t = max(t_hi - t_lo, 1e-9)
+
+    def px(ts: float) -> float:
+        return margin_left + (ts - t_lo) / span_t * plot_w
+
+    font = "ui-sans-serif, system-ui, sans-serif"
+    pid_names = {0: "host", 1: "simulator", 2: "scheduler"}
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_left}" y="20" font-family="{font}" '
+        f'font-size="14" font-weight="bold">{title}</text>',
+        f'<text x="{margin_left}" y="36" font-family="{font}" font-size="10" '
+        f'fill="#555">{len(spans)} spans, {len(instants)} instants, '
+        f"clock [{t_lo:g}, {t_hi:g}]"
+        + (f" &#8212; {omitted} lanes omitted" if omitted else "")
+        + "</text>",
+    ]
+
+    for (pid, tid), i in lane_index.items():
+        y = margin_top + i * row_h
+        if i % 2:
+            parts.append(
+                f'<rect x="{margin_left}" y="{y}" width="{plot_w}" '
+                f'height="{row_h}" fill="#f4f4f4"/>'
+            )
+        label = f"{pid_names.get(pid, pid)}/{tid}"
+        parts.append(
+            f'<text x="{margin_left - 6}" y="{y + row_h - 4}" '
+            f'font-family="{font}" font-size="9" text-anchor="end">{label}</text>'
+        )
+
+    for e in spans:
+        lane = (e.pid, e.tid)
+        if lane not in lane_index:
+            continue
+        y = margin_top + lane_index[lane] * row_h + 2
+        x0, x1 = px(e.ts), px(e.ts + e.dur)
+        w = max(x1 - x0, 1.0)
+        color = _TIMELINE_PALETTE.get(e.cat, "#7f7f7f")
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{w:.1f}" height="{row_h - 4}" '
+            f'fill="{color}" fill-opacity="0.8"><title>{e.name} '
+            f"[{e.ts:g}, {e.ts + e.dur:g}]</title></rect>"
+        )
+
+    for e in instants:
+        lane = (e.pid, e.tid)
+        if lane not in lane_index:
+            continue
+        y = margin_top + lane_index[lane] * row_h
+        x = px(e.ts)
+        color = _TIMELINE_INSTANT.get(
+            e.name, _TIMELINE_PALETTE.get(e.cat, "#444444")
+        )
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{y + 2}" x2="{x:.1f}" y2="{y + row_h - 2}" '
+            f'stroke="{color}" stroke-width="1"><title>{e.name}@{e.ts:g}</title></line>'
+        )
+
+    axis_y = margin_top + len(lanes) * row_h
+    parts.append(
+        f'<line x1="{margin_left}" y1="{axis_y}" '
+        f'x2="{margin_left + plot_w}" y2="{axis_y}" stroke="black"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t = t_lo + frac * span_t
+        x = px(t)
+        parts.append(
+            f'<text x="{x:.1f}" y="{axis_y + 14}" font-family="{font}" '
+            f'font-size="9" text-anchor="middle">{t:g}</text>'
+        )
     parts.append("</svg>")
     return "\n".join(parts)
 

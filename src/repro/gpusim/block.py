@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.errors import SimulationError
 from repro.gpusim.warp import Warp
+from repro.obs.tracer import NULL_TRACER, TracePid
 from repro.plr.factors import CorrectionFactorTable
 
 __all__ = ["SharedMemory", "BlockStats", "ThreadBlock", "block_phase1"]
@@ -196,11 +197,20 @@ def _fetch_carries_via_shared(
     return carries
 
 
-def block_phase1(block: ThreadBlock, table: CorrectionFactorTable) -> None:
+def block_phase1(
+    block: ThreadBlock,
+    table: CorrectionFactorTable,
+    tracer=NULL_TRACER,
+    tid: int = 0,
+) -> None:
     """Run Phase 1 for one block's chunk, in place, lane-level.
 
     After this returns, ``block.values()`` is the locally correct chunk
-    (identical to one row of :func:`repro.plr.phase1.phase1`).
+    (identical to one row of :func:`repro.plr.phase1.phase1`).  With an
+    enabled ``tracer``, each merge-doubling level emits one ``merge``
+    event (tid is the caller's chunk id) recording the pair width, the
+    number of pairs, and whether carries moved by shuffle or through
+    shared memory.
     """
     x = block.values_per_thread
     k = table.order
@@ -237,6 +247,18 @@ def block_phase1(block: ThreadBlock, table: CorrectionFactorTable) -> None:
     while width < m:
         pair_span = 2 * width
         within_warp = pair_span <= block.warp_size * x
+        if tracer.enabled:
+            tracer.instant(
+                "merge",
+                cat="phase1",
+                pid=TracePid.SIM,
+                tid=tid,
+                args={
+                    "width": width,
+                    "pairs": m // pair_span,
+                    "mode": "shuffle" if within_warp else "shared",
+                },
+            )
         for pair_index in range(m // pair_span):
             border = pair_index * pair_span + width
             count = min(k, width)

@@ -59,6 +59,8 @@ from repro.gpusim.scheduler import (
     WaitInfo,
 )
 from repro.gpusim.spec import MachineSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TracePid, coerce_tracer
 from repro.plr.factors import CorrectionFactorTable
 from repro.plr.phase2 import transition_matrix
 
@@ -131,6 +133,7 @@ class KernelRunResult:
     device_memory_bytes: int
     fault_events: list[FaultEvent] = field(default_factory=list)
     restarts: int = 0
+    metrics: MetricsRegistry | None = None
 
     @property
     def max_lookback(self) -> int:
@@ -157,6 +160,17 @@ class SimulatedPLR:
     track_l2: bool = False
     paranoid_flag_checks: bool = True
     deadlock_rounds: int = 1000
+    tracer: object | None = None
+    """A :class:`~repro.obs.tracer.Tracer` (or True for a fresh one)
+    receiving the protocol's event stream — block lifecycle, warp
+    merges, flag publications, fences, spin waits, look-back
+    resolutions, L2 counters, fired faults.  Event timestamps use the
+    scheduler's *step counter*, so traces are deterministic for a fixed
+    scheduler seed.  None (the default) traces nothing at zero cost."""
+    metrics: MetricsRegistry | None = None
+    """Registry for aggregate counters/histograms of the run; a fresh
+    one is created per run when None.  Exposed on
+    :attr:`KernelRunResult.metrics` either way."""
 
     def run(self, values: np.ndarray) -> KernelRunResult:
         values = np.asarray(values)
@@ -197,17 +211,66 @@ class SimulatedPLR:
         l2 = L2Cache.for_machine(self.machine) if self.track_l2 else None
         faults = coerce_fault_plan(self.fault).engine()
 
+        tracer = coerce_tracer(self.tracer)
+        metrics = self.metrics if self.metrics is not None else MetricsRegistry()
+        # The scheduler exists before any block body so its step counter
+        # can serve as the trace clock: every event is stamped with the
+        # logical time of the interleaving, making traces byte-identical
+        # across runs with the same seed.
+        scheduler = GridScheduler(
+            max_resident=min(self.machine.resident_blocks(block_size), num_chunks),
+            seed=self.seed,
+            deadlock_rounds=self.deadlock_rounds,
+            tracer=tracer,
+        )
+
         block_stats: list[BlockStats] = []
         lookback_distances: list[int] = []
         factors = table.factors
 
-        def read_global(base: int, nbytes: int) -> None:
+        def fire_traced(kind: FaultKind, chunk_id: int, detail: str = ""):
+            spec = faults.fire(kind, chunk_id, detail)
+            if spec is not None:
+                metrics.counter("sim.faults_fired").inc()
+                if tracer.enabled:
+                    tracer.instant(
+                        "fault:" + kind.value,
+                        cat="fault",
+                        pid=TracePid.SIM,
+                        tid=chunk_id,
+                        args={"chunk": chunk_id, "detail": detail},
+                    )
+            return spec
+
+        def read_global(base: int, nbytes: int, chunk_id: int = 0) -> None:
             if l2 is not None:
                 l2.read(base, nbytes)
+                if tracer.enabled:
+                    tracer.counter(
+                        "l2",
+                        {
+                            "read_hits": l2.read_hits,
+                            "read_misses": l2.read_misses,
+                        },
+                        cat="l2",
+                        pid=TracePid.SIM,
+                        tid=chunk_id,
+                    )
 
-        def write_global(base: int, nbytes: int) -> None:
+        def write_global(base: int, nbytes: int, chunk_id: int = 0) -> None:
             if l2 is not None:
                 l2.write(base, nbytes)
+                if tracer.enabled:
+                    tracer.counter(
+                        "l2",
+                        {
+                            "write_hits": l2.write_hits,
+                            "write_misses": l2.write_misses,
+                        },
+                        cat="l2",
+                        pid=TracePid.SIM,
+                        tid=chunk_id,
+                    )
 
         itemsize = padded.itemsize
 
@@ -215,8 +278,18 @@ class SimulatedPLR:
             def body():
                 # Section 2: atomically acquire a chunk id and load it.
                 chunk_id = counter.fetch_increment()
+                t_acquire = tracer.now() if tracer.enabled else 0.0
+                if tracer.enabled:
+                    tracer.instant(
+                        "acquire",
+                        cat="block",
+                        pid=TracePid.SIM,
+                        tid=chunk_id,
+                        args={"chunk": chunk_id},
+                    )
+                metrics.counter("sim.blocks_started").inc()
                 base = chunk_id * m
-                read_global(base * itemsize, m * itemsize)
+                read_global(base * itemsize, m * itemsize, chunk_id)
                 tb = ThreadBlock.create(
                     padded[base : base + m],
                     block_size,
@@ -224,26 +297,76 @@ class SimulatedPLR:
                     self.machine.shared_memory_per_block,
                 )
                 yield BlockYield.PROGRESS
-                if faults.fire(FaultKind.ABORT_RESTART, chunk_id, "after load"):
+                if fire_traced(FaultKind.ABORT_RESTART, chunk_id, "after load"):
                     counter.release(chunk_id)
+                    if tracer.enabled:
+                        tracer.complete(
+                            "chunk",
+                            t_acquire,
+                            tracer.now() - t_acquire,
+                            cat="block",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                            args={"chunk": chunk_id, "aborted": True},
+                        )
                     yield BlockYield.ABORTED
                     return
 
                 # Section 4: Phase 1 inside the block.
-                block_phase1(tb, table)
+                block_phase1(tb, table, tracer=tracer, tid=chunk_id)
                 chunk = tb.values()
+                if tracer.enabled:
+                    tracer.instant(
+                        "phase1",
+                        cat="phase1",
+                        pid=TracePid.SIM,
+                        tid=chunk_id,
+                        args={
+                            "shuffles": tb.stats.shuffles,
+                            "shared_reads": tb.stats.shared_reads,
+                            "shared_writes": tb.stats.shared_writes,
+                            "barriers": tb.stats.barriers,
+                        },
+                    )
                 yield BlockYield.PROGRESS
 
                 # Section 5: publish local carries, fence, set flag.
                 mine_local = chunk[m - k :][::-1].copy()
-                if not faults.fire(FaultKind.DROP_LOCAL_FLAG, chunk_id):
+                if not fire_traced(FaultKind.DROP_LOCAL_FLAG, chunk_id):
                     local_carries[chunk_id] = mine_local
                     # -- memory fence: data strictly before flag --
+                    if tracer.enabled:
+                        tracer.instant(
+                            "fence",
+                            cat="fence",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                            args={"guards": "local"},
+                        )
+                        tracer.instant(
+                            "publish_local",
+                            cat="flag",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                        )
+                    metrics.counter("sim.fences").inc()
                     flags[chunk_id] = max(flags[chunk_id], _FLAG_LOCAL_READY)
-                write_global((padded.nbytes) + chunk_id * k * itemsize, k * itemsize)
+                write_global(
+                    (padded.nbytes) + chunk_id * k * itemsize, k * itemsize, chunk_id
+                )
                 yield BlockYield.PROGRESS
-                if faults.fire(FaultKind.ABORT_RESTART, chunk_id, "after local publish"):
+                if fire_traced(FaultKind.ABORT_RESTART, chunk_id, "after local publish"):
                     counter.release(chunk_id)
+                    if tracer.enabled:
+                        tracer.complete(
+                            "chunk",
+                            t_acquire,
+                            tracer.now() - t_acquire,
+                            cat="block",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                            args={"chunk": chunk_id, "aborted": True},
+                        )
                     yield BlockYield.ABORTED
                     return
 
@@ -266,6 +389,19 @@ class SimulatedPLR:
                             )
                             if not missing:
                                 break
+                            metrics.counter("sim.spin_steps").inc()
+                            if tracer.enabled:
+                                tracer.instant(
+                                    "spin",
+                                    cat="phase2",
+                                    pid=TracePid.SIM,
+                                    tid=chunk_id,
+                                    args={
+                                        "waiting_for": "local",
+                                        "base": base_idx,
+                                        "blocked_on": len(missing),
+                                    },
+                                )
                             yield WaitInfo(
                                 chunk_id=chunk_id,
                                 waiting_for="local",
@@ -275,6 +411,19 @@ class SimulatedPLR:
                                 lookback_distance=chunk_id - base_idx,
                             )
                         else:
+                            metrics.counter("sim.spin_steps").inc()
+                            if tracer.enabled:
+                                tracer.instant(
+                                    "spin",
+                                    cat="phase2",
+                                    pid=TracePid.SIM,
+                                    tid=chunk_id,
+                                    args={
+                                        "waiting_for": "global",
+                                        "base": None,
+                                        "blocked_on": chunk_id - lo,
+                                    },
+                                )
                             yield WaitInfo(
                                 chunk_id=chunk_id,
                                 waiting_for="global",
@@ -284,35 +433,56 @@ class SimulatedPLR:
                                 lookback_distance=None,
                             )
                     lookback_distances.append(chunk_id - base_idx)
+                    metrics.histogram("sim.lookback_distance").observe(
+                        chunk_id - base_idx
+                    )
+                    if tracer.enabled:
+                        tracer.instant(
+                            "lookback",
+                            cat="phase2",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                            args={
+                                "chunk": chunk_id,
+                                "base": base_idx,
+                                "distance": chunk_id - base_idx,
+                            },
+                        )
                     if self.paranoid_flag_checks and flags[base_idx] < _FLAG_GLOBAL_READY:
                         raise SimulationError(
                             f"chunk {chunk_id} read global carries of {base_idx} "
                             "without a ready flag"
                         )
-                    if faults.fire(FaultKind.STALE_CARRY, chunk_id, f"base {base_idx}"):
+                    if fire_traced(FaultKind.STALE_CARRY, chunk_id, f"base {base_idx}"):
                         # The flag is correct but the cached data is not:
                         # the reader observes the pre-publication zeros.
                         carries = np.zeros(k, dtype=dtype)
                     else:
                         carries = global_carries[base_idx].copy()
-                    read_global(2 * padded.nbytes + base_idx * k * itemsize, k * itemsize)
+                    read_global(
+                        2 * padded.nbytes + base_idx * k * itemsize,
+                        k * itemsize,
+                        chunk_id,
+                    )
                     for c in range(base_idx + 1, chunk_id):
                         if self.paranoid_flag_checks and flags[c] < _FLAG_LOCAL_READY:
                             raise SimulationError(
                                 f"chunk {chunk_id} read local carries of {c} "
                                 "without a ready flag"
                             )
-                        read_global(padded.nbytes + c * k * itemsize, k * itemsize)
+                        read_global(
+                            padded.nbytes + c * k * itemsize, k * itemsize, chunk_id
+                        )
                         carries = local_carries[c] + matrix @ carries
                     prev_global = carries
                 # Own global carries = own locals corrected by prev_global,
                 # published before the bulk correction (code section 6).
                 mine_global = mine_local + matrix @ prev_global if chunk_id else mine_local
-                flip = faults.fire(FaultKind.BIT_FLIP_CARRY, chunk_id)
+                flip = fire_traced(FaultKind.BIT_FLIP_CARRY, chunk_id)
                 if flip:
                     mine_global = flip_bit(mine_global, flip.bit)
-                delay = faults.fire(FaultKind.DELAY_FLAG, chunk_id)
-                if faults.fire(FaultKind.DROP_GLOBAL_FLAG, chunk_id):
+                delay = fire_traced(FaultKind.DELAY_FLAG, chunk_id)
+                if fire_traced(FaultKind.DROP_GLOBAL_FLAG, chunk_id):
                     pass  # carries and flag never become visible
                 elif delay:
                     # Broken protocol: the ready flag becomes visible while
@@ -327,8 +497,25 @@ class SimulatedPLR:
                 else:
                     global_carries[chunk_id] = mine_global
                     # -- memory fence: data strictly before flag --
+                    if tracer.enabled:
+                        tracer.instant(
+                            "fence",
+                            cat="fence",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                            args={"guards": "global"},
+                        )
+                        tracer.instant(
+                            "publish_global",
+                            cat="flag",
+                            pid=TracePid.SIM,
+                            tid=chunk_id,
+                        )
+                    metrics.counter("sim.fences").inc()
                     flags[chunk_id] = _FLAG_GLOBAL_READY
-                write_global(2 * padded.nbytes + chunk_id * k * itemsize, k * itemsize)
+                write_global(
+                    2 * padded.nbytes + chunk_id * k * itemsize, k * itemsize, chunk_id
+                )
                 yield BlockYield.PROGRESS
 
                 # Section 7: correct the chunk and write results.
@@ -336,17 +523,34 @@ class SimulatedPLR:
                     for j in range(k):
                         chunk += factors[j] * prev_global[j]
                 output[base : base + m] = chunk
-                write_global(base * itemsize, m * itemsize)
+                write_global(base * itemsize, m * itemsize, chunk_id)
                 block_stats.append(tb.stats)
+                metrics.counter("sim.blocks_completed").inc()
+                if tracer.enabled:
+                    tracer.complete(
+                        "chunk",
+                        t_acquire,
+                        tracer.now() - t_acquire,
+                        cat="block",
+                        pid=TracePid.SIM,
+                        tid=chunk_id,
+                        args={"chunk": chunk_id},
+                    )
 
             return body()
 
-        scheduler = GridScheduler(
-            max_resident=min(self.machine.resident_blocks(block_size), num_chunks),
-            seed=self.seed,
-            deadlock_rounds=self.deadlock_rounds,
-        )
-        stats = scheduler.run([make_block for _ in range(num_chunks)])
+        with tracer.use_clock(lambda: float(scheduler.stats.steps)):
+            stats = scheduler.run([make_block for _ in range(num_chunks)])
+
+        metrics.gauge("sim.schedule_steps").set(stats.steps)
+        metrics.gauge("sim.schedule_wait_steps").set(stats.wait_steps)
+        metrics.gauge("sim.restarts").set(stats.restarts)
+        metrics.gauge("sim.max_resident").set(stats.max_resident)
+        if l2 is not None:
+            metrics.gauge("sim.l2.read_hits").set(l2.read_hits)
+            metrics.gauge("sim.l2.read_misses").set(l2.read_misses)
+            metrics.gauge("sim.l2.write_hits").set(l2.write_hits)
+            metrics.gauge("sim.l2.write_misses").set(l2.write_misses)
 
         return KernelRunResult(
             output=output[:n],
@@ -358,4 +562,5 @@ class SimulatedPLR:
             device_memory_bytes=device.total_bytes,
             fault_events=list(faults.events),
             restarts=stats.restarts,
+            metrics=metrics,
         )

@@ -100,6 +100,21 @@ class L2Cache:
         """Misses in bytes, the unit Table 3 reports (misses * 32 B)."""
         return self.read_misses * self.line_bytes
 
+    @property
+    def read_hit_rate(self) -> float:
+        """Fraction of read accesses served from the cache (0 if idle)."""
+        accesses = self.read_hits + self.read_misses
+        return self.read_hits / accesses if accesses else 0.0
+
+    def counters(self) -> dict[str, int]:
+        """The four access counters as a plain dict (metrics/exporters)."""
+        return {
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "write_hits": self.write_hits,
+            "write_misses": self.write_misses,
+        }
+
     def reset_counters(self) -> None:
         self.read_misses = self.read_hits = 0
         self.write_misses = self.write_hits = 0

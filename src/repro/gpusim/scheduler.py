@@ -39,14 +39,37 @@ from typing import Callable, Generator, Iterator
 import numpy as np
 
 from repro.core.errors import DeadlockError, SimulationError
+from repro.obs.tracer import NULL_TRACER, TracePid
 
 __all__ = [
     "AtomicCounter",
     "BlockYield",
+    "DEADLOCK_TRACE_TAIL",
     "GridScheduler",
     "ScheduleStats",
     "WaitInfo",
 ]
+
+DEADLOCK_TRACE_TAIL = 64
+"""How many of a stalled block's most recent trace events a
+:class:`~repro.core.errors.DeadlockError` report attaches per block.
+The rendered message compresses runs of identical events (a stalled
+block's tail is mostly ``spin``), so the history stays readable."""
+
+
+def _describe_tail(events) -> str:
+    """Render a trace tail, collapsing runs: ``phase1@3 -> spin x47@230``."""
+    runs: list[list] = []  # [name, count, last_ts]
+    for event in events:
+        if runs and runs[-1][0] == event.name:
+            runs[-1][1] += 1
+            runs[-1][2] = event.ts
+        else:
+            runs.append([event.name, 1, event.ts])
+    return " -> ".join(
+        f"{name}@{ts:g}" if count == 1 else f"{name} x{count}@{ts:g}"
+        for name, count, ts in runs
+    )
 
 
 @dataclass
@@ -159,12 +182,19 @@ class GridScheduler:
     deadlock_rounds:
         How many consecutive all-waiting sweeps of the resident set to
         tolerate before declaring deadlock.
+    tracer:
+        An :class:`~repro.obs.tracer.Tracer` receiving block
+        issue/retire/restart events (timestamped with the scheduler's
+        own step counter) — and, on deadlock, supplying the per-block
+        trace tails attached to the :class:`DeadlockError`.  Defaults
+        to the no-op tracer.
     """
 
     max_resident: int
     seed: int = 0
     deadlock_rounds: int = 1000
     stats: ScheduleStats = field(default_factory=ScheduleStats)
+    tracer: object = NULL_TRACER
 
     def run(self, block_factories: list[Callable[[], BlockCoroutine]]) -> ScheduleStats:
         """Issue and interleave all blocks until the grid completes."""
@@ -178,10 +208,20 @@ class GridScheduler:
         exhausted = False
         stale_rounds = 0
 
+        tracer = self.tracer
+
         def issue(factory: Callable[[], BlockCoroutine]) -> BlockCoroutine:
             coroutine = factory()
             factory_of[id(coroutine)] = factory
             self.stats.blocks_run += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "block_issue",
+                    cat="sched",
+                    pid=TracePid.SCHED,
+                    ts=float(self.stats.steps),
+                    args={"block": self.stats.blocks_run - 1},
+                )
             return coroutine
 
         def refill() -> None:
@@ -227,6 +267,13 @@ class GridScheduler:
                     factory = factory_of[id(coroutine)]
                     retire(coroutine)
                     coroutine.close()
+                    if tracer.enabled:
+                        tracer.instant(
+                            "block_restart",
+                            cat="sched",
+                            pid=TracePid.SCHED,
+                            ts=float(self.stats.steps),
+                        )
                     resident[idx] = issue(factory)
                     self.stats.restarts += 1
                     progressed = True
@@ -244,11 +291,29 @@ class GridScheduler:
                     forensics = tuple(
                         last_wait[id(c)] for c in resident if id(c) in last_wait
                     )
-                    lines = "".join(f"\n  {info.describe()}" for info in forensics)
+                    # With tracing on, attach each stalled block's last
+                    # few events so the report shows *how* it got stuck
+                    # (what it did before spinning), not just what flag
+                    # it waits on now.
+                    trace_tails: dict[int, tuple] = {}
+                    if tracer.enabled:
+                        for info in forensics:
+                            tail = tracer.tail(
+                                DEADLOCK_TRACE_TAIL, tid=info.chunk_id
+                            )
+                            if tail:
+                                trace_tails[info.chunk_id] = tuple(tail)
+                    lines = []
+                    for info in forensics:
+                        lines.append(f"\n  {info.describe()}")
+                        tail = trace_tails.get(info.chunk_id)
+                        if tail:
+                            lines.append(f"\n    trace tail: {_describe_tail(tail)}")
                     raise DeadlockError(
                         f"deadlock: {len(resident)} resident blocks made no "
                         f"progress for {stale_rounds} scheduler rounds"
-                        + (lines if lines else ""),
+                        + "".join(lines),
                         forensics=forensics,
+                        trace_tails=trace_tails,
                     )
         return self.stats

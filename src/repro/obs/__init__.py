@@ -1,0 +1,67 @@
+"""repro.obs — tracing, metrics, and pipeline profiling.
+
+The observability layer for PLR runs: a zero-dependency structured
+:class:`Tracer` (no-op by default, so hot paths cost nothing when
+disabled), a :class:`MetricsRegistry` of counters/gauges/histograms,
+exporters to Chrome trace-event JSON / metrics JSON / SVG timelines,
+and :class:`PipelineProfile` — look-back depth distribution, per-chunk
+stall time, and critical-path length of a simulated run.
+
+See ``docs/observability.md`` for the span taxonomy and event schema.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace,
+    metrics_json,
+    timeline_svg,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+    reset_global_metrics,
+)
+from repro.obs.profile import (
+    PipelineProfile,
+    build_profile,
+    profile_simulation,
+    write_profile_json,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    TracePid,
+    Tracer,
+    coerce_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PipelineProfile",
+    "TraceEvent",
+    "TracePid",
+    "Tracer",
+    "build_profile",
+    "chrome_trace",
+    "coerce_tracer",
+    "global_metrics",
+    "metrics_json",
+    "profile_simulation",
+    "reset_global_metrics",
+    "timeline_svg",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_profile_json",
+]

@@ -1,0 +1,93 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON, SVG timeline.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (the JSON object form with a ``traceEvents``
+  array), loadable in Perfetto (https://ui.perfetto.dev) or
+  chrome://tracing.  Simulator traces use the scheduler step counter as
+  the microsecond field; the absolute unit is meaningless but relative
+  ordering and span widths are exact and deterministic per seed.
+* :func:`metrics_json` / :func:`write_metrics_json` — a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot with a small
+  header.
+* :func:`timeline_svg` — a dependency-free SVG Gantt timeline (one row
+  per chunk/tid), rendered by :func:`repro.eval.svgplot.render_timeline_svg`
+  so all SVG styling lives in one module.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NullTracer, TracePid, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "metrics_json",
+    "timeline_svg",
+    "write_chrome_trace",
+    "write_metrics_json",
+]
+
+
+def chrome_trace(tracer: Tracer | NullTracer, *, time_unit: str = "us") -> dict:
+    """The complete Chrome trace-event JSON object for a tracer.
+
+    ``time_unit`` is recorded in ``otherData`` for humans; Chrome itself
+    always interprets ``ts`` as microseconds, which is fine for the
+    simulator's logical-step timelines (1 step renders as 1 us).
+    """
+    events = [event.to_chrome() for event in tracer.events]
+    # Name the pid rows so Perfetto shows subsystems, not bare numbers.
+    for pid in sorted({event.pid for event in tracer.events}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": TracePid.NAMES.get(pid, f"pid{pid}")},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "time_unit": time_unit,
+            "event_count": len(tracer.events),
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer | NullTracer, path: str | Path, *, time_unit: str = "us"
+) -> Path:
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer, time_unit=time_unit), handle, indent=1)
+    return path
+
+
+def metrics_json(registry: MetricsRegistry) -> dict:
+    return {"generator": "repro.obs", "metrics": registry.snapshot()}
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> Path:
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(metrics_json(registry), handle, indent=1, sort_keys=True)
+    return path
+
+
+def timeline_svg(tracer: Tracer | NullTracer, title: str = "trace timeline") -> str:
+    """Render the tracer's span events as an SVG Gantt timeline."""
+    # Imported lazily: eval pulls in the baselines/harness stack, which
+    # itself uses obs — a module-level import would be a cycle.
+    from repro.eval.svgplot import render_timeline_svg
+
+    return render_timeline_svg(list(tracer.events), title=title)

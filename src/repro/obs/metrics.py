@@ -1,0 +1,209 @@
+"""Counters, gauges, and fixed-bucket histograms for PLR runs.
+
+A :class:`MetricsRegistry` is the aggregate side of the observability
+layer: where the :class:`~repro.obs.tracer.Tracer` records *what
+happened when*, the registry records *how much of it happened*.  It is
+dependency-free, JSON-serializable via :meth:`MetricsRegistry.snapshot`,
+and reconstructible via :meth:`MetricsRegistry.from_snapshot`, so a
+metrics snapshot can ride inside a
+:class:`~repro.resilience.solver.SolveReport` or a profile file and
+round-trip losslessly.
+
+Histograms use fixed bucket upper bounds (no dynamic resizing, no
+per-observation allocation) and report percentiles by linear
+interpolation within the containing bucket — the standard
+Prometheus-style estimate, which is exact for the integer-valued
+distributions we care about (look-back distances, spin counts) when the
+default buckets are unit-spaced at the low end.
+
+A process-global registry (:func:`global_metrics`) backs cross-cutting
+stats like the factor-table cache; per-run registries are cheap and
+preferred wherever a run object can carry one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "global_metrics",
+    "reset_global_metrics",
+]
+
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+"""Default histogram bucket upper bounds: unit/power-of-two spacing that
+is exact for small integer observations (look-back distances are capped
+at 32 by the protocol) and still bounded for large ones."""
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (cache size, resident blocks, ...)."""
+
+    value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``buckets`` holds the inclusive upper bounds; observations beyond
+    the last bound land in an implicit overflow bucket.  ``counts`` has
+    ``len(buckets) + 1`` entries, overflow last.
+    """
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(self.buckets)
+        if not self.buckets:
+            raise ValueError("need at least one bucket bound")
+        if list(self.buckets) != sorted(set(self.buckets)):
+            raise ValueError(f"bucket bounds must strictly increase: {self.buckets}")
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+        elif len(self.counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"counts must have {len(self.buckets) + 1} entries "
+                f"(one per bucket plus overflow), got {len(self.counts)}"
+            )
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (p in [0, 100]), bucket-interpolated.
+
+        Returns 0 for an empty histogram.  Overflow-bucket hits clamp to
+        the largest bound (the estimate cannot exceed what the buckets
+        can resolve).
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index >= len(self.buckets):
+                    return float(self.buckets[-1])
+                hi = self.buckets[index]
+                lo = self.buckets[index - 1] if index else 0.0
+                frac = (rank - previous) / bucket_count
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        return float(self.buckets[-1])
+
+
+@dataclass
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    # -- access (create on first use) -----------------------------------
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(buckets=buckets)
+        return metric
+
+    # -- serialization ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-serializable copy of every metric."""
+        return {
+            "counters": {k: c.value for k, c in sorted(self.counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self.gauges.items())},
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for k, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Reconstruct a registry whose :meth:`snapshot` equals the input."""
+        registry = cls()
+        for name, value in snapshot.get("counters", {}).items():
+            registry.counters[name] = Counter(value=value)
+        for name, value in snapshot.get("gauges", {}).items():
+            registry.gauges[name] = Gauge(value=value)
+        for name, data in snapshot.get("histograms", {}).items():
+            registry.histograms[name] = Histogram(
+                buckets=tuple(data["buckets"]),
+                counts=list(data["counts"]),
+                count=data["count"],
+                total=data["total"],
+            )
+        return registry
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_metrics() -> MetricsRegistry:
+    """The process-global registry (factor-cache stats live here)."""
+    return _GLOBAL
+
+
+def reset_global_metrics() -> None:
+    """Zero the global registry (tests; long-lived services)."""
+    _GLOBAL.clear()

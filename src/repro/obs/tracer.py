@@ -1,0 +1,353 @@
+"""Low-overhead structured tracing: spans, instants, and counters.
+
+The tracer is the event backbone of the ``repro.obs`` subsystem.  Every
+instrumented layer — the GPU simulator's block protocol, the numpy
+solver's phases, the resilience chain — emits :class:`TraceEvent`
+records through a shared :class:`Tracer`, and the exporters turn the
+event list into Chrome trace-event JSON (openable in Perfetto or
+chrome://tracing), an SVG timeline, or a :class:`~repro.obs.profile.PipelineProfile`.
+
+Design rules, in order of importance:
+
+1. **Disabled tracing is free.**  The default is the :data:`NULL_TRACER`
+   singleton whose :attr:`Tracer.enabled` is False and whose methods do
+   nothing; hot paths guard their event construction with
+   ``if tracer.enabled:`` so a production solve pays one attribute read
+   per instrumentation point and allocates nothing.
+2. **Timestamps are pluggable.**  Wall-clock microseconds by default;
+   the event-ordered GPU simulator swaps in its *logical* clock (the
+   scheduler's step counter) via :meth:`Tracer.use_clock`, which is what
+   makes simulator traces bit-reproducible for a fixed scheduler seed.
+3. **Events are plain data.**  A :class:`TraceEvent` maps 1:1 onto the
+   Chrome trace-event dict; nothing here knows about files or SVG.
+
+The ``tid`` convention: simulator events use the *chunk id* as the
+thread id, so a timeline groups one row per chunk; solver-side events
+use tid 0 (the host).  The ``pid`` distinguishes emitting subsystems
+(see :class:`TracePid`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "TracePid",
+    "Tracer",
+    "coerce_tracer",
+]
+
+
+class TracePid:
+    """Process-id namespace: which subsystem emitted an event."""
+
+    HOST = 0  # numpy solver, resilience chain, eval harness
+    SIM = 1  # the event-ordered GPU simulator
+    SCHED = 2  # the grid scheduler itself
+
+    NAMES = {HOST: "host", SIM: "gpusim", SCHED: "scheduler"}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record, isomorphic to a Chrome trace-event dict.
+
+    Attributes
+    ----------
+    name:
+        Event name (the span taxonomy is documented in
+        ``docs/observability.md``).
+    ph:
+        Chrome phase: ``"X"`` complete span, ``"i"`` instant, ``"C"``
+        counter, ``"M"`` metadata.
+    ts:
+        Timestamp in the tracer's clock domain (wall-clock microseconds
+        or simulator scheduler steps).
+    dur:
+        Span duration (``"X"`` events only), same unit as ``ts``.
+    cat:
+        Comma-free category tag used for filtering (``"block"``,
+        ``"phase1"``, ``"phase2"``, ``"fault"``, ``"l2"``, ...).
+    pid / tid:
+        Subsystem id and logical thread id (chunk id for simulator
+        events).
+    args:
+        Structured payload; must be JSON-serializable.
+    """
+
+    name: str
+    ph: str
+    ts: float
+    dur: float | None = None
+    cat: str = ""
+    pid: int = TracePid.HOST
+    tid: int = 0
+    args: dict | None = None
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event object for this record."""
+        out: dict = {
+            "name": self.name,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.cat:
+            out["cat"] = self.cat
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.args is not None:
+            out["args"] = self.args
+        return out
+
+
+def _wall_clock_us() -> float:
+    return time.perf_counter_ns() / 1000.0
+
+
+@dataclass
+class Tracer:
+    """An enabled tracer: appends :class:`TraceEvent` records to a list.
+
+    Parameters
+    ----------
+    max_events:
+        Ring-buffer bound; once reached, the oldest half of the buffer
+        is discarded (keeping tracing O(1) amortized and memory
+        bounded on pathological runs).  Generous by default: a full
+        small-GPU simulation of 2^16 words emits a few thousand events.
+    """
+
+    max_events: int = 1_000_000
+    events: list[TraceEvent] = field(default_factory=list)
+    _clock: Callable[[], float] = field(default=_wall_clock_us, repr=False)
+    _t0: float = field(default=0.0, repr=False)
+
+    enabled = True
+
+    def __post_init__(self) -> None:
+        if self.max_events < 2:
+            raise ValueError(f"max_events must be >= 2, got {self.max_events}")
+        self._t0 = self._clock()
+
+    # -- clock -----------------------------------------------------------
+    def now(self) -> float:
+        """The current timestamp in the active clock domain."""
+        return self._clock() - self._t0
+
+    @contextmanager
+    def use_clock(self, clock: Callable[[], float]) -> Iterator[None]:
+        """Temporarily time events with ``clock`` (zero-based, raw).
+
+        The GPU simulator installs its scheduler-step counter here so
+        that simulator timelines are deterministic for a fixed seed.
+        """
+        previous, previous_t0 = self._clock, self._t0
+        self._clock, self._t0 = clock, 0.0
+        try:
+            yield
+        finally:
+            self._clock, self._t0 = previous, previous_t0
+
+    # -- emission --------------------------------------------------------
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            del self.events[: self.max_events // 2]
+        self.events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        *,
+        cat: str = "",
+        pid: int = TracePid.HOST,
+        tid: int = 0,
+        args: dict | None = None,
+        ts: float | None = None,
+    ) -> None:
+        """Emit a point-in-time event (Chrome phase ``"i"``)."""
+        self._append(
+            TraceEvent(
+                name=name,
+                ph="i",
+                ts=self.now() if ts is None else ts,
+                cat=cat,
+                pid=pid,
+                tid=tid,
+                args=args,
+            )
+        )
+
+    def complete(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        *,
+        cat: str = "",
+        pid: int = TracePid.HOST,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> None:
+        """Emit a complete span (Chrome phase ``"X"``) explicitly."""
+        self._append(
+            TraceEvent(
+                name=name,
+                ph="X",
+                ts=ts,
+                dur=max(dur, 0.0),
+                cat=cat,
+                pid=pid,
+                tid=tid,
+                args=args,
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        values: dict,
+        *,
+        cat: str = "",
+        pid: int = TracePid.HOST,
+        tid: int = 0,
+        ts: float | None = None,
+    ) -> None:
+        """Emit a counter sample (Chrome phase ``"C"``)."""
+        self._append(
+            TraceEvent(
+                name=name,
+                ph="C",
+                ts=self.now() if ts is None else ts,
+                cat=cat,
+                pid=pid,
+                tid=tid,
+                args=dict(values),
+            )
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        *,
+        cat: str = "",
+        pid: int = TracePid.HOST,
+        tid: int = 0,
+        args: dict | None = None,
+    ) -> Iterator[None]:
+        """Time a ``with`` body as one complete span."""
+        t0 = self.now()
+        try:
+            yield
+        finally:
+            self.complete(
+                name, t0, self.now() - t0, cat=cat, pid=pid, tid=tid, args=args
+            )
+
+    # -- inspection ------------------------------------------------------
+    def tail(self, n: int, *, tid: int | None = None, pid: int | None = None) -> list[TraceEvent]:
+        """The last ``n`` events, optionally filtered by tid/pid.
+
+        Scans from the end of the buffer so deadlock forensics (which
+        want "the last few things this block did") stay cheap even with
+        large traces.
+        """
+        if tid is None and pid is None:
+            return self.events[-n:]
+        picked: list[TraceEvent] = []
+        for event in reversed(self.events):
+            if tid is not None and event.tid != tid:
+                continue
+            if pid is not None and event.pid != pid:
+                continue
+            picked.append(event)
+            if len(picked) == n:
+                break
+        picked.reverse()
+        return picked
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class _NullSpan:
+    """A reusable no-op context manager (no allocation per span)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every method is a no-op.
+
+    Instrumented code never needs a None check — it holds a tracer
+    either way — and the ``if tracer.enabled:`` guard lets hot paths
+    skip even argument construction.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    events: tuple = ()
+
+    def now(self) -> float:
+        return 0.0
+
+    @contextmanager
+    def use_clock(self, clock: Callable[[], float]) -> Iterator[None]:
+        yield
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def complete(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def span(self, *args, **kwargs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def tail(self, n: int, **kwargs) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+"""The shared disabled tracer; the default everywhere."""
+
+
+def coerce_tracer(value) -> Tracer | NullTracer:
+    """Normalize ``trace=`` / ``tracer=`` arguments to a tracer.
+
+    Accepts None/False (disabled), True (a fresh enabled tracer), or an
+    existing :class:`Tracer`/:class:`NullTracer` instance.
+    """
+    if value is None or value is False:
+        return NULL_TRACER
+    if value is True:
+        return Tracer()
+    if isinstance(value, (Tracer, NullTracer)):
+        return value
+    raise TypeError(
+        f"cannot interpret {value!r} as a tracer; pass None, bool, or a Tracer"
+    )

@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.nnacci import correction_factors
 from repro.core.signature import Signature
 from repro.core.ztransform import poles
+from repro.obs.metrics import global_metrics
 
 __all__ = ["CorrectionFactorTable", "FLOAT32_SMALLEST_NORMAL"]
 
@@ -121,6 +122,17 @@ class CorrectionFactorTable:
             if not overflow:
                 overflow = not bool(np.isfinite(table).all())
         table.setflags(write=False)
+        # Build accounting: every construction (cache misses, in
+        # practice) is counted, and tables whose spectral radius
+        # predicts float saturation are tallied separately so an
+        # operator can spot overflow-prone signatures in a metrics
+        # dump without scraping logs.
+        registry = global_metrics()
+        registry.counter("factor_table.builds").inc()
+        if overflow:
+            registry.counter("factor_table.overflow_risk").inc()
+        if flushed:
+            registry.counter("factor_table.flushed_denormals").inc()
         return cls(signature, chunk_size, table, flushed, radius, overflow)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
 from repro.plr.factors import CorrectionFactorTable
 
 __all__ = ["thread_local_solve", "merge_level", "phase1", "doubling_widths"]
@@ -91,6 +92,7 @@ def phase1(
     padded: np.ndarray,
     table: CorrectionFactorTable,
     x: int,
+    tracer=NULL_TRACER,
 ) -> np.ndarray:
     """Run Phase 1 over all chunks; returns the (num_chunks, m) partial.
 
@@ -98,6 +100,11 @@ def phase1(
     number of chunks, flattened.  The result is locally correct within
     each chunk; the last k columns are the *local carries* Phase 2
     consumes.  The input array is not modified.
+
+    With an enabled ``tracer``, the thread-local solve and every
+    merge-doubling level emit one span each (cat ``phase1``), recording
+    the pair width and how many pairs merged — the numpy mirror of the
+    simulator's per-block ``merge`` events.
     """
     m = table.chunk_size
     if padded.size % m:
@@ -110,9 +117,19 @@ def phase1(
 
     if x > 1:
         thread_view = work.reshape(num_chunks * (m // x), x)
-        thread_local_solve(thread_view, feedback, x)
+        with tracer.span(
+            "thread_local_solve", cat="phase1", args={"x": x} if tracer.enabled else None
+        ):
+            thread_local_solve(thread_view, feedback, x)
 
     for width in doubling_widths(x, m):
-        pair_view = work.reshape(num_chunks * (m // (2 * width)), 2 * width)
-        merge_level(pair_view, table, width)
+        pairs = num_chunks * (m // (2 * width))
+        pair_view = work.reshape(pairs, 2 * width)
+        if tracer.enabled:
+            with tracer.span(
+                "merge_level", cat="phase1", args={"width": width, "pairs": pairs}
+            ):
+                merge_level(pair_view, table, width)
+        else:
+            merge_level(pair_view, table, width)
     return work

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.nnacci import carry_transition_matrix
+from repro.obs.tracer import NULL_TRACER, TracePid
 from repro.plr.factors import CorrectionFactorTable
 
 __all__ = [
@@ -125,15 +126,36 @@ def apply_global_correction(
     return out
 
 
-def phase2(partial: np.ndarray, table: CorrectionFactorTable) -> np.ndarray:
+def phase2(
+    partial: np.ndarray, table: CorrectionFactorTable, tracer=NULL_TRACER
+) -> np.ndarray:
     """Run Phase 2 over the Phase 1 partial result; returns (chunks, m).
 
     The sequential-spine formulation: extract local carries, propagate
     them through M, then apply the element-wise correction.  Exactly
     the arithmetic the pipelined GPU version performs, in a
     deterministic order.
+
+    With an enabled ``tracer``, the carry-propagation and correction
+    stages emit spans, and every chunk c >= 1 emits one ``lookback``
+    instant (cat ``phase2``, tid = chunk id, args chunk/base/distance).
+    The spine is sequential here, so the distance is always 1 — the
+    decoupled variable-look-back distances come from the GPU
+    simulator's traces; the shared event name lets one profile reader
+    consume both.
     """
     matrix = transition_matrix(table)
     locals_ = local_carries(partial, table.order)
-    global_ = propagate_carries(locals_, matrix)
-    return apply_global_correction(partial, global_, table)
+    with tracer.span("propagate_carries", cat="phase2"):
+        global_ = propagate_carries(locals_, matrix)
+    if tracer.enabled:
+        for c in range(1, partial.shape[0]):
+            tracer.instant(
+                "lookback",
+                cat="phase2",
+                pid=TracePid.HOST,
+                tid=c,
+                args={"chunk": c, "base": c - 1, "distance": 1},
+            )
+    with tracer.span("apply_global_correction", cat="phase2"):
+        return apply_global_correction(partial, global_, table)

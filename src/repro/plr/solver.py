@@ -27,13 +27,21 @@ from repro.core.recurrence import Recurrence
 from repro.core.reference import resolve_dtype
 from repro.core.signature import Signature
 from repro.gpusim.spec import MachineSpec
+from repro.obs.metrics import global_metrics
+from repro.obs.tracer import coerce_tracer
 from repro.plr.factors import CorrectionFactorTable
 from repro.plr.optimizer import FactorPlan, OptimizationConfig, optimize_factors
 from repro.plr.phase1 import phase1
 from repro.plr.phase2 import phase2
 from repro.plr.planner import ExecutionPlan, plan_execution
 
-__all__ = ["PLRSolver", "SolveArtifacts", "clear_factor_cache", "plr_solve"]
+__all__ = [
+    "PLRSolver",
+    "SolveArtifacts",
+    "clear_factor_cache",
+    "factor_cache_stats",
+    "plr_solve",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +100,30 @@ def clear_factor_cache() -> None:
     _cached_table.cache_clear()
 
 
+def factor_cache_stats() -> dict[str, int]:
+    """Current factor-cache statistics, mirrored into the global metrics.
+
+    Reads ``_cached_table.cache_info()`` and publishes it as the
+    ``factor_cache.hits`` / ``factor_cache.misses`` / ``factor_cache.size``
+    gauges on :func:`repro.obs.metrics.global_metrics`, returning the
+    same numbers as a plain dict.  Called on every
+    :meth:`PLRSolver.factor_table` lookup so the gauges track the cache
+    without replacing the ``lru_cache`` interface tests rely on.
+    """
+    info = _cached_table.cache_info()
+    stats = {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "max_size": info.maxsize,
+    }
+    registry = global_metrics()
+    registry.gauge("factor_cache.hits").set(info.hits)
+    registry.gauge("factor_cache.misses").set(info.misses)
+    registry.gauge("factor_cache.size").set(info.currsize)
+    return stats
+
+
 class PLRSolver:
     """Computes a linear recurrence with the paper's two-phase algorithm.
 
@@ -108,6 +140,14 @@ class PLRSolver:
         only *semantically depends* on one of them (decay truncation
         shortens the correction loops); the rest shape the generated
         code and the cost model.  Defaults to all-on, like PLR.
+    tracer:
+        Observability hook: ``True`` for a fresh
+        :class:`~repro.obs.tracer.Tracer`, an existing tracer to share,
+        or ``None``/``False`` (default) for the no-op tracer.  With a
+        real tracer every solve emits spans for the map stage, factor
+        table lookup, Phase 1 (per merge level), and Phase 2 (per-chunk
+        ``lookback`` events).  Tracing never changes the arithmetic —
+        outputs are bit-identical with it on or off.
     """
 
     def __init__(
@@ -115,6 +155,7 @@ class PLRSolver:
         recurrence: Recurrence | Signature | str,
         machine: MachineSpec | None = None,
         optimization: OptimizationConfig | None = None,
+        tracer=None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
@@ -123,6 +164,7 @@ class PLRSolver:
         self.recurrence = recurrence
         self.machine = machine or MachineSpec.titan_x()
         self.optimization = optimization or OptimizationConfig()
+        self.tracer = coerce_tracer(tracer)
 
     # ------------------------------------------------------------------
     def plan_for(self, n: int) -> ExecutionPlan:
@@ -130,9 +172,11 @@ class PLRSolver:
         return plan_execution(self.recurrence.signature, n, self.machine)
 
     def factor_table(self, plan: ExecutionPlan, dtype: np.dtype) -> CorrectionFactorTable:
-        return _cached_table(
+        table = _cached_table(
             self.recurrence.recursive_signature, plan.chunk_size, np.dtype(dtype).str
         )
+        factor_cache_stats()
+        return table
 
     # ------------------------------------------------------------------
     def solve(
@@ -156,12 +200,14 @@ class PLRSolver:
         dtype: np.dtype | None = None,
     ) -> tuple[np.ndarray, SolveArtifacts]:
         """Like :meth:`solve` but also returns the intermediate state."""
+        tracer = self.tracer
         values = np.asarray(values)
         if values.ndim != 1:
             raise ValueError(f"expected a 1D sequence, got shape {values.shape}")
         n = values.size
         if plan is None:
-            plan = self.plan_for(n)
+            with tracer.span("plan", cat="solver", args={"n": n} if tracer.enabled else None):
+                plan = self.plan_for(n)
         if dtype is None:
             dtype = resolve_dtype(self.recurrence.signature, values.dtype)
         dtype = np.dtype(dtype)
@@ -169,7 +215,8 @@ class PLRSolver:
         work = values.astype(dtype, copy=False)
         # Map stage (2): eliminate the feed-forward coefficients.
         if self.recurrence.has_map_stage:
-            work = self.recurrence.apply_map_stage(work)
+            with tracer.span("map_stage", cat="solver"):
+                work = self.recurrence.apply_map_stage(work)
 
         # Zero-pad to a whole number of chunks.  Trailing zeros never
         # influence earlier outputs, so the unpadded prefix is exact.
@@ -180,11 +227,18 @@ class PLRSolver:
         else:
             padded = work
 
-        table = self.factor_table(plan, dtype)
+        with tracer.span("factor_table", cat="solver"):
+            table = self.factor_table(plan, dtype)
         factor_plan = optimize_factors(table, self.optimization)
 
-        partial = phase1(padded, table, plan.values_per_thread)
-        corrected = phase2(partial, table)
+        with tracer.span(
+            "phase1",
+            cat="solver",
+            args={"chunks": padded_n // plan.chunk_size} if tracer.enabled else None,
+        ):
+            partial = phase1(padded, table, plan.values_per_thread, tracer=tracer)
+        with tracer.span("phase2", cat="solver"):
+            corrected = phase2(partial, table, tracer=tracer)
 
         out = corrected.reshape(-1)[:n]
         artifacts = SolveArtifacts(

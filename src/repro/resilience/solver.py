@@ -44,6 +44,8 @@ from repro.core.validation import compare_results
 from repro.gpusim.executor import SimulatedPLR
 from repro.gpusim.faults import FaultEvent, FaultPlan
 from repro.gpusim.spec import MachineSpec
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TracePid, coerce_tracer
 from repro.plr.planner import ExecutionPlan
 from repro.plr.solver import PLRSolver
 
@@ -125,6 +127,11 @@ class SolveReport:
     degradations: list[str] = field(default_factory=list)
     error: ReproError | None = None
     fault_events: list[FaultEvent] = field(default_factory=list)
+    metrics: dict | None = None
+    """Snapshot of the solve's :class:`~repro.obs.metrics.MetricsRegistry`
+    (counters/gauges/histograms as plain JSON-ready dicts), covering the
+    resilience chain and — for the simulator engine — the kernel run
+    itself.  Restore with ``MetricsRegistry.from_snapshot``."""
 
     @property
     def degraded(self) -> bool:
@@ -174,6 +181,14 @@ class ResilientSolver:
         paper's planner decides).
     deadlock_rounds:
         Watchdog patience handed to the simulator's scheduler.
+    tracer:
+        Observability hook (``True`` / a shared
+        :class:`~repro.obs.tracer.Tracer` / ``None`` for no-op).  The
+        chain emits one ``attempt`` instant per attempt and a
+        ``fallback`` instant per degradation transition (cat
+        ``resilience``), and threads the tracer into whichever engine
+        runs, so one trace shows the whole story: attempt, injected
+        fault, stalled blocks, retry, fallback.
     """
 
     def __init__(
@@ -186,6 +201,7 @@ class ResilientSolver:
         sim_seed: int = 0,
         chunk_size: int | None = None,
         deadlock_rounds: int = 200,
+        tracer=None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
@@ -203,7 +219,13 @@ class ResilientSolver:
         self.sim_seed = sim_seed
         self.chunk_size = chunk_size
         self.deadlock_rounds = deadlock_rounds
-        self._solver = PLRSolver(recurrence, machine=self.machine if engine == "plr" else None)
+        self.tracer = coerce_tracer(tracer)
+        self.metrics = MetricsRegistry()
+        self._solver = PLRSolver(
+            recurrence,
+            machine=self.machine if engine == "plr" else None,
+            tracer=self.tracer,
+        )
         self._pending_events: list[FaultEvent] = []
 
     # ------------------------------------------------------------------
@@ -219,8 +241,27 @@ class ResilientSolver:
         """Compute the recurrence and report what degraded and why.
 
         Never raises for failures the chain understands: the report's
-        ``ok``/``error`` fields carry the outcome.
+        ``ok``/``error`` fields carry the outcome.  The returned
+        report's :attr:`SolveReport.metrics` holds a snapshot of this
+        solver's metrics registry taken as the chain finished.
         """
+        report = self._run_chain(values)
+        report.metrics = self.metrics.snapshot()
+        return report
+
+    def _degrade(self, report: SolveReport, message: str) -> None:
+        """Record one degradation: report line, counter, trace instant."""
+        report.degradations.append(message)
+        self.metrics.counter("resilience.degradations").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "fallback",
+                cat="resilience",
+                pid=TracePid.HOST,
+                args={"action": message},
+            )
+
+    def _run_chain(self, values: np.ndarray) -> SolveReport:
         values = np.asarray(values)
         if values.ndim != 1 or values.size == 0:
             raise ValueError("need a non-empty 1D input")
@@ -233,7 +274,7 @@ class ResilientSolver:
         if np.issubdtype(values.dtype, np.floating) and not np.isfinite(values).all():
             # No degradation repairs poisoned input; the serial
             # reference at least propagates it with defined semantics.
-            report.degradations.append("non-finite input: direct serial fallback")
+            self._degrade(report, "non-finite input: direct serial fallback")
             return self._serial_fallback(values, dtype, report, start)
 
         plan = self._base_plan(values.size, dtype) if self.engine == "plr" else None
@@ -246,8 +287,8 @@ class ResilientSolver:
                 policy.deadline_s is not None
                 and time.monotonic() - start > policy.deadline_s
             ):
-                report.degradations.append(
-                    f"deadline {policy.deadline_s:g}s exceeded: serial fallback"
+                self._degrade(
+                    report, f"deadline {policy.deadline_s:g}s exceeded: serial fallback"
                 )
                 last_error = SimulationError(
                     f"deadline of {policy.deadline_s:g}s exceeded"
@@ -274,12 +315,13 @@ class ResilientSolver:
                     dtype = np.dtype(np.float64)
                     promotable = False
                     plan = self._base_plan(values.size, dtype) if plan else None
-                    report.degradations.append("dtype promoted float32 -> float64")
+                    self._degrade(report, "dtype promoted float32 -> float64")
                     continue
                 shrunk = self._shrunk_plan(plan, values.size)
                 if shrunk is not None:
-                    report.degradations.append(
-                        f"chunk size reduced {plan.chunk_size} -> {shrunk.chunk_size}"
+                    self._degrade(
+                        report,
+                        f"chunk size reduced {plan.chunk_size} -> {shrunk.chunk_size}",
                     )
                     plan = shrunk
                     continue
@@ -302,6 +344,10 @@ class ResilientSolver:
             finally:
                 # Injected-fault event log of the simulator attempt, if
                 # the run got far enough to surface one.
+                if self._pending_events:
+                    self.metrics.counter("resilience.faults_fired").inc(
+                        len(self._pending_events)
+                    )
                 report.fault_events.extend(self._pending_events)
                 self._pending_events = []
             # Shared retry path for simulation faults / corruption.
@@ -311,16 +357,17 @@ class ResilientSolver:
                 time.sleep(policy.backoff_base_s * 2**retries)
             retries += 1
             seed += 1
-            report.degradations.append(
-                f"retry {retries}/{policy.max_retries} with scheduler seed {seed}"
+            self._degrade(
+                report, f"retry {retries}/{policy.max_retries} with scheduler seed {seed}"
             )
+            self.metrics.counter("resilience.retries").inc()
 
         if policy.serial_fallback:
             if report.attempts and not any(
                 d.startswith("serial") or "serial fallback" in d
                 for d in report.degradations
             ):
-                report.degradations.append("fell back to serial reference")
+                self._degrade(report, "fell back to serial reference")
             return self._serial_fallback(values, dtype, report, start)
         report.error = last_error
         return report
@@ -360,6 +407,20 @@ class ResilientSolver:
         detail: str,
         t0: float,
     ) -> AttemptRecord:
+        self.metrics.counter("resilience.attempts").inc()
+        self.metrics.counter(f"resilience.attempts.{outcome}").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "attempt",
+                cat="resilience",
+                pid=TracePid.HOST,
+                args={
+                    "engine": self.engine,
+                    "dtype": np.dtype(dtype).name,
+                    "seed": seed if self.engine == "sim" else None,
+                    "outcome": outcome,
+                },
+            )
         return AttemptRecord(
             engine=self.engine,
             dtype=np.dtype(dtype).name,
@@ -392,6 +453,8 @@ class ResilientSolver:
                 seed=seed,
                 fault=self.fault,
                 deadlock_rounds=self.deadlock_rounds,
+                tracer=self.tracer,
+                metrics=self.metrics,
             )
             # Injected faults may blow up float arithmetic mid-protocol;
             # the health check and paired verification below are the
@@ -456,9 +519,18 @@ class ResilientSolver:
         ):
             # Even the reference overflows in float32; promotion is the
             # only remaining lever and the serial engine supports it.
-            report.degradations.append("dtype promoted float32 -> float64 (serial)")
+            self._degrade(report, "dtype promoted float32 -> float64 (serial)")
             dtype = np.dtype(np.float64)
             output = serial_full(values, self.recurrence.signature, dtype=dtype)
+        self.metrics.counter("resilience.attempts").inc()
+        self.metrics.counter("resilience.serial_fallbacks").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "attempt",
+                cat="resilience",
+                pid=TracePid.HOST,
+                args={"engine": "serial", "dtype": np.dtype(dtype).name, "outcome": "ok"},
+            )
         report.attempts.append(
             AttemptRecord(
                 engine="serial",
