@@ -21,6 +21,13 @@ Quick start::
 """
 
 from repro.baselines import RecurrenceCode, Workload, make_code
+from repro.batch import (
+    BatchEngine,
+    BatchPlanner,
+    BatchRequest,
+    BatchSolver,
+    execute_batch,
+)
 from repro.codegen import PLRCompiler
 from repro.core import (
     FLOAT_TOLERANCE,
@@ -72,6 +79,10 @@ from repro.resilience import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchEngine",
+    "BatchPlanner",
+    "BatchRequest",
+    "BatchSolver",
     "CorrectionFactorTable",
     "CostModel",
     "DeadlockError",
@@ -107,6 +118,7 @@ __all__ = [
     "clear_factor_cache",
     "compare_results",
     "correction_factors",
+    "execute_batch",
     "global_metrics",
     "high_pass",
     "low_pass",

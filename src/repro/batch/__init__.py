@@ -1,0 +1,38 @@
+"""Batched execution: many recurrence requests, few vectorized passes.
+
+A service fronting the PLR solver rarely sees one request at a time —
+it sees a queue mixing signatures, dtypes, and lengths.  Solving each
+request alone repeats per-call overhead (planning, factor-table lookup,
+Python dispatch) that the paper's GPU amortizes across a whole grid.
+This package amortizes it the same way on the numpy substrate:
+
+* :class:`~repro.batch.solver.BatchSolver` — B independent inputs that
+  share a signature solved in one vectorized (B, n) pass: Phase 1
+  merges every (row, chunk) pair at once and Phase 2's carry spine
+  advances all rows per chunk step, with no per-request Python loop;
+* :class:`~repro.batch.planner.BatchPlanner` — groups a mixed queue
+  into homogeneous sub-batches keyed by (signature, dtype) and
+  length-bucketed with right-padding, so each group builds its
+  correction-factor table once via the process-wide LRU cache;
+* :class:`~repro.batch.engine.BatchEngine` — the queue front end:
+  grouped passes, per-request failure isolation through the resilience
+  chain, ``batch.*`` metrics, and per-group trace spans.
+
+The invariant the tests pin: every outcome matches what a per-request
+:class:`~repro.plr.solver.PLRSolver` would produce — exactly for
+integer dtypes, to a tight ulp bound for floats.
+"""
+
+from repro.batch.engine import BatchEngine, RequestOutcome, execute_batch
+from repro.batch.planner import BatchGroup, BatchPlanner, BatchRequest
+from repro.batch.solver import BatchSolver
+
+__all__ = [
+    "BatchEngine",
+    "BatchGroup",
+    "BatchPlanner",
+    "BatchRequest",
+    "BatchSolver",
+    "RequestOutcome",
+    "execute_batch",
+]

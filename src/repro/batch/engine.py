@@ -1,0 +1,208 @@
+"""The batched execution engine: group, solve, isolate, reassemble.
+
+:class:`BatchEngine` is the service-shaped front end of
+:mod:`repro.batch`: it takes a mixed queue of
+:class:`~repro.batch.planner.BatchRequest`\\ s, lets the
+:class:`~repro.batch.planner.BatchPlanner` group them into homogeneous
+(signature, dtype, padded-length) sub-batches, runs each group through
+one vectorized :class:`~repro.batch.solver.BatchSolver` pass, and
+returns one :class:`RequestOutcome` per request in submission order.
+
+Failure isolation is per request: if a grouped pass raises a typed
+error, or one row's output fails the numerical health check, the
+affected request(s) are re-run *alone* through the resilience chain
+(:func:`repro.resilience.solver.solve_request`) — so a single request
+with a pathological signature or poisoned input degrades by itself
+while its batch-mates keep their fast vectorized result.
+
+The engine publishes ``batch.*`` metrics (request/group counters, a
+group-size histogram, padding-waste and isolation counters) and emits
+one ``batch_group`` span per grouped pass when traced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.recurrence import Recurrence
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import coerce_tracer
+from repro.batch.planner import BatchGroup, BatchPlanner, BatchRequest
+from repro.batch.solver import BatchSolver
+from repro.gpusim.spec import MachineSpec
+from repro.resilience.solver import FallbackPolicy, solve_request
+
+__all__ = ["BatchEngine", "RequestOutcome", "execute_batch"]
+
+
+@dataclass
+class RequestOutcome:
+    """What one request produced: output or typed error, never both.
+
+    ``engine`` records which path served it: ``"batch"`` (the
+    vectorized group pass), ``"empty"`` (zero-length short circuit), or
+    the resilience chain's engine (``"plr"`` / ``"serial"``) when the
+    request was isolated.
+    """
+
+    index: int
+    tag: object
+    ok: bool
+    output: np.ndarray | None
+    error: ReproError | None = None
+    engine: str = "batch"
+    degradations: list[str] = field(default_factory=list)
+
+    @property
+    def isolated(self) -> bool:
+        return self.engine not in ("batch", "empty")
+
+
+class BatchEngine:
+    """Executes a mixed request queue with batched passes and isolation.
+
+    Parameters
+    ----------
+    planner:
+        The grouping policy; defaults to a fresh :class:`BatchPlanner`.
+    policy:
+        The :class:`~repro.resilience.solver.FallbackPolicy` used when
+        a request is isolated into its own resilience chain.
+    machine:
+        Planning machine for the grouped passes (default: Titan X).
+    metrics:
+        Registry for the ``batch.*`` metrics; a private one by default
+        (read it via :attr:`metrics`).
+    tracer:
+        Observability hook shared by the grouped passes and any
+        isolated re-runs.
+    """
+
+    def __init__(
+        self,
+        planner: BatchPlanner | None = None,
+        policy: FallbackPolicy | None = None,
+        machine: MachineSpec | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.planner = planner or BatchPlanner()
+        self.policy = policy or FallbackPolicy()
+        self.machine = machine or MachineSpec.titan_x()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = coerce_tracer(tracer)
+
+    # ------------------------------------------------------------------
+    def execute(self, requests: list[BatchRequest]) -> list[RequestOutcome]:
+        """Run the queue; outcomes line up with the submitted requests."""
+        requests = list(requests)
+        self.metrics.counter("batch.requests").inc(len(requests))
+        outcomes: list[RequestOutcome | None] = [None] * len(requests)
+
+        for index, request in enumerate(requests):
+            if request.n == 0:
+                # The planner cannot plan a zero-length solve; the
+                # answer is definitionally an empty array.
+                self.metrics.counter("batch.empty_requests").inc()
+                outcomes[index] = RequestOutcome(
+                    index=index,
+                    tag=request.tag,
+                    ok=True,
+                    output=np.zeros(0, dtype=request.dtype),
+                    engine="empty",
+                )
+
+        groups = self.planner.plan(requests)
+        self.metrics.counter("batch.groups").inc(len(groups))
+        for group in groups:
+            self.metrics.histogram("batch.group_size").observe(group.batch_size)
+            self.metrics.counter("batch.padded_values").inc(group.padding)
+            self._run_group(group, outcomes)
+
+        assert all(o is not None for o in outcomes)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _run_group(
+        self, group: BatchGroup, outcomes: list[RequestOutcome | None]
+    ) -> None:
+        span_args = None
+        if self.tracer.enabled:
+            span_args = {
+                "signature": str(group.signature),
+                "dtype": group.dtype.name,
+                "batch": group.batch_size,
+                "bucket": group.bucket,
+                "padding": group.padding,
+            }
+        with self.tracer.span("batch_group", cat="batch", args=span_args):
+            solver = BatchSolver(
+                group.signature, machine=self.machine, tracer=self.tracer
+            )
+            try:
+                # Overflow in one row is expected occasionally and the
+                # per-row health check below is the detector; keep numpy
+                # quiet during the grouped pass, like the resilience
+                # chain does for its attempts.
+                with np.errstate(over="ignore", invalid="ignore"):
+                    stacked = solver.solve(group.stacked(), dtype=group.dtype)
+            except ReproError as exc:
+                # The whole pass failed with a typed error (factor table
+                # predicted to overflow, lossy integer coefficients...).
+                # Every member re-runs alone so each gets its own
+                # degradation story instead of sharing one failure.
+                for row, index in enumerate(group.indices):
+                    outcomes[index] = self._isolate(
+                        group, group.requests[row], index, str(exc)
+                    )
+                return
+            floating = np.issubdtype(group.dtype, np.floating)
+            for row, index in enumerate(group.indices):
+                request = group.requests[row]
+                output = stacked[row, : request.n].copy()
+                if floating and not np.isfinite(output).all():
+                    outcomes[index] = self._isolate(
+                        group, request, index, "non-finite row output"
+                    )
+                    continue
+                outcomes[index] = RequestOutcome(
+                    index=index, tag=request.tag, ok=True, output=output
+                )
+
+    def _isolate(
+        self, group: BatchGroup, request: BatchRequest, index: int, why: str
+    ) -> RequestOutcome:
+        """Re-run one request alone through the resilience chain."""
+        self.metrics.counter("batch.isolated").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "isolate",
+                cat="batch",
+                args={"index": index, "why": why},
+            )
+        report = solve_request(
+            Recurrence(request.signature),
+            request.values,
+            dtype=group.dtype,
+            policy=self.policy,
+            tracer=self.tracer,
+        )
+        return RequestOutcome(
+            index=index,
+            tag=request.tag,
+            ok=report.ok,
+            output=report.output,
+            error=report.error,
+            engine=report.engine or "plr",
+            degradations=list(report.degradations),
+        )
+
+
+def execute_batch(
+    requests: list[BatchRequest], **kwargs
+) -> list[RequestOutcome]:
+    """One-shot convenience: ``execute_batch(requests)`` on a fresh engine."""
+    return BatchEngine(**kwargs).execute(requests)

@@ -1,0 +1,182 @@
+"""Grouping a mixed request queue into homogeneous sub-batches.
+
+The batched engine (:mod:`repro.batch.engine`) only wins when many
+requests share one vectorized pass, but a realistic queue mixes
+signatures, dtypes, and lengths.  :class:`BatchPlanner` turns such a
+queue into :class:`BatchGroup`\\ s that are homogeneous in all three:
+
+* requests are keyed by ``(signature, dtype)`` — the pair that decides
+  which correction-factor table and which arithmetic a solve uses, so
+  each group builds its table exactly once through the process-wide
+  LRU cache (:func:`repro.plr.solver.cached_factor_table`);
+* within a key, lengths are bucketed to the next power of two (floor
+  ``min_bucket``) and every request is right-padded with zeros to the
+  bucket length.  Trailing zeros never influence earlier outputs, so
+  slicing each padded row back to its true length is exact — the same
+  argument the single-request solver uses for its chunk padding.
+
+Bucketing trades a bounded amount of padding (< 2x, and the planner
+reports exactly how much) for far fewer groups than exact-length
+matching would produce on scattered lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype
+from repro.core.signature import Signature
+
+__all__ = ["BatchRequest", "BatchGroup", "BatchPlanner", "DEFAULT_MIN_BUCKET"]
+
+DEFAULT_MIN_BUCKET = 64
+"""Smallest padded length: below this, padding costs less than the
+group fragmentation exact lengths would cause."""
+
+
+def _as_signature(signature: Recurrence | Signature | str) -> Signature:
+    if isinstance(signature, str):
+        return Signature.parse(signature)
+    if isinstance(signature, Recurrence):
+        return signature.signature
+    return signature
+
+
+@dataclass
+class BatchRequest:
+    """One entry of the queue: a signature, its input, and a dtype.
+
+    ``signature`` accepts a signature string, a :class:`Signature`, or
+    a :class:`Recurrence`; ``dtype`` defaults to the paper's
+    methodology via :func:`~repro.core.reference.resolve_dtype` (int32
+    for integer signatures on integer data, float32 otherwise).
+    ``tag`` is an opaque caller identifier carried through to the
+    request's outcome.
+    """
+
+    signature: Signature
+    values: np.ndarray
+    dtype: np.dtype = None
+    tag: object = None
+
+    def __post_init__(self) -> None:
+        self.signature = _as_signature(self.signature)
+        self.values = np.asarray(self.values)
+        if self.values.ndim != 1:
+            raise ValueError(
+                f"request values must be 1D, got shape {self.values.shape}"
+            )
+        if self.values.dtype.kind not in "biuf":
+            raise ValueError(
+                f"request values must be numeric, got dtype {self.values.dtype}"
+            )
+        if self.dtype is None:
+            self.dtype = resolve_dtype(self.signature, self.values.dtype)
+        self.dtype = np.dtype(self.dtype)
+
+    @property
+    def n(self) -> int:
+        return self.values.size
+
+
+@dataclass
+class BatchGroup:
+    """Requests sharing (signature, dtype, padded length) — one pass.
+
+    ``indices`` are positions in the original queue, so outcomes can be
+    reassembled in submission order.
+    """
+
+    signature: Signature
+    dtype: np.dtype
+    bucket: int
+    requests: list[BatchRequest] = field(default_factory=list)
+    indices: list[int] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def padding(self) -> int:
+        """Total zero-padded elements across the group (waste metric)."""
+        return sum(self.bucket - r.n for r in self.requests)
+
+    def stacked(self) -> np.ndarray:
+        """The (B, bucket) right-padded input matrix, group dtype."""
+        out = np.zeros((len(self.requests), self.bucket), dtype=self.dtype)
+        for row, request in enumerate(self.requests):
+            out[row, : request.n] = np.asarray(request.values, dtype=self.dtype)
+        return out
+
+
+class BatchPlanner:
+    """Groups a request queue into homogeneous, padded sub-batches.
+
+    Parameters
+    ----------
+    min_bucket:
+        Smallest padded length; lengths round up to the next power of
+        two at or above this floor.
+    max_batch:
+        Optional cap on requests per group — groups beyond it split (in
+        submission order), bounding the memory of one stacked pass.
+    """
+
+    def __init__(
+        self, min_bucket: int = DEFAULT_MIN_BUCKET, max_batch: int | None = None
+    ) -> None:
+        if min_bucket < 1:
+            raise ValueError(f"min_bucket must be >= 1, got {min_bucket}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.min_bucket = min_bucket
+        self.max_batch = max_batch
+
+    def bucket_for(self, n: int) -> int:
+        """The padded length for a request of n values."""
+        bucket = self.min_bucket
+        while bucket < n:
+            bucket *= 2
+        return bucket
+
+    def plan(self, requests: list[BatchRequest]) -> list[BatchGroup]:
+        """Group the queue; empty requests (n=0) are skipped entirely.
+
+        Groups come out keyed in first-occurrence order, and requests
+        keep their submission order within a group.
+        """
+        groups: dict[tuple, BatchGroup] = {}
+        for index, request in enumerate(requests):
+            if request.n == 0:
+                continue
+            bucket = self.bucket_for(request.n)
+            key = (request.signature, request.dtype.str, bucket)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = BatchGroup(
+                    signature=request.signature,
+                    dtype=request.dtype,
+                    bucket=bucket,
+                )
+            group.requests.append(request)
+            group.indices.append(index)
+        if self.max_batch is None:
+            return list(groups.values())
+        split: list[BatchGroup] = []
+        for group in groups.values():
+            for start in range(0, group.batch_size, self.max_batch):
+                stop = start + self.max_batch
+                split.append(
+                    BatchGroup(
+                        signature=group.signature,
+                        dtype=group.dtype,
+                        bucket=group.bucket,
+                        requests=group.requests[start:stop],
+                        indices=group.indices[start:stop],
+                    )
+                )
+        return split

@@ -1,0 +1,107 @@
+"""The vectorized batch solver: B independent inputs, one pass.
+
+:class:`BatchSolver` is the (B, n) counterpart of
+:class:`~repro.plr.solver.PLRSolver`: every row is an independent
+sequence with its own zero history, computed under one shared execution
+plan and one shared correction-factor table.  There is no per-request
+Python loop anywhere on the path — Phase 1 merges all (row, chunk)
+pairs at once and Phase 2's carry spine advances every row per chunk
+step (see :func:`repro.plr.nd.solve_batch`, which this class wraps with
+planning, tracing, and empty-input handling).
+
+Equivalence contract: for any row, ``BatchSolver.solve(batch)[i]``
+equals ``PLRSolver.solve(batch[i])`` under the same plan — exactly for
+integer dtypes (wrap-around arithmetic is chunking-invariant), and to
+within a few ulps for floats (the spine uses a matrix product where the
+single-request path uses a matrix-vector product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recurrence import Recurrence
+from repro.core.reference import resolve_dtype
+from repro.core.signature import Signature
+from repro.gpusim.spec import MachineSpec
+from repro.obs.tracer import coerce_tracer
+from repro.plr.nd import solve_batch
+from repro.plr.planner import ExecutionPlan, plan_execution
+
+__all__ = ["BatchSolver"]
+
+
+class BatchSolver:
+    """Computes one recurrence over a (B, n) batch in a single pass.
+
+    Parameters
+    ----------
+    recurrence:
+        The recurrence (or signature / signature string) every row
+        computes.
+    machine:
+        The GPU whose planning heuristics to follow (default: the
+        paper's Titan X) — rows share one plan chosen for the common
+        row length.
+    tracer:
+        Observability hook (``True`` / a shared tracer / ``None``).
+    """
+
+    def __init__(
+        self,
+        recurrence: Recurrence | Signature | str,
+        machine: MachineSpec | None = None,
+        tracer=None,
+    ) -> None:
+        if isinstance(recurrence, str):
+            recurrence = Recurrence.parse(recurrence)
+        elif isinstance(recurrence, Signature):
+            recurrence = Recurrence(recurrence)
+        self.recurrence = recurrence
+        self.machine = machine or MachineSpec.titan_x()
+        self.tracer = coerce_tracer(tracer)
+
+    def plan_for(self, n: int) -> ExecutionPlan:
+        """The shared plan for rows of length n (same planner as PLR)."""
+        return plan_execution(self.recurrence.signature, n, self.machine)
+
+    def solve(
+        self,
+        values: np.ndarray,
+        plan: ExecutionPlan | None = None,
+        dtype: np.dtype | None = None,
+    ) -> np.ndarray:
+        """Compute the recurrence over every row of ``values``.
+
+        ``values`` has shape (B, n); returns the same shape.  B = 0 or
+        n = 0 short-circuits to an empty result (the planner cannot —
+        and need not — plan a zero-length solve).
+        """
+        values = np.asarray(values)
+        if values.ndim != 2:
+            raise ValueError(
+                f"expected a 2D (batch, n) array, got shape {values.shape}"
+            )
+        rows, n = values.shape
+        if dtype is None:
+            dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        dtype = np.dtype(dtype)
+        if rows == 0 or n == 0:
+            return values.astype(dtype)
+        if plan is None:
+            with self.tracer.span(
+                "plan",
+                cat="batch",
+                args={"batch": rows, "n": n} if self.tracer.enabled else None,
+            ):
+                plan = self.plan_for(n)
+        with self.tracer.span(
+            "batch_solve",
+            cat="batch",
+            args={"batch": rows, "n": n, "m": plan.chunk_size}
+            if self.tracer.enabled
+            else None,
+        ):
+            return solve_batch(
+                values, self.recurrence, dtype=dtype, plan=plan, tracer=self.tracer
+            )

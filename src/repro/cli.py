@@ -21,6 +21,9 @@ Subcommands:
 * ``plr profile`` — run the simulator under tracing and write the
   trace, the metrics snapshot, and an SVG timeline, plus a pipeline
   profile (look-back depths, stalls, critical path) to stdout.
+* ``plr batch`` — solve a JSONL queue of mixed requests through the
+  batched execution engine (grouping, vectorized passes, per-request
+  failure isolation) and report group/padding statistics.
 """
 
 from __future__ import annotations
@@ -162,6 +165,32 @@ def build_parser() -> argparse.ArgumentParser:
         default="plr-profile",
         help="directory for trace.json / metrics.json / timeline.svg / "
         "profile.json (default: plr-profile)",
+    )
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="solve a JSONL request queue with the batched execution engine",
+    )
+    batch_p.add_argument(
+        "input",
+        help="JSONL file of requests ('-' for stdin); each line is "
+        '{"id": ..., "signature": "(1: 2, -1)", "values": [...], '
+        '"dtype": "int32"} with id and dtype optional',
+    )
+    batch_p.add_argument(
+        "-o", "--output", help="write one JSON result per request here"
+    )
+    batch_p.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="cap requests per grouped pass (default: unbounded)",
+    )
+    batch_p.add_argument(
+        "--min-bucket",
+        type=int,
+        default=64,
+        help="smallest padded length for length bucketing (default: 64)",
     )
     return parser
 
@@ -424,6 +453,97 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_batch_line(source: str, lineno: int, line: str):
+    import json
+
+    from repro.batch import BatchRequest
+
+    try:
+        spec = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{source}:{lineno}: invalid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise ReproError(f"{source}:{lineno}: each line must be a JSON object")
+    missing = [key for key in ("signature", "values") if key not in spec]
+    if missing:
+        raise ReproError(
+            f"{source}:{lineno}: request is missing {', '.join(missing)}"
+        )
+    dtype = spec.get("dtype")
+    try:
+        return BatchRequest(
+            spec["signature"],
+            np.asarray(spec["values"]),
+            dtype=np.dtype(dtype) if dtype is not None else None,
+            tag=spec.get("id", lineno),
+        )
+    except ReproError as exc:
+        raise ReproError(f"{source}:{lineno}: {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"{source}:{lineno}: bad request: {exc}") from exc
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.batch import BatchEngine, BatchPlanner
+
+    if args.input == "-":
+        source, text = "<stdin>", sys.stdin.read()
+    else:
+        source = args.input
+        with open(args.input) as handle:
+            text = handle.read()
+    requests = [
+        _parse_batch_line(source, lineno, line)
+        for lineno, line in enumerate(text.splitlines(), 1)
+        if line.strip()
+    ]
+    engine = BatchEngine(
+        planner=BatchPlanner(min_bucket=args.min_bucket, max_batch=args.max_batch)
+    )
+    start = time.perf_counter()
+    outcomes = engine.execute(requests)
+    elapsed = time.perf_counter() - start
+
+    results = []
+    for outcome in outcomes:
+        record = {"id": outcome.tag, "ok": outcome.ok, "engine": outcome.engine}
+        if outcome.ok:
+            record["output"] = np.asarray(outcome.output).tolist()
+        else:
+            record["error"] = (
+                f"{type(outcome.error).__name__}: {outcome.error}"
+            )
+        if outcome.degradations:
+            record["degradations"] = list(outcome.degradations)
+        results.append(record)
+    if args.output:
+        with open(args.output, "w") as handle:
+            for record in results:
+                handle.write(json.dumps(record) + "\n")
+        print(f"wrote {len(results)} results to {args.output}")
+    for record in results:
+        status = "ok" if record["ok"] else f"FAILED ({record['error']})"
+        extra = (
+            f" [{'; '.join(record['degradations'])}]"
+            if record.get("degradations")
+            else ""
+        )
+        print(f"  {record['id']}: {status} via {record['engine']}{extra}")
+
+    counters = engine.metrics.snapshot()["counters"]
+    failed = sum(1 for record in results if not record["ok"])
+    print(
+        f"{len(results)} requests in {counters.get('batch.groups', 0):g} groups "
+        f"({counters.get('batch.empty_requests', 0):g} empty, "
+        f"{counters.get('batch.isolated', 0):g} isolated, "
+        f"{counters.get('batch.padded_values', 0):g} padded values) "
+        f"in {elapsed * 1e3:.1f} ms"
+    )
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
@@ -437,6 +557,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "trace": _cmd_trace,
     "profile": _cmd_profile,
+    "batch": _cmd_batch,
 }
 
 
@@ -446,6 +567,11 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # An unreadable input file or unwritable output path is a usage
+        # problem, not a bug: one line, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -23,6 +23,7 @@ preferred wherever a run object can carry one.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
@@ -93,6 +94,12 @@ class Histogram:
             )
 
     def observe(self, value: float) -> None:
+        # A single NaN observation would silently poison ``total`` (and
+        # with it ``mean``) forever, and NaN compares false against
+        # every bound so it lands in the overflow bucket unnoticed.
+        # Infinities corrupt ``total`` the same way.  Fail loudly.
+        if not math.isfinite(value):
+            raise ValueError(f"histogram observations must be finite, got {value}")
         self.counts[bisect_left(self.buckets, value)] += 1
         self.count += 1
         self.total += value
@@ -104,9 +111,17 @@ class Histogram:
     def percentile(self, p: float) -> float:
         """The p-th percentile (p in [0, 100]), bucket-interpolated.
 
-        Returns 0 for an empty histogram.  Overflow-bucket hits clamp to
-        the largest bound (the estimate cannot exceed what the buckets
-        can resolve).
+        Pinned edge behaviour (never raises, never NaN, for any
+        histogram contents):
+
+        * an empty histogram returns 0.0 for every p;
+        * p=0 returns the lower edge of the first occupied bucket
+          (0.0 when that is the first bucket);
+        * p=100 returns the upper edge of the last occupied bucket;
+        * observations in the overflow bucket clamp to the largest
+          bound — the estimate cannot exceed what the buckets resolve,
+          so an all-overflow histogram returns ``buckets[-1]`` for
+          every p.
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")

@@ -27,9 +27,10 @@ from repro.plr.semiring import (
     semiring_solve,
 )
 from repro.plr.solver import PLRSolver, SolveArtifacts, clear_factor_cache, plr_solve
-from repro.plr.streaming import StreamingSolver, StreamState
+from repro.plr.streaming import BatchStreamingSolver, StreamingSolver, StreamState
 
 __all__ = [
+    "BatchStreamingSolver",
     "BooleanSemiring",
     "CorrectionFactorTable",
     "ExecutionPlan",

@@ -28,10 +28,11 @@ import numpy as np
 from repro.core.recurrence import Recurrence
 from repro.core.reference import resolve_dtype
 from repro.core.signature import Signature
-from repro.plr.factors import CorrectionFactorTable
-from repro.plr.phase1 import phase1
-from repro.plr.phase2 import transition_matrix
-from repro.plr.planner import plan_execution
+from repro.obs.tracer import NULL_TRACER
+from repro.plr.phase1 import check_integer_coefficients, phase1
+from repro.plr.phase2 import phase2
+from repro.plr.planner import ExecutionPlan, plan_execution
+from repro.plr.solver import cached_factor_table
 
 __all__ = ["solve_batch", "filter_axis", "filter2d", "summed_area_table"]
 
@@ -48,11 +49,21 @@ def solve_batch(
     values: np.ndarray,
     recurrence: Recurrence | Signature | str,
     dtype: np.dtype | None = None,
+    plan: ExecutionPlan | None = None,
+    tracer=NULL_TRACER,
 ) -> np.ndarray:
     """Compute the recurrence independently over every row of ``values``.
 
     ``values`` has shape (rows, n); each row is its own sequence with
-    its own zero history.  Returns an array of the same shape.
+    its own zero history.  Returns an array of the same shape.  This is
+    the vectorized core the batched execution engine
+    (:mod:`repro.batch`) builds on: Phase 1 runs over all (row, chunk)
+    pairs at once and Phase 2's carry spine walks the chunk axis once
+    for every row simultaneously.
+
+    ``plan`` overrides the paper's planner (the batch engine passes the
+    plan it grouped requests under); ``tracer`` threads an optional
+    :class:`~repro.obs.tracer.Tracer` into the phase kernels.
     """
     recurrence = _as_recurrence(recurrence)
     values = np.asarray(values)
@@ -64,6 +75,9 @@ def solve_batch(
     if dtype is None:
         dtype = resolve_dtype(recurrence.signature, values.dtype)
     dtype = np.dtype(dtype)
+    check_integer_coefficients(
+        recurrence.signature.feedforward + recurrence.signature.feedback, dtype
+    )
 
     work = values.astype(dtype, copy=False)
     if recurrence.has_map_stage:
@@ -82,32 +96,20 @@ def solve_batch(
                 mapped[:, j:] += coeff * work[:, :-j]
         work = mapped
 
-    plan = plan_execution(recurrence.signature, n)
+    if plan is None:
+        plan = plan_execution(recurrence.signature, n)
     m = plan.chunk_size
     chunks = -(-n // m)
     padded = np.zeros((rows, chunks * m), dtype=dtype)
     padded[:, :n] = work
 
-    table = CorrectionFactorTable.build(recurrence.recursive_signature, m, dtype)
-    k = table.order
+    table = cached_factor_table(recurrence.recursive_signature, m, dtype)
 
-    # Phase 1 treats every (row, chunk) pair as an independent chunk.
-    partial = phase1(padded.reshape(-1), table, plan.values_per_thread)
-    partial = partial.reshape(rows, chunks, m)
-
-    # Phase 2: the carry spine walks the chunk index once, vectorized
-    # across all rows — G[:, c] = L[:, c] + G[:, c-1] @ M^T.
-    matrix = transition_matrix(table)
-    locals_ = partial[:, :, m - k :][:, :, ::-1]  # (rows, chunks, k)
-    globals_ = np.empty_like(locals_)
-    globals_[:, 0] = locals_[:, 0]
-    for c in range(1, chunks):
-        globals_[:, c] = locals_[:, c] + globals_[:, c - 1] @ matrix.T
-    for j in range(k):
-        partial[:, 1:] += (
-            table.factors[j][None, None, :] * globals_[:, :-1, j][:, :, None]
-        )
-    return partial.reshape(rows, chunks * m)[:, :n]
+    # Phase 1 treats every (row, chunk) pair as an independent chunk;
+    # Phase 2 runs its carry spine once, vectorized across all rows.
+    partial = phase1(padded, table, plan.values_per_thread, tracer=tracer)
+    corrected = phase2(partial, table, tracer=tracer)
+    return corrected.reshape(rows, chunks * m)[:, :n]
 
 
 def filter_axis(

@@ -25,10 +25,38 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.errors import NumericalError
 from repro.obs.tracer import NULL_TRACER
 from repro.plr.factors import CorrectionFactorTable
 
-__all__ = ["thread_local_solve", "merge_level", "phase1", "doubling_widths"]
+__all__ = [
+    "thread_local_solve",
+    "merge_level",
+    "phase1",
+    "doubling_widths",
+    "check_integer_coefficients",
+]
+
+
+def check_integer_coefficients(coefficients, dtype: np.dtype) -> None:
+    """Reject lossy coefficient casts before they corrupt a solve.
+
+    Casting a fractional coefficient (``b = 0.5``) to an integer working
+    dtype silently truncates it to 0, turning the recurrence into a
+    different one without any error.  Integral-valued floats (``2.0``)
+    cast losslessly and are allowed.  Raises
+    :class:`~repro.core.errors.NumericalError` so callers (and the
+    resilience chain) see a typed failure instead of corrupt output.
+    """
+    if not np.issubdtype(np.dtype(dtype), np.integer):
+        return
+    lossy = [c for c in coefficients if float(c) != int(c)]
+    if lossy:
+        raise NumericalError(
+            f"coefficients {lossy} are fractional and cannot be computed in "
+            f"{np.dtype(dtype).name} arithmetic without truncation; solve in "
+            f"a floating-point dtype instead"
+        )
 
 
 def thread_local_solve(
@@ -101,17 +129,30 @@ def phase1(
     each chunk; the last k columns are the *local carries* Phase 2
     consumes.  The input array is not modified.
 
+    ``padded`` may also be a 2D ``(B, padded_n)`` batch of independent
+    sequences sharing one signature; the result is then
+    ``(B, num_chunks, m)``.  Phase 1 never mixes data across chunk
+    borders, so the batch rows' chunks are processed as one flat chunk
+    axis — the per-chunk arithmetic is bit-identical to B separate 1D
+    calls, with the Python-level dispatch paid once.
+
     With an enabled ``tracer``, the thread-local solve and every
     merge-doubling level emit one span each (cat ``phase1``), recording
     the pair width and how many pairs merged — the numpy mirror of the
     simulator's per-block ``merge`` events.
     """
     m = table.chunk_size
-    if padded.size % m:
-        raise ValueError(f"padded length {padded.size} is not a multiple of m={m}")
+    if padded.ndim not in (1, 2):
+        raise ValueError(f"expected a 1D or 2D (batch) input, got shape {padded.shape}")
+    if padded.shape[-1] % m:
+        raise ValueError(
+            f"padded length {padded.shape[-1]} is not a multiple of m={m}"
+        )
+    check_integer_coefficients(table.signature.feedback, padded.dtype)
     feedback = [
         b if isinstance(b, int) else float(b) for b in table.signature.feedback
     ]
+    batched = padded.ndim == 2
     work = padded.reshape(-1, m).copy()
     num_chunks = work.shape[0]
 
@@ -132,4 +173,6 @@ def phase1(
                 merge_level(pair_view, table, width)
         else:
             merge_level(pair_view, table, width)
+    if batched:
+        return work.reshape(padded.shape[0], -1, m)
     return work

@@ -55,16 +55,17 @@ def transition_matrix(table: CorrectionFactorTable) -> np.ndarray:
 
 
 def local_carries(partial: np.ndarray, order: int) -> np.ndarray:
-    """Extract the (num_chunks, k) local carries, most recent first.
+    """Extract the (..., num_chunks, k) local carries, most recent first.
 
     Column j of the result is the chunk value at offset m-1-j, i.e. the
-    carry w[m-1-j] that factor row j multiplies.
+    carry w[m-1-j] that factor row j multiplies.  ``partial`` may carry
+    leading batch axes before the (num_chunks, m) chunk matrix.
     """
-    m = partial.shape[1]
+    m = partial.shape[-1]
     if m < order:
         raise ValueError(f"chunk size {m} smaller than order {order}")
-    # partial[:, m-1], partial[:, m-2], ..., partial[:, m-k]
-    return partial[:, m - order : m][:, ::-1]
+    # partial[..., m-1], partial[..., m-2], ..., partial[..., m-k]
+    return partial[..., m - order : m][..., ::-1]
 
 
 def propagate_carries(locals_: np.ndarray, matrix: np.ndarray) -> np.ndarray:
@@ -74,14 +75,23 @@ def propagate_carries(locals_: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     ``G_c = L_c + M @ G_{c-1}``.  This is the serial spine of Phase 2 —
     O(num_chunks * k^2) work, tiny next to the O(n k) element
     correction.
+
+    ``locals_`` may carry leading batch axes before (num_chunks, k);
+    the spine then walks the chunk axis once while every batch row's
+    matrix-vector product runs in the same vectorized step.
     """
-    num_chunks, k = locals_.shape
+    num_chunks = locals_.shape[-2]
     out = np.empty_like(locals_)
     if num_chunks == 0:
         return out
-    out[0] = locals_[0]
+    out[..., 0, :] = locals_[..., 0, :]
+    if locals_.ndim == 2:
+        for c in range(1, num_chunks):
+            out[c] = locals_[c] + matrix @ out[c - 1]
+        return out
+    transposed = matrix.T
     for c in range(1, num_chunks):
-        out[c] = locals_[c] + matrix @ out[c - 1]
+        out[..., c, :] = locals_[..., c, :] + out[..., c - 1, :] @ transposed
     return out
 
 
@@ -111,18 +121,19 @@ def apply_global_correction(
 ) -> np.ndarray:
     """Correct every chunk with its predecessor's global carries.
 
-    ``partial`` is the (num_chunks, m) Phase 1 output; chunk 0 is
-    already globally correct.  Vectorized across chunks: for carry j,
-    chunk c (c >= 1) gains ``factors[j] * G_{c-1}[j]``.
+    ``partial`` is the (num_chunks, m) Phase 1 output — optionally with
+    leading batch axes — and chunk 0 is already globally correct.
+    Vectorized across chunks (and batch rows): for carry j, chunk c
+    (c >= 1) gains ``factors[j] * G_{c-1}[j]``.
     """
     out = partial.copy()
-    if out.shape[0] <= 1:
+    if out.shape[-2] <= 1:
         return out
     k = table.order
     factors = table.factors
-    prev = global_carries[:-1]  # carries feeding chunks 1..end
+    prev = global_carries[..., :-1, :]  # carries feeding chunks 1..end
     for j in range(k):
-        out[1:] += factors[j][None, :] * prev[:, j][:, None]
+        out[..., 1:, :] += factors[j] * prev[..., j][..., None]
     return out
 
 
@@ -135,6 +146,11 @@ def phase2(
     them through M, then apply the element-wise correction.  Exactly
     the arithmetic the pipelined GPU version performs, in a
     deterministic order.
+
+    ``partial`` may also be a batched ``(B, chunks, m)`` Phase 1 result
+    (see :func:`repro.plr.phase1.phase1`); the carry spine then walks
+    the chunk axis once for all B rows and the correction broadcasts
+    over the batch, returning ``(B, chunks, m)``.
 
     With an enabled ``tracer``, the carry-propagation and correction
     stages emit spans, and every chunk c >= 1 emits one ``lookback``
@@ -149,7 +165,7 @@ def phase2(
     with tracer.span("propagate_carries", cat="phase2"):
         global_ = propagate_carries(locals_, matrix)
     if tracer.enabled:
-        for c in range(1, partial.shape[0]):
+        for c in range(1, partial.shape[-2]):
             tracer.instant(
                 "lookback",
                 cat="phase2",

@@ -31,13 +31,14 @@ from repro.obs.metrics import global_metrics
 from repro.obs.tracer import coerce_tracer
 from repro.plr.factors import CorrectionFactorTable
 from repro.plr.optimizer import FactorPlan, OptimizationConfig, optimize_factors
-from repro.plr.phase1 import phase1
+from repro.plr.phase1 import check_integer_coefficients, phase1
 from repro.plr.phase2 import phase2
 from repro.plr.planner import ExecutionPlan, plan_execution
 
 __all__ = [
     "PLRSolver",
     "SolveArtifacts",
+    "cached_factor_table",
     "clear_factor_cache",
     "factor_cache_stats",
     "plr_solve",
@@ -86,6 +87,27 @@ def _cached_table(
     signature: Signature, chunk_size: int, dtype_str: str
 ) -> CorrectionFactorTable:
     return CorrectionFactorTable.build(signature, chunk_size, np.dtype(dtype_str))
+
+
+def cached_factor_table(
+    signature: Signature, chunk_size: int, dtype: np.dtype | type
+) -> CorrectionFactorTable:
+    """The shared, process-wide factor-table lookup.
+
+    Every consumer of correction factors — :class:`PLRSolver`, the
+    streaming wrapper, and the batch engine — goes through this one
+    LRU-cached entry point, so a mixed workload touching the same
+    (recursive signature, chunk size, dtype) triple builds its table
+    exactly once.  The ``signature`` is reduced to its recursive part
+    here, so full signatures and their ``(1: b...)`` cores share an
+    entry.  Publishes hit/miss/size gauges via
+    :func:`factor_cache_stats` on every call.
+    """
+    table = _cached_table(
+        signature.recursive_part(), chunk_size, np.dtype(dtype).str
+    )
+    factor_cache_stats()
+    return table
 
 
 def clear_factor_cache() -> None:
@@ -172,11 +194,9 @@ class PLRSolver:
         return plan_execution(self.recurrence.signature, n, self.machine)
 
     def factor_table(self, plan: ExecutionPlan, dtype: np.dtype) -> CorrectionFactorTable:
-        table = _cached_table(
-            self.recurrence.recursive_signature, plan.chunk_size, np.dtype(dtype).str
+        return cached_factor_table(
+            self.recurrence.recursive_signature, plan.chunk_size, dtype
         )
-        factor_cache_stats()
-        return table
 
     # ------------------------------------------------------------------
     def solve(
@@ -211,6 +231,14 @@ class PLRSolver:
         if dtype is None:
             dtype = resolve_dtype(self.recurrence.signature, values.dtype)
         dtype = np.dtype(dtype)
+        # A fractional coefficient cast to an integer working dtype
+        # truncates silently (b=0.5 -> 0) and computes a *different*
+        # recurrence; fail with a typed error before any work happens.
+        check_integer_coefficients(
+            self.recurrence.signature.feedforward
+            + self.recurrence.signature.feedback,
+            dtype,
+        )
 
         work = values.astype(dtype, copy=False)
         # Map stage (2): eliminate the feed-forward coefficients.

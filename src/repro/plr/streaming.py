@@ -32,9 +32,9 @@ from repro.core.errors import StateError
 from repro.core.recurrence import Recurrence
 from repro.core.signature import Signature
 from repro.plr.factors import CorrectionFactorTable
-from repro.plr.solver import PLRSolver
+from repro.plr.solver import PLRSolver, cached_factor_table
 
-__all__ = ["StreamState", "StreamingSolver"]
+__all__ = ["StreamState", "StreamingSolver", "BatchStreamingSolver"]
 
 
 @dataclass
@@ -57,7 +57,17 @@ class StreamState:
     position: int = 0
 
     def copy(self) -> "StreamState":
-        return StreamState(self.outputs.copy(), self.inputs.copy(), self.position)
+        """An independent deep copy; mutating one never affects the other.
+
+        States deserialized from checkpoints may carry plain sequences
+        instead of arrays, so the fields are materialized as fresh numpy
+        arrays rather than trusting a ``.copy()`` method to exist.
+        """
+        return StreamState(
+            np.array(self.outputs, copy=True),
+            np.array(self.inputs, copy=True),
+            int(self.position),
+        )
 
 
 class StreamingSolver:
@@ -104,9 +114,6 @@ class StreamingSolver:
             outputs=np.zeros(self._order, dtype=self.dtype),
             inputs=np.zeros(max(self._fir_order, 0), dtype=self.dtype),
         )
-        # Factor tables are cached per block size inside the solver;
-        # here we only need rows long enough for each pushed block.
-        self._tables: dict[int, CorrectionFactorTable] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -136,6 +143,7 @@ class StreamingSolver:
                 f"state carries inputs of shape {inputs.shape}, "
                 f"map stage needs ({max(self._fir_order, 0)},)"
             )
+        restored = []
         for name, array in (("outputs", outputs), ("inputs", inputs)):
             if not np.can_cast(array.dtype, self.dtype, casting="same_kind"):
                 raise StateError(
@@ -147,12 +155,39 @@ class StreamingSolver:
                     f"state {name} contain non-finite values; restoring them "
                     f"would silently corrupt every later block"
                 )
-        if state.position < 0:
-            raise StateError(f"state position must be >= 0, got {state.position}")
+            # astype(copy=True) both detaches from the caller's buffer
+            # (mutating the checkpoint afterwards must not change solver
+            # behaviour) and materializes the solver's dtype.  Same-kind
+            # casting still wraps out-of-range integers (2**40 -> int32
+            # becomes 0) and overflows floats to inf, so verify the cast
+            # preserved every carry value instead of trusting it.
+            with np.errstate(over="ignore", invalid="ignore"):
+                cast = array.astype(self.dtype, copy=True)
+            if np.issubdtype(self.dtype, np.integer):
+                if array.size and not np.array_equal(
+                    cast.astype(np.int64, copy=False),
+                    array.astype(np.int64, copy=False),
+                ):
+                    raise StateError(
+                        f"state {name} values do not fit the solver's "
+                        f"{self.dtype} without wrapping"
+                    )
+            elif array.size and not np.isfinite(cast).all():
+                raise StateError(
+                    f"state {name} values overflow the solver's {self.dtype}"
+                )
+            restored.append(cast)
+        position = state.position
+        if isinstance(position, float) and not position.is_integer():
+            raise StateError(
+                f"state position must be an integer, got {position}"
+            )
+        if position < 0:
+            raise StateError(f"state position must be >= 0, got {position}")
         self._state = StreamState(
-            outputs=outputs.astype(self.dtype, copy=True),
-            inputs=inputs.astype(self.dtype, copy=True),
-            position=int(state.position),
+            outputs=restored[0],
+            inputs=restored[1],
+            position=int(position),
         )
 
     def reset(self) -> None:
@@ -165,13 +200,13 @@ class StreamingSolver:
     # ------------------------------------------------------------------
     def _factor_table(self, length: int) -> CorrectionFactorTable:
         # Round the table length up to limit cache churn across
-        # variable block sizes.
+        # variable block sizes; the table itself comes from the shared
+        # process-wide LRU, so B concurrent streams of the same
+        # signature build it once between them.
         size = max(64, 1 << (length - 1).bit_length())
-        if size not in self._tables:
-            self._tables[size] = CorrectionFactorTable.build(
-                self.recurrence.recursive_signature, size, self.dtype
-            )
-        return self._tables[size]
+        return cached_factor_table(
+            self.recurrence.recursive_signature, size, self.dtype
+        )
 
     def _map_with_history(self, block: np.ndarray) -> np.ndarray:
         """The FIR stage (2) over the block, seeing prior raw inputs."""
@@ -256,3 +291,212 @@ class StreamingSolver:
         if not outputs:
             return np.zeros(0, dtype=self.dtype)
         return np.concatenate(outputs)
+
+
+class BatchStreamingSolver:
+    """B independent streams of one signature, advanced in lock step.
+
+    The serving-side counterpart of :class:`StreamingSolver`: where that
+    class carries one k-vector of output history, this one carries a
+    ``(B, k)`` state *matrix* (plus a ``(B, p)`` input-history matrix
+    for FIR signatures) and consumes ``(B, block)`` matrices, so B
+    concurrent sessions pay the Python dispatch and the factor-table
+    lookup once per push instead of once per stream.
+
+    Semantics: stream b behaves exactly like its own
+    :class:`StreamingSolver` fed row b of every pushed matrix — a
+    tested invariant.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> streams = BatchStreamingSolver("(1: 1)", batch_size=2)
+    >>> streams.push(np.array([[1, 2], [10, 20]], dtype=np.int32)).tolist()
+    [[1, 3], [10, 30]]
+    >>> streams.push(np.array([[3], [30]], dtype=np.int32)).tolist()
+    [[6], [60]]
+    """
+
+    def __init__(
+        self,
+        recurrence: Recurrence | Signature | str,
+        batch_size: int,
+        dtype: np.dtype | type | None = None,
+    ) -> None:
+        if isinstance(recurrence, str):
+            recurrence = Recurrence.parse(recurrence)
+        elif isinstance(recurrence, Signature):
+            recurrence = Recurrence(recurrence)
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        self.recurrence = recurrence
+        self.batch_size = batch_size
+        if dtype is None:
+            dtype = np.int32 if recurrence.is_integer else np.float32
+        self.dtype = np.dtype(dtype)
+        self._order = recurrence.order
+        self._fir_order = recurrence.signature.fir_order
+        self._outputs = np.zeros((batch_size, self._order), dtype=self.dtype)
+        self._inputs = np.zeros(
+            (batch_size, max(self._fir_order, 0)), dtype=self.dtype
+        )
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> StreamState:
+        """Snapshot of the (B, k) output / (B, p) input state matrices."""
+        return StreamState(
+            self._outputs.copy(), self._inputs.copy(), self._position
+        )
+
+    def load_state(self, state: StreamState) -> None:
+        """Resume all B streams from a captured :attr:`state`.
+
+        Applies the same validation and no-aliasing guarantees as
+        :meth:`StreamingSolver.load_state`, against the batched
+        ``(B, k)`` / ``(B, p)`` shapes.
+        """
+        outputs = np.asarray(state.outputs)
+        inputs = np.asarray(state.inputs)
+        expect_out = (self.batch_size, self._order)
+        expect_in = (self.batch_size, max(self._fir_order, 0))
+        if outputs.shape != expect_out:
+            raise StateError(
+                f"state carries outputs of shape {outputs.shape}, "
+                f"batch solver needs {expect_out}"
+            )
+        if inputs.shape != expect_in:
+            raise StateError(
+                f"state carries inputs of shape {inputs.shape}, "
+                f"batch solver needs {expect_in}"
+            )
+        restored = []
+        for name, array in (("outputs", outputs), ("inputs", inputs)):
+            if not np.can_cast(array.dtype, self.dtype, casting="same_kind"):
+                raise StateError(
+                    f"state {name} dtype {array.dtype} cannot be cast to "
+                    f"the solver's {self.dtype} (same-kind rule)"
+                )
+            if np.issubdtype(array.dtype, np.floating) and not np.isfinite(array).all():
+                raise StateError(f"state {name} contain non-finite values")
+            with np.errstate(over="ignore", invalid="ignore"):
+                cast = array.astype(self.dtype, copy=True)
+            if np.issubdtype(self.dtype, np.integer):
+                if array.size and not np.array_equal(
+                    cast.astype(np.int64, copy=False),
+                    array.astype(np.int64, copy=False),
+                ):
+                    raise StateError(
+                        f"state {name} values do not fit the solver's "
+                        f"{self.dtype} without wrapping"
+                    )
+            elif array.size and not np.isfinite(cast).all():
+                raise StateError(
+                    f"state {name} values overflow the solver's {self.dtype}"
+                )
+            restored.append(cast)
+        position = state.position
+        if isinstance(position, float) and not position.is_integer():
+            raise StateError(f"state position must be an integer, got {position}")
+        if position < 0:
+            raise StateError(f"state position must be >= 0, got {position}")
+        self._outputs, self._inputs = restored
+        self._position = int(position)
+
+    def reset(self) -> None:
+        """Forget all history on every stream."""
+        self._outputs = np.zeros((self.batch_size, self._order), dtype=self.dtype)
+        self._inputs = np.zeros(
+            (self.batch_size, max(self._fir_order, 0)), dtype=self.dtype
+        )
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    def _map_with_history(self, blocks: np.ndarray) -> np.ndarray:
+        p = self._fir_order
+        ff = [
+            a if isinstance(a, int) else float(a)
+            for a in self.recurrence.signature.feedforward
+        ]
+        if p == 0:
+            if ff == [1]:
+                return blocks
+            coeff = (
+                np.asarray(ff[0], dtype=self.dtype)
+                if self.dtype.kind == "i"
+                else self.dtype.type(ff[0])
+            )
+            return blocks * coeff
+        extended = np.concatenate([self._inputs[:, ::-1], blocks], axis=1)
+        out = np.zeros_like(blocks)
+        bn = blocks.shape[1]
+        for j, a in enumerate(ff):
+            if a == 0:
+                continue
+            coeff = (
+                np.asarray(a, dtype=self.dtype)
+                if self.dtype.kind == "i"
+                else self.dtype.type(a)
+            )
+            out += coeff * extended[:, p - j : p - j + bn]
+        return out
+
+    def push(self, blocks: np.ndarray) -> np.ndarray:
+        """Advance every stream by one ``(B, block)`` matrix of values.
+
+        Row b of the result is exactly what a dedicated
+        :class:`StreamingSolver` for stream b would have returned.
+        """
+        from repro.plr.nd import solve_batch  # local import: nd builds on streaming's siblings
+
+        blocks = np.asarray(blocks)
+        if blocks.ndim != 2 or blocks.shape[0] != self.batch_size:
+            raise ValueError(
+                f"expected a ({self.batch_size}, block) matrix, got shape "
+                f"{blocks.shape}"
+            )
+        bn = blocks.shape[1]
+        if bn == 0:
+            return blocks.astype(self.dtype)
+        blocks = blocks.astype(self.dtype, copy=False)
+
+        mapped = self._map_with_history(blocks)
+        # Solve all rows as standalone sequences, then fold in each
+        # stream's incoming carries through the shared factor rows —
+        # the same cross-border correction Phase 2 applies, vectorized
+        # over the batch axis.
+        local = solve_batch(
+            mapped, Recurrence(self.recurrence.recursive_signature), dtype=self.dtype
+        )
+        k = self._order
+        out = local
+        if np.any(self._outputs != 0):
+            table = self._factor_table(bn)
+            for j in range(k):
+                carries = self._outputs[:, j]
+                if np.any(carries != 0):
+                    out = out + table.factors[j, :bn][None, :] * carries[:, None]
+
+        new_outputs = np.zeros((self.batch_size, k), dtype=self.dtype)
+        take = min(k, bn)
+        new_outputs[:, :take] = out[:, bn - take : bn][:, ::-1]
+        if take < k:
+            new_outputs[:, take:] = self._outputs[:, : k - take]
+        p = self._fir_order
+        if p:
+            new_inputs = np.zeros((self.batch_size, p), dtype=self.dtype)
+            take_in = min(p, bn)
+            new_inputs[:, :take_in] = blocks[:, bn - take_in : bn][:, ::-1]
+            if take_in < p:
+                new_inputs[:, take_in:] = self._inputs[:, : p - take_in]
+            self._inputs = new_inputs
+        self._outputs = new_outputs
+        self._position += bn
+        return out
+
+    def _factor_table(self, length: int) -> CorrectionFactorTable:
+        size = max(64, 1 << (length - 1).bit_length())
+        return cached_factor_table(
+            self.recurrence.recursive_signature, size, self.dtype
+        )

@@ -42,6 +42,7 @@ from repro.resilience.solver import (
     FallbackPolicy,
     ResilientSolver,
     SolveReport,
+    solve_request,
 )
 
 __all__ = [
@@ -63,5 +64,6 @@ __all__ = [
     "flip_bit",
     "predict_table_overflow",
     "run_chaos",
+    "solve_request",
     "spectral_radius",
 ]

@@ -46,10 +46,17 @@ from repro.gpusim.faults import FaultEvent, FaultPlan
 from repro.gpusim.spec import MachineSpec
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import TracePid, coerce_tracer
+from repro.plr.phase1 import check_integer_coefficients
 from repro.plr.planner import ExecutionPlan
 from repro.plr.solver import PLRSolver
 
-__all__ = ["AttemptRecord", "FallbackPolicy", "ResilientSolver", "SolveReport"]
+__all__ = [
+    "AttemptRecord",
+    "FallbackPolicy",
+    "ResilientSolver",
+    "SolveReport",
+    "solve_request",
+]
 
 
 @dataclass(frozen=True)
@@ -237,15 +244,21 @@ class ResilientSolver:
             raise report.error
         return report.output
 
-    def solve_with_report(self, values: np.ndarray) -> SolveReport:
+    def solve_with_report(
+        self, values: np.ndarray, dtype: np.dtype | None = None
+    ) -> SolveReport:
         """Compute the recurrence and report what degraded and why.
 
         Never raises for failures the chain understands: the report's
         ``ok``/``error`` fields carry the outcome.  The returned
         report's :attr:`SolveReport.metrics` holds a snapshot of this
         solver's metrics registry taken as the chain finished.
+
+        ``dtype`` pins the starting working dtype (the batch engine
+        passes each request's grouped dtype); the chain may still
+        promote it while degrading.
         """
-        report = self._run_chain(values)
+        report = self._run_chain(values, dtype=dtype)
         report.metrics = self.metrics.snapshot()
         return report
 
@@ -261,7 +274,9 @@ class ResilientSolver:
                 args={"action": message},
             )
 
-    def _run_chain(self, values: np.ndarray) -> SolveReport:
+    def _run_chain(
+        self, values: np.ndarray, dtype: np.dtype | None = None
+    ) -> SolveReport:
         values = np.asarray(values)
         if values.ndim != 1 or values.size == 0:
             raise ValueError("need a non-empty 1D input")
@@ -269,7 +284,9 @@ class ResilientSolver:
         report = SolveReport(ok=False, output=None, engine=None, dtype=None)
         start = time.monotonic()
 
-        dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        if dtype is None:
+            dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        dtype = np.dtype(dtype)
         promotable = dtype == np.float32
         if np.issubdtype(values.dtype, np.floating) and not np.isfinite(values).all():
             # No degradation repairs poisoned input; the serial
@@ -316,6 +333,17 @@ class ResilientSolver:
                     promotable = False
                     plan = self._base_plan(values.size, dtype) if plan else None
                     self._degrade(report, "dtype promoted float32 -> float64")
+                    continue
+                if policy.promote_dtype and np.issubdtype(dtype, np.integer):
+                    # Integer arithmetic raising a numerical fault means
+                    # the coefficients themselves are not representable
+                    # (fractional feedback on an integer request);
+                    # retrying or shrinking cannot fix that, but float64
+                    # computes the recurrence the caller actually wrote.
+                    old = np.dtype(dtype).name
+                    dtype = np.dtype(np.float64)
+                    plan = self._base_plan(values.size, dtype) if plan else None
+                    self._degrade(report, f"dtype promoted {old} -> float64")
                     continue
                 shrunk = self._shrunk_plan(plan, values.size)
                 if shrunk is not None:
@@ -509,6 +537,20 @@ class ResilientSolver:
         start: float,
     ) -> SolveReport:
         t0 = time.monotonic()
+        # The serial reference casts coefficients to the working dtype
+        # like every other engine, so an integer dtype with fractional
+        # coefficients would corrupt here too.  Honour the "never silent
+        # corruption" contract: report the typed error instead.
+        try:
+            check_integer_coefficients(
+                self.recurrence.signature.feedforward
+                + self.recurrence.signature.feedback,
+                dtype,
+            )
+        except NumericalError as exc:
+            report.ok = False
+            report.error = exc
+            return report
         output = serial_full(values, self.recurrence.signature, dtype=dtype)
         if (
             np.issubdtype(np.dtype(dtype), np.floating)
@@ -547,3 +589,22 @@ class ResilientSolver:
         report.dtype = np.dtype(dtype)
         report.error = None
         return report
+
+
+def solve_request(
+    recurrence: Recurrence | Signature | str,
+    values: np.ndarray,
+    dtype: np.dtype | None = None,
+    policy: FallbackPolicy | None = None,
+    tracer=None,
+) -> SolveReport:
+    """Solve one request through a fresh degradation chain.
+
+    The batch engine's per-request isolation path: when a grouped solve
+    fails (or one row's output is unhealthy), each affected request is
+    re-run alone through this function so its failure — and any
+    degradation that rescues it — stays confined to that request.
+    ``dtype`` pins the dtype the request was grouped under.
+    """
+    solver = ResilientSolver(recurrence, policy=policy, tracer=tracer)
+    return solver.solve_with_report(np.asarray(values), dtype=dtype)

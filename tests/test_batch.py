@@ -1,0 +1,312 @@
+"""The batched execution engine: grouping, equivalence, isolation.
+
+The invariant everything here pins: a request routed through
+``repro.batch`` produces what a dedicated per-request
+:class:`~repro.plr.solver.PLRSolver` would have produced — exactly for
+integer dtypes (wrap-around arithmetic is chunking-invariant), and
+within the library's float tolerance otherwise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    BatchEngine,
+    BatchPlanner,
+    BatchRequest,
+    BatchSolver,
+    execute_batch,
+)
+from repro.core.errors import NumericalError
+from repro.core.validation import assert_valid
+from repro.plr.solver import PLRSolver, clear_factor_cache, factor_cache_stats
+from repro.resilience.solver import FallbackPolicy
+from tests.conftest import make_values
+
+
+def per_request(signature, values, dtype=None):
+    return PLRSolver(signature).solve(np.asarray(values), dtype=dtype)
+
+
+class TestBatchSolverEquivalence:
+    def test_all_table1_rows_match_per_request(self, table1_recurrence):
+        batch = np.stack(
+            [make_values(table1_recurrence, 3000, seed=s) for s in range(6)]
+        )
+        out = BatchSolver(table1_recurrence).solve(batch)
+        solver = PLRSolver(table1_recurrence)
+        for row in range(batch.shape[0]):
+            expected = solver.solve(batch[row])
+            if np.issubdtype(out.dtype, np.integer):
+                assert np.array_equal(out[row], expected)
+            else:
+                assert_valid(out[row], expected, context=f"row {row}")
+
+    def test_integer_rows_are_bit_exact(self, rng):
+        batch = rng.integers(-100, 100, size=(16, 2500)).astype(np.int32)
+        out = BatchSolver("(1: 2, -1)").solve(batch)
+        solver = PLRSolver("(1: 2, -1)")
+        assert out.dtype == np.int32
+        for row in range(16):
+            assert np.array_equal(out[row], solver.solve(batch[row]))
+
+    def test_single_chunk_floats_are_bit_exact(self, rng):
+        # Within one chunk there is no carry spine, so the batched pass
+        # runs the identical arithmetic as the per-request solver.
+        batch = rng.standard_normal((8, 900)).astype(np.float32)
+        out = BatchSolver("(1: 0.9)").solve(batch)
+        solver = PLRSolver("(1: 0.9)")
+        for row in range(8):
+            assert np.array_equal(out[row], solver.solve(batch[row]))
+
+    def test_no_per_request_python_loop(self, rng, monkeypatch):
+        # The vectorized pass must never fall back to row-at-a-time
+        # solving: solving any 1D sequence during a batch solve fails.
+        import repro.plr.solver as solver_mod
+
+        def forbid(self, values, plan=None, dtype=None):  # pragma: no cover
+            raise AssertionError("batched path called the per-request solver")
+
+        monkeypatch.setattr(solver_mod.PLRSolver, "solve", forbid)
+        batch = rng.integers(-9, 9, size=(4, 300)).astype(np.int32)
+        out = BatchSolver("(1: 1)").solve(batch)
+        assert np.array_equal(out, np.cumsum(batch, axis=1, dtype=np.int32))
+
+    def test_empty_batch_and_empty_rows(self):
+        solver = BatchSolver("(1: 1)")
+        assert solver.solve(np.zeros((0, 10), dtype=np.int32)).shape == (0, 10)
+        assert solver.solve(np.zeros((3, 0), dtype=np.int32)).shape == (3, 0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2D"):
+            BatchSolver("(1: 1)").solve(np.arange(5))
+
+    def test_lossy_integer_coefficients_raise_typed(self):
+        with pytest.raises(NumericalError, match="fractional"):
+            BatchSolver("(1: 0.5)").solve(
+                np.ones((2, 8), dtype=np.int32), dtype=np.int32
+            )
+
+
+class TestBatchPlanner:
+    def test_groups_by_signature_dtype_and_bucket(self):
+        planner = BatchPlanner(min_bucket=64)
+        requests = [
+            BatchRequest("(1: 1)", np.arange(10, dtype=np.int32)),
+            BatchRequest("(1: 1)", np.arange(50, dtype=np.int32)),
+            BatchRequest("(1: 1)", np.arange(100, dtype=np.int32)),
+            BatchRequest("(1: 2, -1)", np.arange(10, dtype=np.int32)),
+            BatchRequest("(1: 1)", np.arange(10, dtype=np.float32)),
+        ]
+        groups = planner.plan(requests)
+        # (1:1)/int32/64 holds two requests; the 100-long request lands
+        # in the 128 bucket; the other signature and the float dtype
+        # each get their own group.
+        assert len(groups) == 4
+        sizes = sorted(g.batch_size for g in groups)
+        assert sizes == [1, 1, 1, 2]
+        by_bucket = {g.bucket for g in groups}
+        assert by_bucket == {64, 128}
+
+    def test_bucket_rounds_to_power_of_two(self):
+        planner = BatchPlanner(min_bucket=64)
+        assert planner.bucket_for(1) == 64
+        assert planner.bucket_for(64) == 64
+        assert planner.bucket_for(65) == 128
+        assert planner.bucket_for(1000) == 1024
+
+    def test_padding_accounting_and_stacking(self):
+        planner = BatchPlanner(min_bucket=8)
+        requests = [
+            BatchRequest("(1: 1)", np.arange(1, 6, dtype=np.int32)),
+            BatchRequest("(1: 1)", np.arange(1, 8, dtype=np.int32)),
+        ]
+        (group,) = planner.plan(requests)
+        assert group.bucket == 8
+        assert group.padding == (8 - 5) + (8 - 7)
+        stacked = group.stacked()
+        assert stacked.shape == (2, 8)
+        assert np.array_equal(stacked[0], [1, 2, 3, 4, 5, 0, 0, 0])
+        assert np.array_equal(stacked[1], [1, 2, 3, 4, 5, 6, 7, 0])
+
+    def test_max_batch_splits_in_order(self):
+        planner = BatchPlanner(min_bucket=8, max_batch=2)
+        requests = [
+            BatchRequest("(1: 1)", np.full(4, i, dtype=np.int32)) for i in range(5)
+        ]
+        groups = planner.plan(requests)
+        assert [g.batch_size for g in groups] == [2, 2, 1]
+        assert [g.indices for g in groups] == [[0, 1], [2, 3], [4]]
+
+    def test_skips_empty_requests(self):
+        planner = BatchPlanner()
+        groups = planner.plan(
+            [BatchRequest("(1: 1)", np.zeros(0, dtype=np.int32))]
+        )
+        assert groups == []
+
+    def test_request_resolves_paper_dtype(self):
+        ints = np.arange(3, dtype=np.int32)
+        assert BatchRequest("(1: 1)", ints).dtype == np.int32
+        assert BatchRequest("(0.2: 0.8)", ints).dtype == np.float32
+
+    def test_request_rejects_2d_values(self):
+        with pytest.raises(ValueError, match="1D"):
+            BatchRequest("(1: 1)", np.zeros((2, 3)))
+
+
+class TestBatchEngine:
+    def test_mixed_queue_matches_per_request(self, rng):
+        specs = [
+            ("(1: 1)", rng.integers(-50, 50, size=200).astype(np.int32)),
+            ("(1: 2, -1)", rng.integers(-50, 50, size=150).astype(np.int32)),
+            ("(0.2: 0.8)", rng.standard_normal(90).astype(np.float32)),
+            ("(1: 1)", rng.integers(-50, 50, size=40).astype(np.int32)),
+            ("(0.2: 0.8)", rng.standard_normal(90).astype(np.float32)),
+        ]
+        requests = [BatchRequest(s, v, tag=i) for i, (s, v) in enumerate(specs)]
+        outcomes = execute_batch(requests)
+        assert [o.tag for o in outcomes] == [0, 1, 2, 3, 4]
+        for outcome, (signature, values) in zip(outcomes, specs):
+            assert outcome.ok
+            expected = per_request(signature, values)
+            if np.issubdtype(expected.dtype, np.integer):
+                assert np.array_equal(outcome.output, expected)
+            else:
+                assert_valid(outcome.output, expected)
+
+    def test_empty_request_short_circuits(self):
+        outcomes = execute_batch(
+            [BatchRequest("(1: 1)", np.zeros(0, dtype=np.int32), tag="e")]
+        )
+        (outcome,) = outcomes
+        assert outcome.ok and outcome.engine == "empty"
+        assert outcome.output.size == 0 and outcome.output.dtype == np.int32
+
+    def test_failing_request_degrades_alone(self, rng):
+        # One poisoned request (int dtype, fractional coefficient) rides
+        # with two healthy ones; only it leaves the batched path.
+        healthy = rng.integers(-5, 5, size=30).astype(np.int32)
+        requests = [
+            BatchRequest("(1: 1)", healthy, tag="h1"),
+            BatchRequest("(1: 0.5)", np.arange(1, 9, dtype=np.int32),
+                         dtype=np.int32, tag="poison"),
+            BatchRequest("(1: 1)", healthy, tag="h2"),
+        ]
+        engine = BatchEngine()
+        outcomes = {o.tag: o for o in engine.execute(requests)}
+        assert outcomes["h1"].engine == "batch" and outcomes["h1"].ok
+        assert outcomes["h2"].engine == "batch" and outcomes["h2"].ok
+        poisoned = outcomes["poison"]
+        assert poisoned.ok and poisoned.isolated
+        assert any("float64" in d for d in poisoned.degradations)
+        assert_valid(
+            poisoned.output,
+            per_request("(1: 0.5)", np.arange(1, 9), dtype=np.float64),
+        )
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["batch.isolated"] == 1
+
+    def test_isolation_failure_is_typed_not_raised(self):
+        # With every rescue disabled the poisoned request must carry a
+        # typed error while its batch-mates still succeed.
+        policy = FallbackPolicy(
+            promote_dtype=False, shrink_chunk=False, serial_fallback=False
+        )
+        requests = [
+            BatchRequest("(1: 1)", np.arange(5, dtype=np.int32), tag="ok"),
+            BatchRequest("(1: 0.5)", np.arange(1, 5, dtype=np.int32),
+                         dtype=np.int32, tag="bad"),
+        ]
+        outcomes = {o.tag: o for o in BatchEngine(policy=policy).execute(requests)}
+        assert outcomes["ok"].ok
+        bad = outcomes["bad"]
+        assert not bad.ok and bad.output is None
+        assert isinstance(bad.error, NumericalError)
+
+    def test_metrics_account_for_groups_and_padding(self, rng):
+        engine = BatchEngine(planner=BatchPlanner(min_bucket=32))
+        requests = [
+            BatchRequest("(1: 1)", rng.integers(-5, 5, size=20).astype(np.int32)),
+            BatchRequest("(1: 1)", rng.integers(-5, 5, size=30).astype(np.int32)),
+            BatchRequest("(1: 1)", np.zeros(0, dtype=np.int32)),
+        ]
+        engine.execute(requests)
+        snap = engine.metrics.snapshot()
+        assert snap["counters"]["batch.requests"] == 3
+        assert snap["counters"]["batch.groups"] == 1
+        assert snap["counters"]["batch.empty_requests"] == 1
+        assert snap["counters"]["batch.padded_values"] == (32 - 20) + (32 - 30)
+        assert snap["histograms"]["batch.group_size"]["count"] == 1
+
+    def test_group_solve_builds_factor_table_once(self, rng):
+        clear_factor_cache()
+        engine = BatchEngine()
+        requests = [
+            BatchRequest("(1: 2, -1)", rng.integers(-5, 5, size=100).astype(np.int32))
+            for _ in range(16)
+        ]
+        engine.execute(requests)
+        assert factor_cache_stats()["misses"] == 1
+
+    def test_traced_run_emits_group_spans(self, rng):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        engine = BatchEngine(tracer=tracer)
+        engine.execute(
+            [BatchRequest("(1: 1)", rng.integers(-5, 5, size=10).astype(np.int32))]
+        )
+        names = [e.name for e in tracer.events if e.cat == "batch"]
+        assert "batch_group" in names
+
+
+SIGNATURES = ("(1: 1)", "(1: 2, -1)", "(0.2: 0.8)", "(0.5, 0.5: 0.9)")
+
+
+@st.composite
+def request_mixes(draw):
+    count = draw(st.integers(min_value=0, max_value=8))
+    specs = []
+    for i in range(count):
+        signature = draw(st.sampled_from(SIGNATURES))
+        n = draw(st.integers(min_value=0, max_value=40))
+        seed = draw(st.integers(min_value=0, max_value=2**16))
+        specs.append((signature, n, seed))
+    return specs
+
+
+@given(request_mixes())
+@settings(max_examples=30, deadline=None)
+def test_random_mixes_match_per_request(specs):
+    """Any queue — empty inputs, n < k tails, mixed dtypes — matches
+    the per-request solver through the full planner + engine path."""
+    from repro.core.recurrence import Recurrence
+
+    requests = []
+    for signature, n, seed in specs:
+        recurrence = Recurrence.parse(signature)
+        generator = np.random.default_rng(seed)
+        if recurrence.is_integer:
+            values = generator.integers(-100, 100, size=n).astype(np.int32)
+        else:
+            values = generator.standard_normal(n).astype(np.float32)
+        requests.append(BatchRequest(signature, values))
+    outcomes = execute_batch(
+        requests, planner=BatchPlanner(min_bucket=16, max_batch=3)
+    )
+    assert len(outcomes) == len(specs)
+    for outcome, request in zip(outcomes, requests):
+        assert outcome.ok, outcome.error
+        if request.n == 0:
+            assert outcome.output.size == 0
+            assert outcome.output.dtype == request.dtype
+            continue
+        expected = per_request(request.signature, request.values)
+        assert outcome.output.dtype == expected.dtype
+        if np.issubdtype(expected.dtype, np.integer):
+            assert np.array_equal(outcome.output, expected)
+        else:
+            assert_valid(outcome.output, expected)

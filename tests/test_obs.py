@@ -490,3 +490,58 @@ class TestCli:
         assert main(["info", "(1: 2, -1)"]) == 0
         out = capsys.readouterr().out
         assert "factor cache" in out
+
+
+class TestHistogramEdgeCases:
+    """Pinned percentile/observe edge behaviour: never raises (except
+    for the documented cases), never NaN, for any histogram contents."""
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        hist = Histogram()
+        for p in (0, 1, 50, 99, 100):
+            assert hist.percentile(p) == 0.0
+        assert hist.mean == 0.0
+
+    def test_p0_returns_lower_edge_of_first_occupied_bucket(self):
+        hist = Histogram(buckets=(1, 2, 4, 8))
+        hist.observe(3)  # (2, 4] bucket
+        assert hist.percentile(0) == 2.0
+        first = Histogram(buckets=(1, 2))
+        first.observe(1)
+        assert first.percentile(0) == 0.0
+
+    def test_p100_returns_upper_edge_of_last_occupied_bucket(self):
+        hist = Histogram(buckets=(1, 2, 4, 8))
+        hist.observe(1)
+        hist.observe(3)
+        assert hist.percentile(100) == 4.0
+
+    def test_all_overflow_clamps_to_largest_bound(self):
+        hist = Histogram(buckets=(1, 2))
+        for _ in range(5):
+            hist.observe(1000)
+        for p in (0, 50, 100):
+            assert hist.percentile(p) == 2.0
+
+    def test_out_of_range_p_raises(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_nan_observation_rejected_not_poisoning(self):
+        # Regression: observe(nan) used to contaminate ``total`` so that
+        # ``mean`` was NaN forever after, while the observation itself
+        # hid in the overflow bucket.
+        hist = Histogram()
+        hist.observe(2)
+        with pytest.raises(ValueError, match="finite"):
+            hist.observe(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            hist.observe(float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            hist.observe(float("-inf"))
+        assert hist.count == 1
+        assert hist.mean == 2.0
+        assert hist.percentile(100) == 2.0

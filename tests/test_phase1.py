@@ -167,3 +167,59 @@ def test_phase1_property_locally_correct(n, order, seed):
     for c in range(chunks):
         piece = padded[c * m : (c + 1) * m]
         np.testing.assert_array_equal(out[c], serial_recurrence(piece, list(feedback)))
+
+
+class TestIntegerCoefficientGuard:
+    """Regression: fractional coefficients silently truncated to 0 when
+    the working dtype was integer, computing a *different* recurrence
+    (``(1: 0.5)`` on int32 input returned the input unchanged)."""
+
+    def test_fractional_feedback_on_int_dtype_raises(self):
+        from repro.core.errors import NumericalError
+
+        values = np.arange(1, 33, dtype=np.int32)
+        with pytest.raises(NumericalError, match="fractional"):
+            run_phase1("(1: 0.5)", values, 8)
+
+    def test_solver_path_raises_not_truncates(self):
+        from repro.core.errors import NumericalError
+        from repro.plr.solver import PLRSolver
+
+        values = np.arange(1, 9, dtype=np.int32)
+        with pytest.raises(NumericalError, match="int32"):
+            PLRSolver("(1: 0.5)").solve(values, dtype=np.int32)
+
+    def test_integral_valued_floats_are_fine(self):
+        # 2.0 is representable exactly in int32; only truly fractional
+        # coefficients must be rejected.
+        values = np.arange(1, 17, dtype=np.int32)
+        out = run_phase1("(1: 2.0, -1.0)", values, 8)
+        ref = run_phase1("(1: 2, -1)", values, 8)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_float_dtype_unaffected(self):
+        from repro.plr.phase1 import check_integer_coefficients
+
+        check_integer_coefficients((0.5, -0.25), np.dtype(np.float32))
+        check_integer_coefficients((0.5,), np.dtype(np.float64))
+
+
+class TestBatchedPhase1:
+    """phase1 accepts (B, padded_n) input and treats every (row, chunk)
+    pair as an independent chunk."""
+
+    def test_batched_rows_match_single_rows(self, rng):
+        sig = Signature.parse("(1: 2, -1)")
+        m = 16
+        table = CorrectionFactorTable.build(sig, m, np.dtype(np.int32))
+        batch = rng.integers(-9, 9, size=(5, 4 * m)).astype(np.int32)
+        out = phase1(batch, table, 1)
+        assert out.shape == (5, 4, m)
+        for row in range(5):
+            np.testing.assert_array_equal(out[row], phase1(batch[row], table, 1))
+
+    def test_rejects_3d(self, rng):
+        sig = Signature.parse("(1: 1)")
+        table = CorrectionFactorTable.build(sig, 8, np.dtype(np.int32))
+        with pytest.raises(ValueError):
+            phase1(np.zeros((2, 2, 8), dtype=np.int32), table, 1)

@@ -178,3 +178,74 @@ def test_solver_property_random_recurrences(n, order, seed):
     got = PLRSolver(Recurrence(sig)).solve(values)
     expected = serial_full(values, sig)
     np.testing.assert_array_equal(got, expected)
+
+
+class TestFactorCacheKey:
+    """Regression guard: the factor-table cache key must include the
+    working dtype (and chunk size) — a key of signature alone would
+    hand a float32 solve an int32 table built moments earlier."""
+
+    def test_same_signature_two_dtypes_two_entries(self, rng):
+        from repro.plr.solver import (
+            cached_factor_table,
+            clear_factor_cache,
+            factor_cache_stats,
+        )
+
+        clear_factor_cache()
+        sig = Signature.parse("(1: 2, -1)").recursive_part()
+        t32 = cached_factor_table(sig, 64, np.float32)
+        t64 = cached_factor_table(sig, 64, np.float64)
+        stats = factor_cache_stats()
+        assert stats["misses"] == 2  # distinct dtypes -> distinct entries
+        assert t32.factors.dtype == np.float32
+        assert t64.factors.dtype == np.float64
+        # Same triple again: pure hits, no rebuild.
+        cached_factor_table(sig, 64, np.float32)
+        cached_factor_table(sig, 64, np.float64)
+        after = factor_cache_stats()
+        assert after["misses"] == 2
+        assert after["hits"] >= stats["hits"] + 2
+
+    def test_solves_at_two_dtypes_stay_correct(self, rng):
+        from repro.plr.solver import clear_factor_cache
+
+        clear_factor_cache()
+        values = rng.standard_normal(5000).astype(np.float32)
+        solver = PLRSolver("(0.2: 0.8)")
+        out32 = solver.solve(values)
+        out64 = solver.solve(values, dtype=np.float64)
+        assert out32.dtype == np.float32
+        assert out64.dtype == np.float64
+        expected = serial_full(values, Signature.parse("(0.2: 0.8)"), dtype=np.float64)
+        assert_valid(out64, expected)
+        assert_valid(out32, expected.astype(np.float32))
+
+    def test_chunk_size_is_part_of_the_key(self):
+        from repro.plr.solver import (
+            cached_factor_table,
+            clear_factor_cache,
+            factor_cache_stats,
+        )
+
+        clear_factor_cache()
+        sig = Signature.parse("(1: 1)").recursive_part()
+        a = cached_factor_table(sig, 64, np.int32)
+        b = cached_factor_table(sig, 128, np.int32)
+        assert factor_cache_stats()["misses"] == 2
+        assert a.factors.shape[1] == 64
+        assert b.factors.shape[1] == 128
+
+    def test_dtype_spelling_variants_share_an_entry(self):
+        from repro.plr.solver import (
+            cached_factor_table,
+            clear_factor_cache,
+            factor_cache_stats,
+        )
+
+        clear_factor_cache()
+        sig = Signature.parse("(1: 1)").recursive_part()
+        cached_factor_table(sig, 64, np.float32)
+        cached_factor_table(sig, 64, "float32")
+        cached_factor_table(sig, 64, np.dtype("float32"))
+        assert factor_cache_stats()["misses"] == 1

@@ -206,3 +206,163 @@ def test_streaming_property(seed, n, num_cuts):
     stream = StreamingSolver(sig)
     out = stream.push_many(np.split(total, cuts))
     np.testing.assert_array_equal(out, serial_full(total, sig))
+
+
+class TestStateRestoreRegressions:
+    """load_state / StreamState.copy hardening: value-preserving casts,
+    no aliasing of caller arrays, integral positions."""
+
+    def test_load_state_rejects_wrapping_integers(self):
+        # Regression: int64 2**40 "same-kind" cast into an int32 solver
+        # silently wrapped to 0 and corrupted every later block.
+        from repro.core.errors import StateError
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(1: 2, -1)")
+        state = StreamState(
+            outputs=np.array([2**40, 1], dtype=np.int64),
+            inputs=np.zeros(0, dtype=np.int32),
+        )
+        with pytest.raises(StateError, match="without wrapping"):
+            stream.load_state(state)
+
+    def test_load_state_rejects_float_overflowing_carries(self):
+        from repro.core.errors import StateError
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(0.2: 0.8)")  # float32 solver
+        state = StreamState(
+            outputs=np.array([1e300], dtype=np.float64),
+            inputs=np.zeros(0, dtype=np.float32),
+        )
+        with pytest.raises(StateError, match="overflow"):
+            stream.load_state(state)
+
+    def test_load_state_rejects_fractional_position(self):
+        # Regression: position 2.5 silently truncated to 2, silently
+        # shifting the bookkeeping of every checkpoint after it.
+        from repro.core.errors import StateError
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(1: 1)")
+        state = StreamState(
+            outputs=np.zeros(1, dtype=np.int32),
+            inputs=np.zeros(0, dtype=np.int32),
+            position=2.5,
+        )
+        with pytest.raises(StateError, match="integer"):
+            stream.load_state(state)
+
+    def test_load_state_does_not_alias_caller_arrays(self, rng):
+        from repro.plr.streaming import StreamState
+
+        stream = StreamingSolver("(1: 2, -1)")
+        carries = np.array([5, 7], dtype=np.int32)
+        stream.load_state(
+            StreamState(outputs=carries, inputs=np.zeros(0, dtype=np.int32))
+        )
+        before = stream.state.outputs.copy()
+        carries[:] = -999  # mutating the checkpoint must not leak in
+        np.testing.assert_array_equal(stream.state.outputs, before)
+        out_with_clean_state = stream.push(np.array([1, 1, 1], dtype=np.int32))
+        fresh = StreamingSolver("(1: 2, -1)")
+        fresh.load_state(
+            StreamState(
+                outputs=np.array([5, 7], dtype=np.int32),
+                inputs=np.zeros(0, dtype=np.int32),
+            )
+        )
+        np.testing.assert_array_equal(
+            out_with_clean_state, fresh.push(np.array([1, 1, 1], dtype=np.int32))
+        )
+
+    def test_copy_materializes_plain_sequences(self):
+        # Regression: a checkpoint deserialized from JSON carries lists,
+        # and StreamState.copy() used to assume .copy() existed on them.
+        from repro.plr.streaming import StreamState
+
+        state = StreamState(outputs=[1, 2], inputs=[], position=3)
+        duplicate = state.copy()
+        assert isinstance(duplicate.outputs, np.ndarray)
+        assert isinstance(duplicate.inputs, np.ndarray)
+        np.testing.assert_array_equal(duplicate.outputs, [1, 2])
+        assert duplicate.position == 3
+
+    def test_copy_is_deep(self):
+        from repro.plr.streaming import StreamState
+
+        state = StreamState(
+            outputs=np.array([1, 2], dtype=np.int32),
+            inputs=np.zeros(0, dtype=np.int32),
+        )
+        duplicate = state.copy()
+        duplicate.outputs[0] = 99
+        assert state.outputs[0] == 1
+
+
+class TestBatchStreamingSolver:
+    def test_rows_match_dedicated_streams(self, rng):
+        from repro.plr.streaming import BatchStreamingSolver
+
+        sig = "(1: 2, -1)"
+        batch = BatchStreamingSolver(sig, batch_size=4)
+        singles = [StreamingSolver(sig) for _ in range(4)]
+        for block_len in (7, 1, 16, 3):
+            blocks = rng.integers(-9, 9, size=(4, block_len)).astype(np.int32)
+            out = batch.push(blocks)
+            for row in range(4):
+                np.testing.assert_array_equal(out[row], singles[row].push(blocks[row]))
+
+    def test_fir_history_rows_match(self, rng):
+        from repro.plr.streaming import BatchStreamingSolver
+
+        sig = "(0.5, 0.5: 0.9)"
+        batch = BatchStreamingSolver(sig, batch_size=3)
+        singles = [StreamingSolver(sig) for _ in range(3)]
+        for block_len in (5, 2, 9):
+            blocks = rng.standard_normal((3, block_len)).astype(np.float32)
+            out = batch.push(blocks)
+            for row in range(3):
+                np.testing.assert_allclose(
+                    out[row], singles[row].push(blocks[row]), rtol=1e-5, atol=1e-6
+                )
+
+    def test_state_round_trip(self, rng):
+        from repro.plr.streaming import BatchStreamingSolver
+
+        solver = BatchStreamingSolver("(1: 1)", batch_size=2)
+        solver.push(np.array([[1, 2], [3, 4]], dtype=np.int32))
+        saved = solver.state
+        after_more = solver.push(np.array([[5], [6]], dtype=np.int32))
+        solver.load_state(saved)
+        np.testing.assert_array_equal(
+            solver.push(np.array([[5], [6]], dtype=np.int32)), after_more
+        )
+
+    def test_load_state_validates_batched_shapes(self):
+        from repro.core.errors import StateError
+        from repro.plr.streaming import BatchStreamingSolver, StreamState
+
+        solver = BatchStreamingSolver("(1: 2, -1)", batch_size=2)
+        with pytest.raises(StateError, match="shape"):
+            solver.load_state(
+                StreamState(
+                    outputs=np.zeros((3, 2), dtype=np.int32),
+                    inputs=np.zeros((2, 0), dtype=np.int32),
+                )
+            )
+        with pytest.raises(StateError, match="without wrapping"):
+            solver.load_state(
+                StreamState(
+                    outputs=np.full((2, 2), 2**40, dtype=np.int64),
+                    inputs=np.zeros((2, 0), dtype=np.int32),
+                )
+            )
+
+    def test_empty_block_is_noop(self):
+        from repro.plr.streaming import BatchStreamingSolver
+
+        solver = BatchStreamingSolver("(1: 1)", batch_size=2)
+        out = solver.push(np.zeros((2, 0), dtype=np.int32))
+        assert out.shape == (2, 0)
+        assert solver.state.position == 0
