@@ -1,0 +1,68 @@
+"""The multicore acceptance gate: >= 2x on 4 cores for a k=2 filter.
+
+Deliberately the workload docs/parallel.md says multicore is *for*:
+a second-order float recurrence at n = 2^22, where the per-element
+correction is real compute rather than pure memory traffic.  Excluded
+from default runs twice over (the ``bench`` marker and testpaths);
+select with ``pytest benchmarks/test_parallel_speedup.py -m bench``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.validation import compare_results
+from repro.plr.solver import PLRSolver
+
+SIGNATURE = "(1: 1.5, -0.6)"
+N = 1 << 22
+WORKERS = 4
+REPEAT = 3
+
+
+def best_of(fn, repeat=REPEAT):
+    best, result = float("inf"), None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.mark.bench
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < WORKERS,
+    reason=f"needs >= {WORKERS} cores to demonstrate a speedup",
+)
+def test_process_backend_speedup_at_4_workers():
+    values = np.random.default_rng(20180324).standard_normal(N).astype(np.float64)
+
+    single = PLRSolver(SIGNATURE)
+    plan = single.plan_for(N)
+    # Many chunks per worker so slab imbalance stays negligible.
+    if plan.num_chunks < 8 * WORKERS:
+        chunk = 1 << 12
+        plan = dataclasses.replace(
+            plan, chunk_size=chunk, values_per_thread=1, num_chunks=-(-N // chunk)
+        )
+    single_s, expected = best_of(
+        lambda: single.solve(values, plan=plan, dtype=np.float64)
+    )
+
+    sharded = PLRSolver(SIGNATURE, backend="process", workers=WORKERS)
+    sharded.solve(values[: 1 << 16], dtype=np.float64)  # warm pool-independent caches
+    process_s, got = best_of(
+        lambda: sharded.solve(values, plan=plan, dtype=np.float64)
+    )
+
+    assert compare_results(got, expected).ok
+    speedup = single_s / process_s
+    assert speedup >= 2.0, (
+        f"process backend {process_s * 1e3:.0f} ms vs single "
+        f"{single_s * 1e3:.0f} ms — speedup x{speedup:.2f} < 2.0"
+    )

@@ -40,6 +40,7 @@ from repro.core import (
     SignatureError,
     StateError,
     ValidationError,
+    WorkerError,
     assert_valid,
     classify,
     compare_results,
@@ -60,6 +61,7 @@ from repro.obs import (
     global_metrics,
     profile_simulation,
 )
+from repro.parallel import ShardOptions, solve_batch_sharded, solve_sharded
 from repro.plr import (
     CorrectionFactorTable,
     ExecutionPlan,
@@ -103,6 +105,7 @@ __all__ = [
     "RecurrenceCode",
     "ReproError",
     "ResilientSolver",
+    "ShardOptions",
     "Signature",
     "SignatureError",
     "SimulatedPLR",
@@ -111,6 +114,7 @@ __all__ = [
     "Tracer",
     "ValidationError",
     "Workload",
+    "WorkerError",
     "__version__",
     "assert_valid",
     "chrome_trace",
@@ -130,5 +134,7 @@ __all__ = [
     "profile_simulation",
     "run_chaos",
     "serial_full",
+    "solve_batch_sharded",
+    "solve_sharded",
     "table1_signatures",
 ]

@@ -45,6 +45,14 @@ class BatchSolver:
         row length.
     tracer:
         Observability hook (``True`` / a shared tracer / ``None``).
+    backend:
+        ``"single"`` (default) vectorizes in this process;
+        ``"process"`` shards the batch axis across a multicore pool —
+        rows are independent, so workers need no carry exchange at all
+        (see :func:`repro.parallel.solve_batch_sharded`).
+    workers / shard_options:
+        Process-backend pool tuning, as on
+        :class:`~repro.plr.solver.PLRSolver`.
     """
 
     def __init__(
@@ -52,14 +60,27 @@ class BatchSolver:
         recurrence: Recurrence | Signature | str,
         machine: MachineSpec | None = None,
         tracer=None,
+        backend: str = "single",
+        workers: int | None = None,
+        shard_options=None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
         elif isinstance(recurrence, Signature):
             recurrence = Recurrence(recurrence)
+        if backend not in ("single", "process"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'single' or 'process'"
+            )
         self.recurrence = recurrence
         self.machine = machine or MachineSpec.titan_x()
         self.tracer = coerce_tracer(tracer)
+        self.backend = backend
+        if shard_options is None:
+            from repro.parallel.sharding import ShardOptions
+
+            shard_options = ShardOptions(workers=workers)
+        self.shard_options = shard_options
 
     def plan_for(self, n: int) -> ExecutionPlan:
         """The shared plan for rows of length n (same planner as PLR)."""
@@ -103,5 +124,11 @@ class BatchSolver:
             else None,
         ):
             return solve_batch(
-                values, self.recurrence, dtype=dtype, plan=plan, tracer=self.tracer
+                values,
+                self.recurrence,
+                dtype=dtype,
+                plan=plan,
+                tracer=self.tracer,
+                backend=self.backend,
+                shard_options=self.shard_options,
             )

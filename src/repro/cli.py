@@ -24,6 +24,9 @@ Subcommands:
 * ``plr batch`` — solve a JSONL queue of mixed requests through the
   batched execution engine (grouping, vectorized passes, per-request
   failure isolation) and report group/padding statistics.
+* ``plr bench`` — measure the serial reference vs. the vectorized
+  solver vs. the multicore process backend and write a
+  ``BENCH_parallel.json`` trajectory point.
 """
 
 from __future__ import annotations
@@ -191,6 +194,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="smallest padded length for length bucketing (default: 64)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="benchmark serial vs vectorized vs multicore backends",
+    )
+    bench_p.add_argument(
+        "signature", nargs="?", default="(1: 2, -1)", help='e.g. "(1: 2, -1)"'
+    )
+    bench_p.add_argument("-n", type=int, default=1 << 20, help="input length")
+    bench_p.add_argument(
+        "--dtype", default=None, help="working dtype (default: paper methodology)"
+    )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-backend pool size (default: one per core)",
+    )
+    bench_p.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions; best is kept"
+    )
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_parallel.json",
+        help="JSON file to write (default: BENCH_parallel.json)",
     )
     return parser
 
@@ -544,6 +575,76 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _time_best(fn, repeat: int) -> tuple[float, object]:
+    """Best-of-``repeat`` wall time for ``fn()`` and its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    recurrence = Recurrence.parse(args.signature)
+    values = _make_input(recurrence, args.n, args.seed)
+    dtype = np.dtype(args.dtype) if args.dtype else None
+
+    serial_s, expected = _time_best(
+        lambda: serial_full(values, recurrence.signature, dtype=dtype), args.repeat
+    )
+
+    vec_solver = PLRSolver(recurrence)
+    vec_s, vec_out = _time_best(
+        lambda: vec_solver.solve(values, dtype=dtype), args.repeat
+    )
+
+    proc_solver = PLRSolver(recurrence, backend="process", workers=args.workers)
+    proc_s, proc_out = _time_best(
+        lambda: proc_solver.solve(values, dtype=dtype), args.repeat
+    )
+
+    for name, out in (("vectorized", vec_out), ("process", proc_out)):
+        outcome = compare_results(out, expected)
+        if not outcome.ok:
+            raise ReproError(f"{name} backend mismatch: {outcome.describe()}")
+
+    dtype_name = np.dtype(vec_out.dtype).name
+    records = [
+        {
+            "op": str(recurrence.signature),
+            "n": args.n,
+            "dtype": dtype_name,
+            "backend": backend,
+            "wall_s": wall,
+            "speedup": serial_s / wall if wall > 0 else float("inf"),
+        }
+        for backend, wall in (
+            ("serial", serial_s),
+            ("vectorized", vec_s),
+            ("process", proc_s),
+        )
+    ]
+    payload = {
+        "workers": args.workers or (os.cpu_count() or 1),
+        "repeat": args.repeat,
+        "results": records,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    for record in records:
+        print(
+            f"{record['backend']:<11} {record['wall_s'] * 1e3:9.1f} ms  "
+            f"speedup x{record['speedup']:.2f}"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
@@ -558,6 +659,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "profile": _cmd_profile,
     "batch": _cmd_batch,
+    "bench": _cmd_bench,
 }
 
 

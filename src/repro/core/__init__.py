@@ -25,6 +25,7 @@ from repro.core.errors import (
     StateError,
     UnsupportedRecurrenceError,
     ValidationError,
+    WorkerError,
 )
 from repro.core.nnacci import (
     carry_seed,
@@ -63,6 +64,7 @@ __all__ = [
     "StateError",
     "UnsupportedRecurrenceError",
     "ValidationError",
+    "WorkerError",
     "assert_valid",
     "carry_seed",
     "carry_transition_matrix",

@@ -87,6 +87,19 @@ class StateError(ReproError, ValueError):
     """
 
 
+class WorkerError(ReproError):
+    """A multicore worker process died or stalled mid-solve.
+
+    Raised by the sharded process backend (:mod:`repro.parallel`) when
+    a pool worker exits abnormally (killed, OOM, segfault — surfacing
+    as a broken process pool) or fails to return within the configured
+    timeout.  The shared-memory work buffer may hold a half-corrected
+    state at that point, so the backend never returns partial output;
+    :class:`~repro.resilience.ResilientSolver` reacts by degrading to
+    the single-process path.
+    """
+
+
 class ValidationError(ReproError):
     """A computed result did not match the serial reference."""
 

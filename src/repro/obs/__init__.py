@@ -39,6 +39,7 @@ from repro.obs.tracer import (
     TracePid,
     Tracer,
     coerce_tracer,
+    merge_worker_events,
 )
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "chrome_trace",
     "coerce_tracer",
     "global_metrics",
+    "merge_worker_events",
     "metrics_json",
     "profile_simulation",
     "reset_global_metrics",

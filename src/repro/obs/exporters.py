@@ -50,7 +50,7 @@ def chrome_trace(tracer: Tracer | NullTracer, *, time_unit: str = "us") -> dict:
                 "ts": 0,
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": TracePid.NAMES.get(pid, f"pid{pid}")},
+                "args": {"name": TracePid.name(pid)},
             }
         )
     return {

@@ -149,23 +149,37 @@ def build_profile(
 ) -> PipelineProfile:
     """Derive a :class:`PipelineProfile` from trace events.
 
-    Consumes three event shapes (see ``docs/observability.md``):
+    Consumes four event shapes (see ``docs/observability.md``):
     ``lookback`` instants with ``args={chunk, base, distance}``,
-    ``spin`` instants (one per busy-wait scheduler step, tid = chunk),
-    and ``chunk`` complete-spans (block lifecycle, tid = chunk).
-    A chunk that ran twice (abort/restart) counts its *last* look-back
-    resolution, matching what actually fed the published carries.
+    ``lookback_summary`` instants with ``args={first_chunk, chunks,
+    distance}`` (one record standing for a run of sequential chunk
+    resolutions — what :func:`repro.plr.phase2.phase2` emits above its
+    chunk-count threshold), ``spin`` instants (one per busy-wait
+    scheduler step, tid = chunk), and ``chunk`` complete-spans (block
+    lifecycle, tid = chunk).  A chunk that ran twice (abort/restart)
+    counts its *last* look-back resolution, matching what actually fed
+    the published carries.
     """
     lookback_of: dict[int, tuple[int, int]] = {}  # chunk -> (base, distance)
     histogram: dict[int, int] = {}
     stalls: dict[int, int] = {}
     spans: dict[int, tuple[float, float]] = {}
+    summary_critical = 0
     for event in events:
         if event.name == "lookback" and event.args:
             chunk = int(event.args["chunk"])
             lookback_of[chunk] = (
                 int(event.args["base"]),
                 int(event.args["distance"]),
+            )
+        elif event.name == "lookback_summary" and event.args:
+            count = int(event.args["chunks"])
+            distance = int(event.args["distance"])
+            histogram[distance] = histogram.get(distance, 0) + count
+            # A summarized run is a serial spine: `count` sequential
+            # resolutions on top of the unconditional first chunk.
+            summary_critical = max(
+                summary_critical, int(event.args["first_chunk"]) + count
             )
         elif event.name == "spin":
             stalls[event.tid] = stalls.get(event.tid, 0) + 1
@@ -189,7 +203,10 @@ def build_profile(
         depth[chunk] = value
         return value
 
-    critical = max((depth_of(c) for c in lookback_of), default=1 if num_chunks else 0)
+    critical = max(
+        (depth_of(c) for c in lookback_of), default=1 if num_chunks else 0
+    )
+    critical = max(critical, summary_critical)
 
     return PipelineProfile(
         signature=signature,

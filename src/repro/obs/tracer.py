@@ -41,6 +41,7 @@ __all__ = [
     "TracePid",
     "Tracer",
     "coerce_tracer",
+    "merge_worker_events",
 ]
 
 
@@ -50,8 +51,23 @@ class TracePid:
     HOST = 0  # numpy solver, resilience chain, eval harness
     SIM = 1  # the event-ordered GPU simulator
     SCHED = 2  # the grid scheduler itself
+    WORKER_BASE = 100  # multicore pool worker i maps to pid WORKER_BASE + i
 
     NAMES = {HOST: "host", SIM: "gpusim", SCHED: "scheduler"}
+
+    @classmethod
+    def worker(cls, index: int) -> int:
+        """The pid row for multicore pool worker ``index`` (>= 0)."""
+        if index < 0:
+            raise ValueError(f"worker index must be >= 0, got {index}")
+        return cls.WORKER_BASE + index
+
+    @classmethod
+    def name(cls, pid: int) -> str:
+        """Human-readable name for a pid row (``worker-N`` for workers)."""
+        if pid >= cls.WORKER_BASE:
+            return f"worker-{pid - cls.WORKER_BASE}"
+        return cls.NAMES.get(pid, f"pid{pid}")
 
 
 @dataclass(frozen=True)
@@ -334,6 +350,39 @@ class NullTracer:
 
 NULL_TRACER = NullTracer()
 """The shared disabled tracer; the default everywhere."""
+
+
+def merge_worker_events(
+    tracer: "Tracer | NullTracer",
+    worker_index: int,
+    events,
+) -> None:
+    """Fold a worker-local event buffer into the host tracer.
+
+    Pool workers trace into their own fresh :class:`Tracer` (event lists
+    cannot be shared across processes) and ship the events back with
+    their result; the host re-appends them here with the pid remapped to
+    the worker's row (:meth:`TracePid.worker`), so one Chrome trace
+    shows the host spine plus one process lane per worker.  Worker
+    clocks are fresh per task, so their timestamps are task-relative —
+    fine for intra-worker ordering, which is what the lanes show.
+    """
+    if not tracer.enabled:
+        return
+    pid = TracePid.worker(worker_index)
+    for event in events:
+        tracer._append(
+            TraceEvent(
+                name=event.name,
+                ph=event.ph,
+                ts=event.ts,
+                dur=event.dur,
+                cat=event.cat,
+                pid=pid,
+                tid=event.tid,
+                args=event.args,
+            )
+        )
 
 
 def coerce_tracer(value) -> Tracer | NullTracer:

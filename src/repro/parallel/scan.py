@@ -1,0 +1,92 @@
+"""Log-depth scan over affine carry maps (the grid level of the hierarchy).
+
+The Phase 2 carry recursion ``G_c = L_c + M @ G_{c-1}`` is an affine map
+applied once per chunk.  A *slab* of s consecutive chunks therefore maps
+its entering carries to its exit carries through the composition of s
+affine maps, which is itself affine:
+
+    G_exit = A @ G_in + b,   with A = M^s
+
+and ``b`` the exit carries of the slab solved from zero history (what a
+worker computes anyway).  Affine maps compose associatively —
+
+    (A2, b2) ∘ (A1, b1) = (A2 @ A1, A2 @ b1 + b2)
+
+— so the per-slab summaries admit an exclusive Blelloch scan: up-sweep
+builds a reduction tree, down-sweep distributes prefixes, total depth
+2·log2(S) for S slabs instead of the serial S-step spine.  The prefix at
+slab s is the affine map of *everything before it*; applied to the zero
+initial history, its ``b`` component is exactly the carries entering
+slab s.
+
+Exactness: integer dtypes use wraparound arithmetic (a ring), where
+reassociation changes nothing — the scanned result is bit-identical to
+the serial spine.  Float dtypes reassociate sums and round differently
+at slab boundaries, within the usual tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["affine_identity", "affine_compose", "exclusive_affine_scan"]
+
+
+def affine_identity(k: int, dtype: np.dtype) -> tuple[np.ndarray, np.ndarray]:
+    """The neutral affine map (I, 0) for k-vector carries."""
+    return np.eye(k, dtype=dtype), np.zeros(k, dtype=dtype)
+
+
+def affine_compose(
+    first: tuple[np.ndarray, np.ndarray],
+    second: tuple[np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply ``first`` then ``second``: the map ``x -> A2(A1 x + b1) + b2``."""
+    a1, b1 = first
+    a2, b2 = second
+    return a2 @ a1, a2 @ b1 + b2
+
+
+def exclusive_affine_scan(
+    summaries: list[tuple[np.ndarray, np.ndarray]],
+    k: int,
+    dtype: np.dtype,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Blelloch exclusive scan of affine maps; result[i] composes [0, i).
+
+    ``result[0]`` is the identity, ``result[i]`` the composition
+    ``summaries[i-1] ∘ ... ∘ summaries[0]``.  Classic two-pass tree:
+    pad to a power of two with identities, up-sweep reduces pairs,
+    down-sweep swaps-and-composes back down — O(S) work, O(log S)
+    depth, mirroring the GPU scan this backend models on the host.
+    """
+    count = len(summaries)
+    if count == 0:
+        return []
+    size = 1
+    while size < count:
+        size *= 2
+    tree = list(summaries) + [
+        affine_identity(k, dtype) for _ in range(size - count)
+    ]
+    # Up-sweep: tree[i + 2d - 1] <- tree[i + d - 1] ∘-then tree[i + 2d - 1]
+    depth = 1
+    while depth < size:
+        for i in range(0, size, 2 * depth):
+            left = tree[i + depth - 1]
+            right = tree[i + 2 * depth - 1]
+            tree[i + 2 * depth - 1] = affine_compose(left, right)
+        depth *= 2
+    # Down-sweep: the root becomes the identity, then each node passes
+    # its prefix to the left child and prefix-then-left-reduction to the
+    # right child (maps compose in slab order; matrices don't commute).
+    tree[size - 1] = affine_identity(k, dtype)
+    depth = size // 2
+    while depth >= 1:
+        for i in range(0, size, 2 * depth):
+            left = tree[i + depth - 1]
+            prefix = tree[i + 2 * depth - 1]
+            tree[i + depth - 1] = prefix
+            tree[i + 2 * depth - 1] = affine_compose(prefix, left)
+        depth //= 2
+    return tree[:count]

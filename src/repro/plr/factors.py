@@ -20,7 +20,7 @@ The table also answers the structural questions the PLR optimizer asks
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 
 import numpy as np
@@ -64,6 +64,8 @@ class CorrectionFactorTable:
     contains) values beyond the dtype's finite range.  Integer tables
     never set this: they wrap around like the 32-bit CUDA arithmetic
     they model."""
+    _width_rows: dict = field(default_factory=dict, repr=False, compare=False)
+    """Memoized per-width factor prefixes; see :meth:`rows_for_width`."""
 
     @classmethod
     def build(
@@ -147,6 +149,23 @@ class CorrectionFactorTable:
     def row(self, carry_index: int) -> np.ndarray:
         """The factor list for carry ``w[m-1-carry_index]``."""
         return self.factors[carry_index]
+
+    def rows_for_width(self, width: int) -> tuple[np.ndarray, ...]:
+        """The factor prefixes ``factors[j, :width]`` for every carry
+        that exists at this merge width (j < min(k, width)).
+
+        Phase 1's doubling levels consume exactly these prefixes once
+        per level; memoizing them here means ``merge_level`` re-slices
+        nothing on the hot path — repeated solves under one table reuse
+        the same read-only views.
+        """
+        rows = self._width_rows.get(width)
+        if rows is None:
+            rows = tuple(
+                self.factors[j, :width] for j in range(min(self.order, width))
+            )
+            self._width_rows[width] = rows
+        return rows
 
     # ------------------------------------------------------------------
     # Structural analyses feeding the Section 3.1 optimizations

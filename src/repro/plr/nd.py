@@ -51,6 +51,8 @@ def solve_batch(
     dtype: np.dtype | None = None,
     plan: ExecutionPlan | None = None,
     tracer=NULL_TRACER,
+    backend: str = "single",
+    shard_options=None,
 ) -> np.ndarray:
     """Compute the recurrence independently over every row of ``values``.
 
@@ -64,7 +66,16 @@ def solve_batch(
     ``plan`` overrides the paper's planner (the batch engine passes the
     plan it grouped requests under); ``tracer`` threads an optional
     :class:`~repro.obs.tracer.Tracer` into the phase kernels.
+
+    ``backend="process"`` shards the *batch axis* across a multicore
+    pool (:func:`repro.parallel.solve_batch_sharded`): rows are
+    independent, so each worker completes its rows end to end with no
+    carry exchange; ``shard_options`` tunes the pool.
     """
+    if backend not in ("single", "process"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'single' or 'process'"
+        )
     recurrence = _as_recurrence(recurrence)
     values = np.asarray(values)
     if values.ndim != 2:
@@ -105,10 +116,20 @@ def solve_batch(
 
     table = cached_factor_table(recurrence.recursive_signature, m, dtype)
 
+    if backend == "process":
+        from repro.parallel.backend import solve_batch_sharded
+
+        corrected = solve_batch_sharded(
+            padded, table, plan.values_per_thread, options=shard_options, tracer=tracer
+        )
+        return corrected.reshape(rows, chunks * m)[:, :n]
+
     # Phase 1 treats every (row, chunk) pair as an independent chunk;
     # Phase 2 runs its carry spine once, vectorized across all rows.
+    # `padded` is a fresh local buffer, so Phase 2 corrects the Phase 1
+    # result in place — no second (rows * chunks, m) allocation.
     partial = phase1(padded, table, plan.values_per_thread, tracer=tracer)
-    corrected = phase2(partial, table, tracer=tracer)
+    corrected = phase2(partial, table, tracer=tracer, out=partial)
     return corrected.reshape(rows, chunks * m)[:, :n]
 
 

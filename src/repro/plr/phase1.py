@@ -33,6 +33,7 @@ __all__ = [
     "thread_local_solve",
     "merge_level",
     "phase1",
+    "phase1_inplace",
     "doubling_widths",
     "check_integer_coefficients",
 ]
@@ -67,17 +68,24 @@ def thread_local_solve(
     ``chunks`` has shape (num_threads, x); column i receives
     ``sum_j b_j * column[i-j]`` for the in-chunk history only.  The loop
     runs over x (small: <= 11) and k, vectorized over all threads.
+
+    The inner accumulation reuses one preallocated scratch column via
+    ``np.multiply(..., out=)`` instead of building a fresh
+    ``coeff * column`` array per (i, j) step — same values in the same
+    order (bit-identical; pinned by the Phase 1 invariant tests), but
+    no temporary churn in the hottest loop of the thread-local stage.
     """
     k = len(feedback)
     if np.issubdtype(chunks.dtype, np.integer):
         coeffs = [np.asarray(b, dtype=chunks.dtype) for b in feedback]
     else:
         coeffs = [chunks.dtype.type(b) for b in feedback]
+    scratch = np.empty(chunks.shape[0], dtype=chunks.dtype)
     for i in range(1, x):
-        acc = chunks[:, i]
+        column = chunks[:, i]
         for j in range(1, min(i, k) + 1):
-            acc = acc + coeffs[j - 1] * chunks[:, i - j]
-        chunks[:, i] = acc
+            np.multiply(chunks[:, i - j], coeffs[j - 1], out=scratch)
+            column += scratch
 
 
 def merge_level(
@@ -88,14 +96,14 @@ def merge_level(
     ``pairs`` has shape (num_pairs, 2*width).  For each carry j that
     actually exists at this width (the paper's term-suppression
     optimization: carry w[width-1-j] only exists when j < width), the
-    second half gets ``factors[j][:width] * carry_j`` added.
+    second half gets ``factors[j][:width] * carry_j`` added.  The
+    per-width factor prefixes come pre-sliced from
+    :meth:`~repro.plr.factors.CorrectionFactorTable.rows_for_width`.
     """
-    k = table.order
-    factors = table.factors
     second = pairs[:, width:]
-    for j in range(min(k, width)):
+    for j, factor_row in enumerate(table.rows_for_width(width)):
         carry = pairs[:, width - 1 - j]
-        second += factors[j, :width][None, :] * carry[:, None]
+        second += factor_row * carry[:, None]
 
 
 def doubling_widths(x: int, chunk_size: int) -> list[int]:
@@ -114,6 +122,51 @@ def doubling_widths(x: int, chunk_size: int) -> list[int]:
             f"chunk size {chunk_size} is not x={x} times a power of two"
         )
     return widths
+
+
+def phase1_inplace(
+    work: np.ndarray,
+    table: CorrectionFactorTable,
+    x: int,
+    tracer=NULL_TRACER,
+) -> None:
+    """Run Phase 1 over a ``(num_chunks, m)`` chunk matrix, in place.
+
+    The zero-copy core shared by :func:`phase1` (which copies first to
+    keep its input pristine) and the multicore backend
+    (:mod:`repro.parallel`), whose workers call this directly on their
+    shared-memory slab views — each chunk row is independent, so any
+    contiguous row range is a valid unit of work.  ``work`` must be a
+    C-contiguous 2D buffer whose row length equals the table's chunk
+    size; it is overwritten with the locally correct partial result.
+    """
+    m = table.chunk_size
+    if work.ndim != 2 or work.shape[1] != m:
+        raise ValueError(
+            f"expected a (num_chunks, {m}) chunk matrix, got shape {work.shape}"
+        )
+    feedback = [
+        b if isinstance(b, int) else float(b) for b in table.signature.feedback
+    ]
+    num_chunks = work.shape[0]
+
+    if x > 1:
+        thread_view = work.reshape(num_chunks * (m // x), x)
+        with tracer.span(
+            "thread_local_solve", cat="phase1", args={"x": x} if tracer.enabled else None
+        ):
+            thread_local_solve(thread_view, feedback, x)
+
+    for width in doubling_widths(x, m):
+        pairs = num_chunks * (m // (2 * width))
+        pair_view = work.reshape(pairs, 2 * width)
+        if tracer.enabled:
+            with tracer.span(
+                "merge_level", cat="phase1", args={"width": width, "pairs": pairs}
+            ):
+                merge_level(pair_view, table, width)
+        else:
+            merge_level(pair_view, table, width)
 
 
 def phase1(
@@ -149,30 +202,9 @@ def phase1(
             f"padded length {padded.shape[-1]} is not a multiple of m={m}"
         )
     check_integer_coefficients(table.signature.feedback, padded.dtype)
-    feedback = [
-        b if isinstance(b, int) else float(b) for b in table.signature.feedback
-    ]
     batched = padded.ndim == 2
     work = padded.reshape(-1, m).copy()
-    num_chunks = work.shape[0]
-
-    if x > 1:
-        thread_view = work.reshape(num_chunks * (m // x), x)
-        with tracer.span(
-            "thread_local_solve", cat="phase1", args={"x": x} if tracer.enabled else None
-        ):
-            thread_local_solve(thread_view, feedback, x)
-
-    for width in doubling_widths(x, m):
-        pairs = num_chunks * (m // (2 * width))
-        pair_view = work.reshape(pairs, 2 * width)
-        if tracer.enabled:
-            with tracer.span(
-                "merge_level", cat="phase1", args={"width": width, "pairs": pairs}
-            ):
-                merge_level(pair_view, table, width)
-        else:
-            merge_level(pair_view, table, width)
+    phase1_inplace(work, table, x, tracer=tracer)
     if batched:
         return work.reshape(padded.shape[0], -1, m)
     return work

@@ -33,9 +33,20 @@ __all__ = [
     "local_carries",
     "propagate_carries",
     "lookback_combine",
+    "add_carry_products",
     "apply_global_correction",
     "phase2",
+    "LOOKBACK_SUMMARY_THRESHOLD",
 ]
+
+LOOKBACK_SUMMARY_THRESHOLD = 64
+"""Chunk count above which the traced sequential spine emits one
+``lookback_summary`` instant instead of a per-chunk ``lookback`` loop.
+
+Per-chunk instants are the right shape for small runs (one timeline row
+per chunk in the trace viewer) but O(num_chunks) Python work for large
+ones, where only the aggregate distribution matters;
+:func:`repro.obs.profile.build_profile` consumes both forms."""
 
 
 def transition_matrix(table: CorrectionFactorTable) -> np.ndarray:
@@ -68,13 +79,20 @@ def local_carries(partial: np.ndarray, order: int) -> np.ndarray:
     return partial[..., m - order : m][..., ::-1]
 
 
-def propagate_carries(locals_: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+def propagate_carries(
+    locals_: np.ndarray, matrix: np.ndarray, base: np.ndarray | None = None
+) -> np.ndarray:
     """Sequentially compute global carries for every chunk.
 
     ``G_0 = L_0`` (nothing precedes the first chunk) and
     ``G_c = L_c + M @ G_{c-1}``.  This is the serial spine of Phase 2 —
     O(num_chunks * k^2) work, tiny next to the O(n k) element
     correction.
+
+    ``base`` supplies the global carries *entering* the first chunk
+    (``G_0 = L_0 + M @ base``) — the multicore backend propagates each
+    slab from its scan-computed base this way.  ``base=None`` is the
+    zero-history case and matches the historical behaviour bit for bit.
 
     ``locals_`` may carry leading batch axes before (num_chunks, k);
     the spine then walks the chunk axis once while every batch row's
@@ -84,12 +102,19 @@ def propagate_carries(locals_: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     out = np.empty_like(locals_)
     if num_chunks == 0:
         return out
-    out[..., 0, :] = locals_[..., 0, :]
     if locals_.ndim == 2:
+        if base is None:
+            out[0] = locals_[0]
+        else:
+            out[0] = locals_[0] + matrix @ base
         for c in range(1, num_chunks):
             out[c] = locals_[c] + matrix @ out[c - 1]
         return out
     transposed = matrix.T
+    if base is None:
+        out[..., 0, :] = locals_[..., 0, :]
+    else:
+        out[..., 0, :] = locals_[..., 0, :] + np.asarray(base) @ transposed
     for c in range(1, num_chunks):
         out[..., c, :] = locals_[..., c, :] + out[..., c - 1, :] @ transposed
     return out
@@ -114,31 +139,82 @@ def lookback_combine(
     return carries
 
 
+_CORRECTION_BLOCK_BYTES = 1 << 20
+"""Scratch budget for the blocked carry-product matmul.
+
+Bounds the temporary :func:`add_carry_products` allocates to ~1 MiB no
+matter how large the partial result is, so the in-place correction path
+never re-creates the second ``(chunks, m)`` array it exists to avoid
+(pinned by the tracemalloc regression test)."""
+
+
+def add_carry_products(
+    target: np.ndarray, prev: np.ndarray, factors: np.ndarray
+) -> None:
+    """Accumulate ``target[..., c, :] += prev[..., c, :] @ factors`` in place.
+
+    ``target`` is a (..., C, m) block of chunk rows, ``prev`` the
+    (..., C, k) carries feeding them, and ``factors`` the k-by-m table —
+    one matmul fuses the k-carry correction loop.  Work is blocked along
+    the chunk axis so the matmul scratch stays under
+    :data:`_CORRECTION_BLOCK_BYTES` instead of materializing a full
+    (..., C, m) product.  For k = 1 and for integer dtypes the result is
+    bit-identical to the per-carry loop (one product per element, and
+    wraparound integer arithmetic is exact); float k > 1 sums the carry
+    terms in matmul order, within normal rounding of the loop order.
+    """
+    num_rows = target.shape[-2]
+    if num_rows == 0:
+        return
+    m = target.shape[-1]
+    leading = int(np.prod(target.shape[:-2], dtype=np.int64))
+    row_bytes = max(1, leading * m * target.dtype.itemsize)
+    block = max(1, _CORRECTION_BLOCK_BYTES // row_bytes)
+    scratch = np.empty(
+        target.shape[:-2] + (min(block, num_rows), m), dtype=target.dtype
+    )
+    for start in range(0, num_rows, block):
+        stop = min(start + block, num_rows)
+        view = scratch[..., : stop - start, :]
+        np.matmul(prev[..., start:stop, :], factors, out=view)
+        target[..., start:stop, :] += view
+
+
 def apply_global_correction(
     partial: np.ndarray,
     global_carries: np.ndarray,
     table: CorrectionFactorTable,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Correct every chunk with its predecessor's global carries.
 
     ``partial`` is the (num_chunks, m) Phase 1 output — optionally with
     leading batch axes — and chunk 0 is already globally correct.
-    Vectorized across chunks (and batch rows): for carry j, chunk c
-    (c >= 1) gains ``factors[j] * G_{c-1}[j]``.
+    Vectorized across chunks (and batch rows): chunk c (c >= 1) gains
+    ``sum_j factors[j] * G_{c-1}[j]``, computed as one blocked matmul
+    over the carry axis (:func:`add_carry_products`).
+
+    ``out=None`` copies first (the historical behaviour, input left
+    pristine); ``out=partial`` corrects the Phase 1 buffer in place with
+    no second (chunks, m) allocation; any other ``out`` receives a copy
+    of ``partial`` before correction.
     """
-    out = partial.copy()
+    if out is None:
+        out = partial.copy()
+    elif out is not partial:
+        np.copyto(out, partial)
     if out.shape[-2] <= 1:
         return out
-    k = table.order
-    factors = table.factors
     prev = global_carries[..., :-1, :]  # carries feeding chunks 1..end
-    for j in range(k):
-        out[..., 1:, :] += factors[j] * prev[..., j][..., None]
+    add_carry_products(out[..., 1:, :], prev, table.factors)
     return out
 
 
 def phase2(
-    partial: np.ndarray, table: CorrectionFactorTable, tracer=NULL_TRACER
+    partial: np.ndarray,
+    table: CorrectionFactorTable,
+    tracer=NULL_TRACER,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Run Phase 2 over the Phase 1 partial result; returns (chunks, m).
 
@@ -152,26 +228,47 @@ def phase2(
     the chunk axis once for all B rows and the correction broadcasts
     over the batch, returning ``(B, chunks, m)``.
 
+    ``out`` is forwarded to :func:`apply_global_correction`;
+    ``out=partial`` corrects the Phase 1 buffer in place (the local
+    carries are read into the (chunks, k) spine before any element is
+    touched, so self-correction is safe).
+
     With an enabled ``tracer``, the carry-propagation and correction
-    stages emit spans, and every chunk c >= 1 emits one ``lookback``
-    instant (cat ``phase2``, tid = chunk id, args chunk/base/distance).
-    The spine is sequential here, so the distance is always 1 — the
+    stages emit spans.  For runs up to :data:`LOOKBACK_SUMMARY_THRESHOLD`
+    corrected chunks, every chunk c >= 1 emits one ``lookback`` instant
+    (cat ``phase2``, tid = chunk id, args chunk/base/distance); larger
+    runs emit a single ``lookback_summary`` instant carrying the chunk
+    count instead, keeping the traced hot path O(1) in Python.  The
+    spine is sequential here, so the distance is always 1 — the
     decoupled variable-look-back distances come from the GPU
-    simulator's traces; the shared event name lets one profile reader
+    simulator's traces; the shared event names let one profile reader
     consume both.
     """
     matrix = transition_matrix(table)
     locals_ = local_carries(partial, table.order)
+    # Materialize the carries before any in-place correction: `locals_`
+    # is a view into `partial`, which `out=partial` will overwrite.
+    if out is partial:
+        locals_ = np.ascontiguousarray(locals_)
     with tracer.span("propagate_carries", cat="phase2"):
         global_ = propagate_carries(locals_, matrix)
     if tracer.enabled:
-        for c in range(1, partial.shape[-2]):
+        corrected = partial.shape[-2] - 1
+        if corrected > LOOKBACK_SUMMARY_THRESHOLD:
             tracer.instant(
-                "lookback",
+                "lookback_summary",
                 cat="phase2",
                 pid=TracePid.HOST,
-                tid=c,
-                args={"chunk": c, "base": c - 1, "distance": 1},
+                args={"first_chunk": 1, "chunks": corrected, "distance": 1},
             )
+        else:
+            for c in range(1, partial.shape[-2]):
+                tracer.instant(
+                    "lookback",
+                    cat="phase2",
+                    pid=TracePid.HOST,
+                    tid=c,
+                    args={"chunk": c, "base": c - 1, "distance": 1},
+                )
     with tracer.span("apply_global_correction", cat="phase2"):
-        return apply_global_correction(partial, global_, table)
+        return apply_global_correction(partial, global_, table, out=out)

@@ -31,6 +31,7 @@ from repro.obs.metrics import global_metrics
 from repro.obs.tracer import coerce_tracer
 from repro.plr.factors import CorrectionFactorTable
 from repro.plr.optimizer import FactorPlan, OptimizationConfig, optimize_factors
+from repro.parallel.sharding import ShardOptions
 from repro.plr.phase1 import check_integer_coefficients, phase1
 from repro.plr.phase2 import phase2
 from repro.plr.planner import ExecutionPlan, plan_execution
@@ -59,13 +60,16 @@ class SolveArtifacts:
         The optimizer's realization decisions.
     partial:
         The Phase 1 output (locally correct chunks), shape
-        (num_chunks, m).
+        (num_chunks, m).  ``None`` for the process backend, whose
+        workers correct their shared-memory slabs in place — there is
+        no moment at which an intact full Phase 1 result exists on the
+        host.
     """
 
     plan: ExecutionPlan
     table: CorrectionFactorTable
     factor_plan: FactorPlan
-    partial: np.ndarray
+    partial: np.ndarray | None
 
 
 # Factor tables are pure functions of (signature, m, dtype); building
@@ -170,7 +174,20 @@ class PLRSolver:
         table lookup, Phase 1 (per merge level), and Phase 2 (per-chunk
         ``lookback`` events).  Tracing never changes the arithmetic —
         outputs are bit-identical with it on or off.
+    backend:
+        ``"single"`` (default) computes in this process;
+        ``"process"`` shards chunks across a multicore pool with a
+        log-depth carry scan (:mod:`repro.parallel`).  Process-backend
+        results are bit-identical for integer dtypes and within normal
+        rounding for floats (sums reassociate at slab boundaries).
+    workers / shard_options:
+        Process-backend tuning: ``workers`` is shorthand for
+        ``ShardOptions(workers=...)``; pass a full
+        :class:`~repro.parallel.ShardOptions` to also set the stage
+        timeout.  Both are ignored by the single backend.
     """
+
+    BACKENDS = ("single", "process")
 
     def __init__(
         self,
@@ -178,15 +195,28 @@ class PLRSolver:
         machine: MachineSpec | None = None,
         optimization: OptimizationConfig | None = None,
         tracer=None,
+        backend: str = "single",
+        workers: int | None = None,
+        shard_options: ShardOptions | None = None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
         elif isinstance(recurrence, Signature):
             recurrence = Recurrence(recurrence)
+        if backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
         self.recurrence = recurrence
         self.machine = machine or MachineSpec.titan_x()
         self.optimization = optimization or OptimizationConfig()
         self.tracer = coerce_tracer(tracer)
+        self.backend = backend
+        self.shard_options = (
+            shard_options
+            if shard_options is not None
+            else ShardOptions(workers=workers)
+        )
 
     # ------------------------------------------------------------------
     def plan_for(self, n: int) -> ExecutionPlan:
@@ -211,7 +241,7 @@ class PLRSolver:
         methodology (int32 for integer signatures on integer data,
         float32 otherwise) unless overridden.
         """
-        return self.solve_with_artifacts(values, plan=plan, dtype=dtype)[0]
+        return self._solve(values, plan, dtype, keep_partial=False)[0]
 
     def solve_with_artifacts(
         self,
@@ -219,7 +249,21 @@ class PLRSolver:
         plan: ExecutionPlan | None = None,
         dtype: np.dtype | None = None,
     ) -> tuple[np.ndarray, SolveArtifacts]:
-        """Like :meth:`solve` but also returns the intermediate state."""
+        """Like :meth:`solve` but also returns the intermediate state.
+
+        Keeping ``artifacts.partial`` valid requires Phase 2 to correct
+        a copy rather than the Phase 1 buffer, so this entry point pays
+        one extra (num_chunks, m) allocation that :meth:`solve` avoids.
+        """
+        return self._solve(values, plan, dtype, keep_partial=True)
+
+    def _solve(
+        self,
+        values: np.ndarray,
+        plan: ExecutionPlan | None,
+        dtype: np.dtype | None,
+        keep_partial: bool,
+    ) -> tuple[np.ndarray, SolveArtifacts]:
         tracer = self.tracer
         values = np.asarray(values)
         if values.ndim != 1:
@@ -259,14 +303,40 @@ class PLRSolver:
             table = self.factor_table(plan, dtype)
         factor_plan = optimize_factors(table, self.optimization)
 
-        with tracer.span(
-            "phase1",
-            cat="solver",
-            args={"chunks": padded_n // plan.chunk_size} if tracer.enabled else None,
-        ):
-            partial = phase1(padded, table, plan.values_per_thread, tracer=tracer)
-        with tracer.span("phase2", cat="solver"):
-            corrected = phase2(partial, table, tracer=tracer)
+        partial: np.ndarray | None
+        if self.backend == "process":
+            from repro.parallel.backend import solve_sharded
+
+            with tracer.span(
+                "solve_sharded",
+                cat="solver",
+                args={"chunks": padded_n // plan.chunk_size} if tracer.enabled else None,
+            ):
+                corrected = solve_sharded(
+                    padded,
+                    table,
+                    plan.values_per_thread,
+                    options=self.shard_options,
+                    tracer=tracer,
+                )
+            # Workers corrected their shared slabs in place; no host-side
+            # Phase 1 snapshot exists to expose.
+            partial = None
+        else:
+            with tracer.span(
+                "phase1",
+                cat="solver",
+                args={"chunks": padded_n // plan.chunk_size} if tracer.enabled else None,
+            ):
+                partial = phase1(padded, table, plan.values_per_thread, tracer=tracer)
+            with tracer.span("phase2", cat="solver"):
+                # Correct the Phase 1 buffer in place unless the caller
+                # asked for the pristine partial result.
+                corrected = phase2(
+                    partial, table, tracer=tracer, out=None if keep_partial else partial
+                )
+                if not keep_partial:
+                    partial = None
 
         out = corrected.reshape(-1)[:n]
         artifacts = SolveArtifacts(

@@ -36,6 +36,7 @@ from repro.core.errors import (
     ReproError,
     SimulationError,
     ValidationError,
+    WorkerError,
 )
 from repro.core.recurrence import Recurrence
 from repro.core.reference import resolve_dtype, serial_full
@@ -117,7 +118,7 @@ class AttemptRecord:
     dtype: str
     chunk_size: int | None
     seed: int | None
-    outcome: str  # "ok" | "numerical" | "simulation" | "deadlock" | "corrupt"
+    outcome: str  # "ok" | "numerical" | "simulation" | "deadlock" | "corrupt" | "worker"
     detail: str = ""
     elapsed_s: float = 0.0
 
@@ -196,6 +197,13 @@ class ResilientSolver:
         ``resilience``), and threads the tracer into whichever engine
         runs, so one trace shows the whole story: attempt, injected
         fault, stalled blocks, retry, fallback.
+    backend / workers / shard_options:
+        Backend plumbing for the plr engine, as on
+        :class:`~repro.plr.solver.PLRSolver`.  With
+        ``backend="process"`` a dead or stuck pool worker surfaces as a
+        typed :class:`~repro.core.errors.WorkerError` and the chain
+        degrades to the single-process path — the multicore level is an
+        accelerator, never a correctness dependency.
     """
 
     def __init__(
@@ -209,6 +217,9 @@ class ResilientSolver:
         chunk_size: int | None = None,
         deadlock_rounds: int = 200,
         tracer=None,
+        backend: str = "single",
+        workers: int | None = None,
+        shard_options=None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
@@ -216,6 +227,11 @@ class ResilientSolver:
             recurrence = Recurrence(recurrence)
         if engine not in ("plr", "sim"):
             raise ValueError(f"engine must be plr|sim, got {engine!r}")
+        if backend != "single" and engine == "sim":
+            raise ValueError(
+                "backend='process' applies to the plr engine only; the "
+                "simulator models its own parallelism"
+            )
         self.recurrence = recurrence
         self.engine = engine
         self.machine = machine or (
@@ -232,6 +248,9 @@ class ResilientSolver:
             recurrence,
             machine=self.machine if engine == "plr" else None,
             tracer=self.tracer,
+            backend=backend,
+            workers=workers,
+            shard_options=shard_options,
         )
         self._pending_events: list[FaultEvent] = []
 
@@ -354,6 +373,27 @@ class ResilientSolver:
                     plan = shrunk
                     continue
                 break
+            except WorkerError as exc:
+                last_error = exc
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "worker", str(exc), t0)
+                )
+                self.metrics.counter("resilience.worker_faults").inc()
+                if self._solver.backend == "process":
+                    # A broken pool is not transient within this solve:
+                    # drop to the single-process path and go again
+                    # without consuming a retry — same arithmetic, no
+                    # pool to break.
+                    self._solver = PLRSolver(
+                        self.recurrence,
+                        machine=self.machine if self.engine == "plr" else None,
+                        tracer=self.tracer,
+                    )
+                    self._degrade(
+                        report,
+                        "process backend failed: single-process fallback",
+                    )
+                    continue
             except DeadlockError as exc:
                 last_error = exc
                 report.attempts.append(

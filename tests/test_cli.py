@@ -256,3 +256,40 @@ class TestBatchCommand:
         )
         assert main(["batch", queue]) == 2
         assert "bad request" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_writes_schema_complete_records(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(
+            [
+                "bench",
+                "(1: 1)",
+                "-n",
+                "4096",
+                "--repeat",
+                "1",
+                "--workers",
+                "2",
+                "-o",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "wrote" in printed and "speedup" in printed
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["workers"] == 2 and payload["repeat"] == 1
+        backends = [r["backend"] for r in payload["results"]]
+        assert backends == ["serial", "vectorized", "process"]
+        for record in payload["results"]:
+            assert set(record) == {"op", "n", "dtype", "backend", "wall_s", "speedup"}
+            assert record["n"] == 4096
+            assert record["wall_s"] > 0 and record["speedup"] > 0
+
+    def test_bad_signature_is_clean_error(self, tmp_path, capsys):
+        rc = main(["bench", "(1:", "-n", "64", "-o", str(tmp_path / "x.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
