@@ -31,8 +31,11 @@ from repro.batch import (
 from repro.codegen import PLRCompiler
 from repro.core import (
     FLOAT_TOLERANCE,
+    DeadlineExceeded,
     DeadlockError,
     NumericalError,
+    OverloadError,
+    ProtocolError,
     Recurrence,
     RecurrenceClass,
     ReproError,
@@ -77,6 +80,7 @@ from repro.resilience import (
     SolveReport,
     run_chaos,
 )
+from repro.serve import PLRServer, ServeClient, ServeConfig
 
 __version__ = "1.0.0"
 
@@ -87,6 +91,7 @@ __all__ = [
     "BatchSolver",
     "CorrectionFactorTable",
     "CostModel",
+    "DeadlineExceeded",
     "DeadlockError",
     "ExecutionPlan",
     "FLOAT_TOLERANCE",
@@ -97,14 +102,19 @@ __all__ = [
     "MetricsRegistry",
     "NumericalError",
     "OptimizationConfig",
+    "OverloadError",
     "PLRCompiler",
+    "PLRServer",
     "PLRSolver",
     "PipelineProfile",
+    "ProtocolError",
     "Recurrence",
     "RecurrenceClass",
     "RecurrenceCode",
     "ReproError",
     "ResilientSolver",
+    "ServeClient",
+    "ServeConfig",
     "ShardOptions",
     "Signature",
     "SignatureError",

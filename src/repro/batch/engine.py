@@ -22,11 +22,12 @@ one ``batch_group`` span per grouped pass when traced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from repro.core.errors import ReproError
+from repro.core.errors import DeadlineExceeded, ReproError
 from repro.core.recurrence import Recurrence
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import coerce_tracer
@@ -43,7 +44,9 @@ class RequestOutcome:
     """What one request produced: output or typed error, never both.
 
     ``engine`` records which path served it: ``"batch"`` (the
-    vectorized group pass), ``"empty"`` (zero-length short circuit), or
+    vectorized group pass), ``"empty"`` (zero-length short circuit),
+    ``"shed"`` (expired before its group was solved — a typed
+    :class:`~repro.core.errors.DeadlineExceeded`, no work done), or
     the resilience chain's engine (``"plr"`` / ``"serial"``) when the
     request was isolated.
     """
@@ -58,7 +61,7 @@ class RequestOutcome:
 
     @property
     def isolated(self) -> bool:
-        return self.engine not in ("batch", "empty")
+        return self.engine not in ("batch", "empty", "shed")
 
 
 class BatchEngine:
@@ -79,6 +82,11 @@ class BatchEngine:
     tracer:
         Observability hook shared by the grouped passes and any
         isolated re-runs.
+    clock:
+        Monotonic time source for request deadlines (injectable in
+        tests; :func:`time.monotonic` by default).  Deadlines on
+        :class:`~repro.batch.planner.BatchRequest` are absolute values
+        of this clock.
     """
 
     def __init__(
@@ -88,12 +96,14 @@ class BatchEngine:
         machine: MachineSpec | None = None,
         metrics: MetricsRegistry | None = None,
         tracer=None,
+        clock=time.monotonic,
     ) -> None:
         self.planner = planner or BatchPlanner()
         self.policy = policy or FallbackPolicy()
         self.machine = machine or MachineSpec.titan_x()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = coerce_tracer(tracer)
+        self.clock = clock
 
     # ------------------------------------------------------------------
     def execute(self, requests: list[BatchRequest]) -> list[RequestOutcome]:
@@ -115,7 +125,23 @@ class BatchEngine:
                     engine="empty",
                 )
 
-        groups = self.planner.plan(requests)
+        # Shed requests that expired while queued *before* batch
+        # formation: an expired request must not influence grouping or
+        # bucketing, and its work must never run.
+        for index, request in enumerate(requests):
+            if outcomes[index] is None and self._expired(request):
+                outcomes[index] = self._shed(request, index, "expired in queue")
+
+        pending = [
+            (index, request)
+            for index, request in enumerate(requests)
+            if outcomes[index] is None
+        ]
+        groups = self.planner.plan([request for _, request in pending])
+        for group in groups:
+            # Planner indices address the filtered list; translate them
+            # back to submission-order positions.
+            group.indices = [pending[j][0] for j in group.indices]
         self.metrics.counter("batch.groups").inc(len(groups))
         for group in groups:
             self.metrics.histogram("batch.group_size").observe(group.batch_size)
@@ -126,9 +152,54 @@ class BatchEngine:
         return outcomes
 
     # ------------------------------------------------------------------
+    def _expired(self, request: BatchRequest) -> bool:
+        return request.deadline is not None and self.clock() >= request.deadline
+
+    def _shed(self, request: BatchRequest, index: int, why: str) -> RequestOutcome:
+        """Typed DeadlineExceeded for a request whose budget ran out."""
+        self.metrics.counter("batch.shed_expired").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "shed", cat="batch", args={"index": index, "why": why}
+            )
+        return RequestOutcome(
+            index=index,
+            tag=request.tag,
+            ok=False,
+            output=None,
+            error=DeadlineExceeded(f"request deadline passed: {why}"),
+            engine="shed",
+        )
+
+    # ------------------------------------------------------------------
     def _run_group(
         self, group: BatchGroup, outcomes: list[RequestOutcome | None]
     ) -> None:
+        # Cooperative cancellation checkpoint: requests that expired
+        # between planning and this group's turn are shed now, and the
+        # group shrinks to its live members before any solving happens.
+        expired_rows = [
+            row for row, request in enumerate(group.requests)
+            if self._expired(request)
+        ]
+        if expired_rows:
+            for row in expired_rows:
+                index = group.indices[row]
+                outcomes[index] = self._shed(
+                    group.requests[row], index, "expired awaiting its group"
+                )
+            live = [
+                row for row in range(group.batch_size) if row not in set(expired_rows)
+            ]
+            if not live:
+                return
+            group = BatchGroup(
+                signature=group.signature,
+                dtype=group.dtype,
+                bucket=group.bucket,
+                requests=[group.requests[row] for row in live],
+                indices=[group.indices[row] for row in live],
+            )
         span_args = None
         if self.tracer.enabled:
             span_args = {
@@ -162,6 +233,22 @@ class BatchEngine:
             floating = np.issubdtype(group.dtype, np.floating)
             for row, index in enumerate(group.indices):
                 request = group.requests[row]
+                if self._expired(request):
+                    # The group finished, but this member's deadline
+                    # passed mid-solve; the contract says typed error,
+                    # never a late result.
+                    self.metrics.counter("batch.deadline_missed").inc()
+                    outcomes[index] = RequestOutcome(
+                        index=index,
+                        tag=request.tag,
+                        ok=False,
+                        output=None,
+                        error=DeadlineExceeded(
+                            "request deadline passed while its group was solving"
+                        ),
+                        engine="shed",
+                    )
+                    continue
                 output = stacked[row, : request.n].copy()
                 if floating and not np.isfinite(output).all():
                     outcomes[index] = self._isolate(
@@ -176,6 +263,8 @@ class BatchEngine:
         self, group: BatchGroup, request: BatchRequest, index: int, why: str
     ) -> RequestOutcome:
         """Re-run one request alone through the resilience chain."""
+        if self._expired(request):
+            return self._shed(request, index, "expired before isolation re-run")
         self.metrics.counter("batch.isolated").inc()
         if self.tracer.enabled:
             self.tracer.instant(
@@ -183,11 +272,19 @@ class BatchEngine:
                 cat="batch",
                 args={"index": index, "why": why},
             )
+        policy = self.policy
+        if request.deadline is not None:
+            # Propagate the remaining budget into the degradation chain
+            # so it stops escalating (and jumps to its fallback) instead
+            # of burning time the caller no longer has.
+            remaining = max(request.deadline - self.clock(), 1e-3)
+            if policy.deadline_s is None or remaining < policy.deadline_s:
+                policy = replace(policy, deadline_s=remaining)
         report = solve_request(
             Recurrence(request.signature),
             request.values,
             dtype=group.dtype,
-            policy=self.policy,
+            policy=policy,
             tracer=self.tracer,
         )
         return RequestOutcome(

@@ -61,6 +61,12 @@ class BatchRequest:
     values: np.ndarray
     dtype: np.dtype = None
     tag: object = None
+    deadline: float | None = None
+    """Absolute deadline on the :func:`time.monotonic` clock (or the
+    engine's injected clock).  ``None`` means the request waits forever.
+    The engine sheds an expired request before solving it and replies
+    with a typed :class:`~repro.core.errors.DeadlineExceeded` when the
+    deadline passes mid-solve — a late result is never returned."""
 
     def __post_init__(self) -> None:
         self.signature = _as_signature(self.signature)
@@ -76,6 +82,8 @@ class BatchRequest:
         if self.dtype is None:
             self.dtype = resolve_dtype(self.signature, self.values.dtype)
         self.dtype = np.dtype(self.dtype)
+        if self.deadline is not None:
+            self.deadline = float(self.deadline)
 
     @property
     def n(self) -> int:

@@ -27,11 +27,16 @@ Subcommands:
 * ``plr bench`` — measure the serial reference vs. the vectorized
   solver vs. the multicore process backend and write a
   ``BENCH_parallel.json`` trajectory point.
+* ``plr serve`` — run the long-lived JSONL solve server (adaptive
+  micro-batching, deadlines, admission control, circuit breaker,
+  graceful drain); ``--self-test`` runs a built-in client smoke test
+  against an ephemeral instance and exits.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 import time
 
@@ -121,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="NAME",
         help="restrict to these Table 1 recurrences (repeatable; default: all)",
+    )
+    chaos_p.add_argument(
+        "--mode",
+        choices=("solver", "engine", "server"),
+        default="solver",
+        help="solver: fault plans vs the resilient solver; engine: a mixed "
+        "pathological queue vs the batch engine; server: hostile clients "
+        "vs a live serving instance (slow-loris, malformed frames, worker "
+        "death, deadline storms, overload, disconnects, drain)",
+    )
+    chaos_p.add_argument(
+        "-o", "--output", help="also write the report as JSON here"
     )
 
     sub.add_parser(
@@ -223,10 +240,119 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_parallel.json",
         help="JSON file to write (default: BENCH_parallel.json)",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the JSONL solve server (micro-batching, deadlines, "
+        "admission control, breaker, graceful drain)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=7171, help="TCP port (0 = ephemeral)"
+    )
+    serve_p.add_argument(
+        "--unix", default=None, metavar="PATH", help="serve on a Unix socket instead"
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=256, help="intake queue bound"
+    )
+    serve_p.add_argument(
+        "--max-batch", type=int, default=64, help="requests per grouped flush"
+    )
+    serve_p.add_argument(
+        "--flush-ms", type=float, default=5.0, help="micro-batch window"
+    )
+    serve_p.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to requests that carry none",
+    )
+    serve_p.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive flush failures before the circuit breaker opens",
+    )
+    serve_p.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="how long the open breaker fast-rejects before probing",
+    )
+    serve_p.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the final metrics snapshot here on drain",
+    )
+    serve_p.add_argument(
+        "--self-test",
+        action="store_true",
+        help="start an ephemeral instance, run a client smoke test, exit",
+    )
     return parser
 
 
+def _ensure_writable(path: str, kind: str = "output") -> None:
+    """Fail fast — before any expensive work — if ``path`` can't be written.
+
+    Every file-writing subcommand calls this up front so an unwritable
+    output path is one typed line and exit 2, not a traceback after
+    minutes of solving.
+    """
+    import os
+
+    directory = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(directory):
+        raise ReproError(
+            f"cannot write {kind} {path!r}: "
+            f"directory {directory!r} does not exist"
+        )
+    if not os.access(directory, os.W_OK | os.X_OK):
+        raise ReproError(
+            f"cannot write {kind} {path!r}: directory {directory!r} "
+            "is not writable"
+        )
+    if os.path.isdir(path):
+        raise ReproError(f"cannot write {kind} {path!r}: it is a directory")
+    if os.path.exists(path) and not os.access(path, os.W_OK):
+        raise ReproError(f"cannot write {kind} {path!r}: file is not writable")
+
+
+def _ensure_writable_dir(path: str, kind: str = "output directory") -> None:
+    """Like :func:`_ensure_writable` for a directory the command creates."""
+    import os
+
+    probe = os.path.abspath(path)
+    if os.path.isdir(probe):
+        if not os.access(probe, os.W_OK | os.X_OK):
+            raise ReproError(f"cannot use {kind} {path!r}: not writable")
+        return
+    if os.path.exists(probe):
+        raise ReproError(f"cannot use {kind} {path!r}: not a directory")
+    # Walk up to the nearest existing ancestor; mkdir -p will create the
+    # rest, so that ancestor is where writability is decided.
+    parent = os.path.dirname(probe)
+    while parent and not os.path.isdir(parent):
+        if os.path.exists(parent):
+            raise ReproError(
+                f"cannot create {kind} {path!r}: {parent!r} is not a directory"
+            )
+        next_parent = os.path.dirname(parent)
+        if next_parent == parent:
+            break
+        parent = next_parent
+    if not os.path.isdir(parent) or not os.access(parent, os.W_OK | os.X_OK):
+        raise ReproError(
+            f"cannot create {kind} {path!r}: {parent!r} is not writable"
+        )
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
+    if args.output:
+        _ensure_writable(args.output)
     result = PLRCompiler().compile(args.signature, n=args.n, backend=args.backend)
     if args.output:
         with open(args.output, "w") as handle:
@@ -396,15 +522,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.resilience.chaos import run_chaos
+    import json
 
-    report = run_chaos(
-        cases=args.cases,
-        seed=args.seed,
-        n=args.n,
-        recurrences=args.recurrence,
-    )
+    if args.output:
+        _ensure_writable(args.output)
+    if args.mode == "engine":
+        from repro.resilience.chaos import run_engine_chaos
+
+        report = run_engine_chaos(seed=args.seed, requests=args.cases)
+    elif args.mode == "server":
+        from repro.resilience.chaos import run_server_chaos
+
+        # The server matrix runs several phases per "case"; scale the
+        # per-phase request count down so the default --cases budget
+        # means roughly the same wall time as the solver sweep.
+        report = run_server_chaos(seed=args.seed, requests=max(8, args.cases // 8))
+    else:
+        from repro.resilience.chaos import run_chaos
+
+        report = run_chaos(
+            cases=args.cases,
+            seed=args.seed,
+            n=args.n,
+            recurrences=args.recurrence,
+        )
     print(report.describe())
+    if args.output:
+        payload = {
+            "mode": args.mode,
+            "seed": args.seed,
+            "ok": report.ok,
+            "checks": len(report.outcomes),
+            "counts": report.counts(),
+            "violations": [
+                line.strip()
+                for line in report.describe().splitlines()
+                if "VIOLATION" in line
+            ],
+        }
+        with open(args.output, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"wrote {args.output}")
     return 0 if report.ok else 1
 
 
@@ -419,6 +577,7 @@ def _cmd_calibration(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.eval.export import export_everything
 
+    _ensure_writable_dir(args.outdir)
     written = export_everything(args.outdir, svg=args.svg)
     for path in written:
         print(f"wrote {path}")
@@ -429,6 +588,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.exporters import write_chrome_trace
     from repro.obs.tracer import Tracer
 
+    _ensure_writable(args.output, kind="trace file")
     recurrence = Recurrence.parse(args.signature)
     values = _make_input(recurrence, args.n, args.seed)
     tracer = Tracer()
@@ -463,6 +623,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     )
     from repro.obs.profile import profile_simulation, write_profile_json
 
+    _ensure_writable_dir(args.outdir)
     profile, tracer, metrics, _ = profile_simulation(
         args.signature, args.n, seed=args.seed
     )
@@ -519,6 +680,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     from repro.batch import BatchEngine, BatchPlanner
 
+    if args.output:
+        _ensure_writable(args.output)
     if args.input == "-":
         source, text = "<stdin>", sys.stdin.read()
     else:
@@ -590,6 +753,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     import os
 
+    _ensure_writable(args.output)
     recurrence = Recurrence.parse(args.signature)
     values = _make_input(recurrence, args.n, args.seed)
     dtype = np.dtype(args.dtype) if args.dtype else None
@@ -645,6 +809,145 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace, port: int | None = None):
+    from repro.serve import ServeConfig
+
+    return ServeConfig(
+        host=args.host,
+        port=args.port if port is None else port,
+        unix_path=args.unix,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        flush_ms=args.flush_ms,
+        default_deadline_ms=args.default_deadline_ms,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        metrics_path=args.metrics_out,
+    )
+
+
+async def _serve_self_test(config) -> int:
+    """Smoke-test a live ephemeral server with a real client.
+
+    One pass over the contract: ping, a verified solve, a typed
+    ProtocolError for garbage, a typed DeadlineExceeded for an
+    already-expired deadline, a metrics reply, and a graceful drain.
+    """
+    from repro.serve import PLRServer, ServeClient
+
+    server = PLRServer(config)
+    await server.start()
+    checks: list[tuple[str, bool, str]] = []
+    try:
+        client = await ServeClient.connect(server.address)
+        reply = await client.ping(timeout=10)
+        checks.append(("ping", bool(reply and reply.get("ok")), repr(reply)))
+
+        values = list(range(1, 33))
+        reply = await client.solve("(1: 2, -1)", values, request_id=1, timeout=30)
+        expected = serial_full(
+            np.asarray(values), Recurrence.parse("(1: 2, -1)").signature
+        )
+        checks.append(
+            (
+                "solve (1: 2, -1) n=32",
+                bool(reply and reply.get("ok"))
+                and reply["output"] == expected.tolist(),
+                repr(reply)[:120],
+            )
+        )
+
+        reply = await client.request({"values": [1, 2]}, timeout=10)
+        checks.append(
+            (
+                "malformed frame -> typed ProtocolError",
+                bool(reply) and reply.get("error") == "ProtocolError",
+                repr(reply)[:120],
+            )
+        )
+
+        reply = await client.solve(
+            "(1: 1)", [1, 2, 3], deadline_ms=0, request_id=2, timeout=10
+        )
+        checks.append(
+            (
+                "expired deadline -> typed DeadlineExceeded",
+                bool(reply) and reply.get("error") == "DeadlineExceeded",
+                repr(reply)[:120],
+            )
+        )
+
+        reply = await client.metrics(timeout=10)
+        checks.append(
+            (
+                "metrics reply carries serving stats",
+                bool(reply) and "serving" in reply and "metrics" in reply,
+                repr(reply)[:120],
+            )
+        )
+
+        reply = await client.drain(timeout=10)
+        await asyncio.wait_for(server._drained.wait(), timeout=30)
+        checks.append(
+            (
+                "graceful drain + final snapshot",
+                bool(reply and reply.get("ok"))
+                and server.final_snapshot is not None,
+                repr(reply)[:120],
+            )
+        )
+        await client.close()
+    finally:
+        await server.aclose()
+    failed = 0
+    for name, ok, detail in checks:
+        print(f"  {'ok  ' if ok else 'FAIL'} {name}" + ("" if ok else f": {detail}"))
+        failed += 0 if ok else 1
+    print(
+        f"self-test: {len(checks) - failed}/{len(checks)} checks passed"
+        + ("" if not failed else " — FAILED")
+    )
+    return 1 if failed else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.metrics_out:
+        _ensure_writable(args.metrics_out, kind="metrics snapshot")
+    if args.self_test:
+        # Ephemeral port (or a suffixed Unix path) so a self-test never
+        # collides with a real instance.
+        if args.unix:
+            args.unix = f"{args.unix}.self-test"
+        return asyncio.run(_serve_self_test(_serve_config(args, port=0)))
+
+    async def _main() -> dict:
+        from repro.serve import PLRServer
+
+        server = PLRServer(_serve_config(args))
+        await server.start()
+        address = server.address
+        where = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+        print(
+            f"serving on {where} (JSONL: solve frames + ping/metrics/drain; "
+            "SIGTERM drains gracefully)"
+        )
+        return await server.serve_forever()
+
+    snapshot = asyncio.run(_main())
+    counters = snapshot.get("counters", {})
+    print(
+        "drained: "
+        f"{counters.get('serve.admitted', 0):g} admitted, "
+        f"{counters.get('serve.flushes', 0):g} flushes, "
+        f"{counters.get('serve.shed_overload', 0):g} shed on overload, "
+        f"{counters.get('serve.shed_draining', 0):g} shed draining, "
+        f"{counters.get('serve.protocol_errors', 0):g} protocol errors"
+    )
+    if args.metrics_out:
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
@@ -660,6 +963,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "batch": _cmd_batch,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
 }
 
 

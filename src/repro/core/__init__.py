@@ -16,9 +16,12 @@ from repro.core.coefficients import (
 from repro.core.errors import (
     BackendError,
     CodegenError,
+    DeadlineExceeded,
     DeadlockError,
     NumericalError,
+    OverloadError,
     PlanError,
+    ProtocolError,
     ReproError,
     SignatureError,
     SimulationError,
@@ -51,9 +54,12 @@ __all__ = [
     "BackendError",
     "Classification",
     "CodegenError",
+    "DeadlineExceeded",
     "DeadlockError",
     "FLOAT_TOLERANCE",
+    "OverloadError",
     "PlanError",
+    "ProtocolError",
     "Recurrence",
     "RecurrenceClass",
     "NumericalError",

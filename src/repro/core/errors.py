@@ -104,6 +104,38 @@ class ValidationError(ReproError):
     """A computed result did not match the serial reference."""
 
 
+class DeadlineExceeded(ReproError):
+    """A request's deadline passed before its result could be delivered.
+
+    Carried by the serving layer's reply (and by
+    :class:`~repro.batch.engine.RequestOutcome`) when a request expires
+    in the intake queue, during batch formation, or while its group was
+    being solved.  A late result is never returned: a caller that set a
+    deadline has, by definition, stopped waiting.
+    """
+
+
+class OverloadError(ReproError):
+    """The server shed a request instead of queueing it.
+
+    Raised (as a typed reply, never a hang) when the bounded intake
+    queue is full, when the server is draining, or when the circuit
+    breaker is open after repeated batch failures.  The request was not
+    executed; retrying after a backoff is safe.
+    """
+
+
+class ProtocolError(ReproError):
+    """A client frame could not be parsed as a request.
+
+    Covers malformed JSON, non-object frames, missing required fields,
+    oversized lines, and invalid field types on the serving layer's
+    JSONL protocol.  The connection survives a malformed frame (the
+    reply carries this error); only an unframeable byte stream — a line
+    exceeding the hard size limit — closes it.
+    """
+
+
 class UnsupportedRecurrenceError(ReproError):
     """A baseline was asked to run a recurrence outside its domain.
 

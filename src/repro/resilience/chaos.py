@@ -37,9 +37,37 @@ __all__ = [
     "ChaosCase",
     "ChaosOutcome",
     "ChaosReport",
+    "EngineChaosOutcome",
+    "EngineChaosReport",
     "random_fault_plan",
     "run_chaos",
+    "run_engine_chaos",
+    # lazily re-exported from repro.serve.chaos:
+    "FaultSchedule",
+    "FaultyEngine",
+    "ServerChaosOutcome",
+    "ServerChaosReport",
+    "run_server_chaos",
 ]
+
+_SERVER_CHAOS_EXPORTS = (
+    "FaultSchedule",
+    "FaultyEngine",
+    "ServerChaosOutcome",
+    "ServerChaosReport",
+    "run_server_chaos",
+)
+
+
+def __getattr__(name: str):
+    # The server-level chaos mode lives with the serving layer but is
+    # reachable from here so "the chaos harness" stays one import; lazy
+    # so importing this module never pulls in asyncio/serve machinery.
+    if name in _SERVER_CHAOS_EXPORTS:
+        from repro.serve import chaos as _server_chaos
+
+        return getattr(_server_chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -292,3 +320,173 @@ def _run_case(
         f"failed without a typed error: {rep.error!r}",
         attempts, rep.degraded, rep.engine, len(rep.fault_events),
     )
+
+
+# ----------------------------------------------------------------------
+# mixed-queue chaos against the batched execution engine
+
+
+@dataclass(frozen=True)
+class EngineChaosOutcome:
+    """How one mixed-queue request fared under the batch engine."""
+
+    kind: str
+    status: str  # "correct" | "typed_error" | "violation"
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "violation"
+
+
+@dataclass
+class EngineChaosReport:
+    """Aggregate result of a :func:`run_engine_chaos` sweep."""
+
+    outcomes: list[EngineChaosOutcome] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[EngineChaosOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for o in self.outcomes:
+            key = f"{o.kind}:{o.status}"
+            tally[key] = tally.get(key, 0) + 1
+        return tally
+
+    def describe(self) -> str:
+        lines = [f"engine chaos: {len(self.outcomes)} requests"]
+        for key, count in sorted(self.counts().items()):
+            lines.append(f"  {count:3d}  {key}")
+        for o in self.violations:
+            lines.append(f"  VIOLATION [{o.kind}] {o.detail}")
+        if self.ok:
+            lines.append("invariant held: correct output or typed error")
+        return "\n".join(lines)
+
+
+#: The pathological request shapes the mixed queue cycles through,
+#: alongside plain integer/float requests: zero-length inputs, inputs
+#: shorter than the recurrence order, NaN-poisoned floats, float32
+#: streams engineered to overflow mid-batch, integer values under a
+#: fractional-coefficient signature, and requests whose deadline has
+#: already passed at submission.
+ENGINE_CHAOS_KINDS = (
+    "plain_int",
+    "plain_float",
+    "empty",
+    "short",
+    "nan_poisoned",
+    "overflow",
+    "frac_int",
+    "expired",
+)
+
+
+def _engine_chaos_request(kind: str, rng, clock):
+    from repro.batch.planner import BatchRequest
+
+    if kind == "plain_int":
+        values = rng.integers(-50, 50, size=int(rng.integers(3, 200)))
+        return BatchRequest("(1: 2, -1)", values.astype(np.int32), tag=kind)
+    if kind == "plain_float":
+        values = rng.standard_normal(int(rng.integers(3, 200)))
+        return BatchRequest("(0.9, -0.9: 0.8)", values.astype(np.float32), tag=kind)
+    if kind == "empty":
+        return BatchRequest("(1: 1)", np.zeros(0, dtype=np.float32), tag=kind)
+    if kind == "short":
+        # Fewer values than the recurrence order.
+        return BatchRequest(
+            "(1: 1, 1, 1)", np.array([2], dtype=np.int32), tag=kind
+        )
+    if kind == "nan_poisoned":
+        values = rng.standard_normal(int(rng.integers(4, 64))).astype(np.float32)
+        values[int(rng.integers(values.size))] = np.nan
+        return BatchRequest("(1: 1)", values, tag=kind)
+    if kind == "overflow":
+        # Fibonacci-style doubling in float32 overflows fast.
+        n = int(rng.integers(200, 400))
+        values = np.full(n, 1e30, dtype=np.float32)
+        return BatchRequest("(1: 1, 1)", values, tag=kind)
+    if kind == "frac_int":
+        values = rng.integers(-20, 20, size=int(rng.integers(3, 100)))
+        return BatchRequest("(0.5: 0.5)", values.astype(np.int32), tag=kind)
+    if kind == "expired":
+        values = rng.integers(-10, 10, size=16).astype(np.int32)
+        return BatchRequest(
+            "(1: 1)", values, tag=kind, deadline=clock() - 0.5
+        )
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+def _check_engine_outcome(kind, request, outcome) -> EngineChaosOutcome:
+    if kind == "expired":
+        # The deadline passed before submission: the only acceptable
+        # outcome is a typed DeadlineExceeded shed, never a result.
+        from repro.core.errors import DeadlineExceeded
+
+        if not outcome.ok and isinstance(outcome.error, DeadlineExceeded):
+            return EngineChaosOutcome(kind, "typed_error", "DeadlineExceeded")
+        return EngineChaosOutcome(
+            kind, "violation",
+            f"expired request produced ok={outcome.ok} "
+            f"error={type(outcome.error).__name__ if outcome.error else None}",
+        )
+    if not outcome.ok:
+        if isinstance(outcome.error, ReproError):
+            return EngineChaosOutcome(
+                kind, "typed_error", type(outcome.error).__name__
+            )
+        return EngineChaosOutcome(
+            kind, "violation", f"untyped failure: {outcome.error!r}"
+        )
+    got = outcome.output
+    recurrence = Recurrence(request.signature)
+    expected = serial_full(request.values, recurrence.signature, dtype=got.dtype)
+    if got.shape != expected.shape:
+        return EngineChaosOutcome(
+            kind, "violation",
+            f"shape {got.shape} != expected {expected.shape}",
+        )
+    if np.issubdtype(got.dtype, np.floating):
+        # NaN-poisoned inputs legitimately produce NaN outputs (the
+        # serial reference does too); they must match positionally.
+        matches = np.allclose(got, expected, rtol=1e-3, atol=1e-5, equal_nan=True)
+    else:
+        matches = bool(np.array_equal(got, expected))
+    if matches:
+        return EngineChaosOutcome(kind, "correct", outcome.engine)
+    return EngineChaosOutcome(
+        kind, "violation",
+        f"silent corruption ({outcome.engine}): max|got-expected| mismatch",
+    )
+
+
+def run_engine_chaos(seed: int = 0, requests: int = 48) -> EngineChaosReport:
+    """Sweep a mixed pathological queue through one BatchEngine pass.
+
+    The queue interleaves healthy requests with every shape in
+    :data:`ENGINE_CHAOS_KINDS`, shuffled by ``seed``, and submits them
+    as *one* queue so pathological members share groups with healthy
+    ones — the point is that isolation keeps each failure private.  The
+    invariant checked per request: correct output (validated against
+    the serial reference at the outcome's dtype) or a typed error.
+    """
+    from repro.batch.engine import BatchEngine
+
+    rng = np.random.default_rng(seed)
+    engine = BatchEngine()
+    kinds = [ENGINE_CHAOS_KINDS[i % len(ENGINE_CHAOS_KINDS)] for i in range(requests)]
+    rng.shuffle(kinds)
+    queue = [_engine_chaos_request(kind, rng, engine.clock) for kind in kinds]
+    outcomes = engine.execute(queue)
+    report = EngineChaosReport()
+    for kind, request, outcome in zip(kinds, queue, outcomes):
+        report.outcomes.append(_check_engine_outcome(kind, request, outcome))
+    return report

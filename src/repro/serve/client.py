@@ -1,0 +1,108 @@
+"""A minimal asyncio client for the JSONL serving protocol.
+
+Used by ``plr serve --self-test``, the server chaos harness, and the
+test suite; thin enough that a third-party client in any language can
+be written from its behaviour (send one JSON object per line, read one
+JSON object per line).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core.errors import ProtocolError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One connection to a :class:`~repro.serve.server.PLRServer`.
+
+    Replies are read in arrival order; the protocol carries request ids
+    so callers can correlate out-of-order usage themselves when they
+    pipeline.  All methods raise :class:`ProtocolError` if the server's
+    reply cannot be parsed (which would be a server bug).
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(
+        cls, address: tuple[str, int] | str, limit: int = 1 << 20
+    ) -> "ServeClient":
+        if isinstance(address, str):
+            reader, writer = await asyncio.open_unix_connection(
+                address, limit=limit
+            )
+        else:
+            host, port = address
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=limit
+            )
+        return cls(reader, writer)
+
+    async def send(self, frame: dict) -> None:
+        self.writer.write((json.dumps(frame) + "\n").encode("utf-8"))
+        await self.writer.drain()
+
+    async def send_raw(self, data: bytes) -> None:
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def recv(self, timeout: float = 30.0) -> dict | None:
+        """The next reply, or None on EOF/connection loss."""
+        try:
+            line = await asyncio.wait_for(self.reader.readline(), timeout)
+        except (ConnectionError, OSError):
+            return None
+        if not line:
+            return None
+        try:
+            reply = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"unparseable reply from server: {exc}") from exc
+        if not isinstance(reply, dict):
+            raise ProtocolError(f"non-object reply from server: {reply!r}")
+        return reply
+
+    async def request(self, frame: dict, timeout: float = 30.0) -> dict | None:
+        """Send one frame and read one reply (no pipelining)."""
+        await self.send(frame)
+        return await self.recv(timeout)
+
+    async def solve(
+        self,
+        signature: str,
+        values,
+        dtype: str | None = None,
+        deadline_ms: float | None = None,
+        request_id: object = None,
+        timeout: float = 30.0,
+    ) -> dict | None:
+        frame: dict = {"id": request_id, "signature": signature, "values": list(values)}
+        if dtype is not None:
+            frame["dtype"] = dtype
+        if deadline_ms is not None:
+            frame["deadline_ms"] = deadline_ms
+        return await self.request(frame, timeout)
+
+    async def metrics(self, timeout: float = 30.0) -> dict | None:
+        return await self.request({"op": "metrics"}, timeout)
+
+    async def ping(self, timeout: float = 30.0) -> dict | None:
+        return await self.request({"op": "ping"}, timeout)
+
+    async def drain(self, timeout: float = 30.0) -> dict | None:
+        return await self.request({"op": "drain"}, timeout)
+
+    async def close(self) -> None:
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

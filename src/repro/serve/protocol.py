@@ -1,0 +1,171 @@
+"""Wire protocol of the serving layer: JSON objects, one per line.
+
+The protocol is deliberately minimal — newline-delimited JSON over a
+byte stream (TCP or a Unix socket) — because the robustness properties
+live in how frames are *validated*, not in how they are framed:
+
+* every inbound line must parse to a JSON **object**; anything else
+  (invalid JSON, arrays, bare scalars, missing fields, wrong field
+  types) yields a typed :class:`~repro.core.errors.ProtocolError`
+  **reply** and the connection survives;
+* a line longer than the configured limit cannot be framed at all —
+  the reader cannot tell where the next frame starts — so that is the
+  one protocol fault that closes the connection (after a final typed
+  reply);
+* replies always carry ``ok`` plus either the result or a typed error
+  name, so a client can dispatch on ``reply["error"]`` without parsing
+  prose.
+
+Solve frames::
+
+    {"id": 7, "signature": "(1: 2, -1)", "values": [1, 2, 3],
+     "dtype": "int32", "deadline_ms": 50}
+
+``id`` is echoed verbatim in the reply (any JSON value); ``dtype`` and
+``deadline_ms`` are optional.  Control frames carry an ``op`` instead:
+``{"op": "ping"}``, ``{"op": "metrics"}``, ``{"op": "drain"}``.
+
+Replies::
+
+    {"id": 7, "ok": true, "output": [...], "engine": "batch"}
+    {"id": 7, "ok": false, "error": "DeadlineExceeded", "detail": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ProtocolError, ReproError
+
+__all__ = [
+    "CONTROL_OPS",
+    "ControlFrame",
+    "MAX_LINE_BYTES",
+    "ServerError",
+    "SolveFrame",
+    "encode_reply",
+    "error_reply",
+    "parse_frame",
+]
+
+MAX_LINE_BYTES = 1 << 20
+"""Default hard limit on one frame.  A line this long cannot be a
+reasonable solve request; refusing it bounds the memory one client can
+pin and defeats endless-line slow-loris streams."""
+
+CONTROL_OPS = ("ping", "metrics", "drain")
+
+
+class ServerError(ReproError):
+    """The server failed internally while executing a flush.
+
+    The affected requests were not completed and received this as their
+    typed reply; the failure counts toward the circuit breaker.  This
+    class exists so an *unexpected* exception inside the execution path
+    still produces a typed reply — the invariant holds even for bugs.
+    """
+
+
+@dataclass(frozen=True)
+class ControlFrame:
+    """An operational request: no solving, no queueing."""
+
+    op: str
+    id: object = None
+
+
+@dataclass(frozen=True)
+class SolveFrame:
+    """One validated solve request, still in wire types (lists, str)."""
+
+    id: object
+    signature: str
+    values: list
+    dtype: str | None = None
+    deadline_ms: float | None = None
+
+
+def parse_frame(line: bytes | str) -> ControlFrame | SolveFrame:
+    """Parse one line into a frame, or raise a typed ProtocolError.
+
+    Validation here covers the *shape* of the frame (types and required
+    fields); semantic validation — does the signature parse, are the
+    values numeric — happens where the corresponding typed errors
+    (:class:`~repro.core.errors.SignatureError`, ...) are raised.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"frame is not valid UTF-8: {exc}") from exc
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+
+    if "op" in obj:
+        op = obj["op"]
+        if op not in CONTROL_OPS:
+            raise ProtocolError(
+                f"unknown op {op!r}; known ops: {', '.join(CONTROL_OPS)}"
+            )
+        return ControlFrame(op=op, id=obj.get("id"))
+
+    missing = [key for key in ("signature", "values") if key not in obj]
+    if missing:
+        raise ProtocolError(f"frame is missing {', '.join(missing)}")
+    signature = obj["signature"]
+    if not isinstance(signature, str):
+        raise ProtocolError(
+            f"signature must be a string, got {type(signature).__name__}"
+        )
+    values = obj["values"]
+    if not isinstance(values, list):
+        raise ProtocolError(
+            f"values must be a JSON array, got {type(values).__name__}"
+        )
+    dtype = obj.get("dtype")
+    if dtype is not None and not isinstance(dtype, str):
+        raise ProtocolError(
+            f"dtype must be a string, got {type(dtype).__name__}"
+        )
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise ProtocolError(
+                f"deadline_ms must be a number, got {type(deadline_ms).__name__}"
+            )
+        if not math.isfinite(deadline_ms) or deadline_ms < 0:
+            raise ProtocolError(
+                f"deadline_ms must be finite and >= 0, got {deadline_ms}"
+            )
+    return SolveFrame(
+        id=obj.get("id"),
+        signature=signature,
+        values=values,
+        dtype=dtype,
+        deadline_ms=deadline_ms,
+    )
+
+
+def error_reply(request_id: object, error: BaseException) -> dict:
+    """The typed-error reply: error class name + human detail."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": type(error).__name__,
+        "detail": str(error),
+    }
+
+
+def encode_reply(reply: dict) -> bytes:
+    """One reply, JSON-encoded, newline-terminated, UTF-8."""
+    return (json.dumps(reply, separators=(",", ":")) + "\n").encode("utf-8")

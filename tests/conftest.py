@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
@@ -39,3 +41,35 @@ def make_values(recurrence: Recurrence, n: int, seed: int = 7) -> np.ndarray:
     if recurrence.is_integer:
         return generator.integers(-100, 100, size=n).astype(np.int32)
     return generator.standard_normal(n).astype(np.float32)
+
+
+SERVE_TEST_TIMEOUT_S = 90.0
+"""Hard wall-clock ceiling for one ``serve``-marked test.
+
+The serving layer's failure mode of last resort is a hang — an awaited
+reply that never comes — and a hung asyncio test would otherwise stall
+the whole suite.  A SIGALRM fired from outside the event loop cuts
+through any stuck ``await`` (pytest-timeout is not available in this
+environment, so the guard is implemented here).
+"""
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if item.get_closest_marker("serve") is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"hard timeout: {item.nodeid} exceeded {SERVE_TEST_TIMEOUT_S:.0f}s "
+            "(a serving-layer test hung)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, SERVE_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -310,3 +310,153 @@ def test_random_mixes_match_per_request(specs):
             assert np.array_equal(outcome.output, expected)
         else:
             assert_valid(outcome.output, expected)
+
+
+class TestDeadlines:
+    """Per-request deadlines: cooperative shedding at every checkpoint,
+    typed DeadlineExceeded, and index integrity when a queue shrinks."""
+
+    def _clock(self, start=0.0):
+        state = {"now": start}
+        return state, (lambda: state["now"])
+
+    def test_expired_in_queue_is_shed_typed(self):
+        from repro.core.errors import DeadlineExceeded
+
+        state, clock = self._clock(10.0)
+        engine = BatchEngine(clock=clock)
+        request = BatchRequest(
+            "(1: 1)", np.arange(8, dtype=np.int32), deadline=5.0
+        )
+        [outcome] = engine.execute([request])
+        assert not outcome.ok
+        assert isinstance(outcome.error, DeadlineExceeded)
+        assert outcome.engine == "shed"
+        assert not outcome.isolated
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["batch.shed_expired"] == 1
+        # No group was ever formed for it.
+        assert counters.get("batch.groups", 0) == 0
+
+    def test_live_deadline_solves_normally(self):
+        state, clock = self._clock(0.0)
+        engine = BatchEngine(clock=clock)
+        x = np.arange(1, 9, dtype=np.int32)
+        [outcome] = engine.execute(
+            [BatchRequest("(1: 1)", x, deadline=1e9)]
+        )
+        assert outcome.ok and outcome.engine == "batch"
+        np.testing.assert_array_equal(outcome.output, np.cumsum(x))
+
+    def test_shed_requests_do_not_corrupt_batch_indices(self):
+        """An expired request filtered out before planning must not
+        shift its batch-mates' outcome slots (the planner numbers the
+        filtered list; the engine maps back to submission order)."""
+        state, clock = self._clock(10.0)
+        engine = BatchEngine(clock=clock)
+        a = np.arange(1, 9, dtype=np.int32)
+        b = np.arange(1, 17, dtype=np.int32)
+        requests = [
+            BatchRequest("(1: 1)", a, tag="live-a", deadline=None),
+            BatchRequest("(1: 1)", a * 2, tag="dead", deadline=1.0),
+            BatchRequest("(1: 2, -1)", b, tag="live-b", deadline=99.0),
+        ]
+        outcomes = engine.execute(requests)
+        assert [o.tag for o in outcomes] == ["live-a", "dead", "live-b"]
+        assert outcomes[0].ok
+        np.testing.assert_array_equal(outcomes[0].output, np.cumsum(a))
+        assert not outcomes[1].ok and outcomes[1].engine == "shed"
+        assert outcomes[2].ok
+        np.testing.assert_array_equal(
+            outcomes[2].output, per_request("(1: 2, -1)", b)
+        )
+
+    def test_deadline_passing_mid_solve_sheds_after_group(self):
+        """A deadline that expires while the group is solving yields a
+        typed error, never the late result.  The tracer span hook is
+        the deterministic way to advance time 'during' the solve."""
+        from repro.core.errors import DeadlineExceeded
+        from repro.obs.tracer import Tracer
+
+        state, clock = self._clock(0.0)
+
+        class SpanClockTracer(Tracer):
+            def span(self, name, **kwargs):
+                if name == "batch_group":
+                    state["now"] += 100.0
+                return super().span(name, **kwargs)
+
+        engine = BatchEngine(clock=clock, tracer=SpanClockTracer())
+        x = np.arange(1, 9, dtype=np.int32)
+        outcomes = engine.execute(
+            [
+                BatchRequest("(1: 1)", x, tag="missed", deadline=50.0),
+                BatchRequest("(1: 1)", x, tag="patient", deadline=1e9),
+            ]
+        )
+        missed = next(o for o in outcomes if o.tag == "missed")
+        patient = next(o for o in outcomes if o.tag == "patient")
+        assert not missed.ok
+        assert isinstance(missed.error, DeadlineExceeded)
+        assert "while its group was solving" in str(missed.error)
+        assert patient.ok
+        counters = engine.metrics.snapshot()["counters"]
+        assert counters["batch.deadline_missed"] == 1
+
+    def test_expired_awaiting_group_shed_before_solving(self):
+        """With two groups, time advancing during the first group's
+        solve must shed the second group's expired member before any
+        of its work runs."""
+        from repro.obs.tracer import Tracer
+
+        state, clock = self._clock(0.0)
+
+        class SpanClockTracer(Tracer):
+            def span(self, name, **kwargs):
+                if name == "batch_group":
+                    state["now"] += 100.0
+                return super().span(name, **kwargs)
+
+        engine = BatchEngine(clock=clock, tracer=SpanClockTracer())
+        x = np.arange(1, 9, dtype=np.int32)
+        outcomes = engine.execute(
+            [
+                BatchRequest("(1: 1)", x, tag="first-group", deadline=None),
+                BatchRequest("(1: 2, -1)", x, tag="too-late", deadline=50.0),
+            ]
+        )
+        late = next(o for o in outcomes if o.tag == "too-late")
+        assert not late.ok and late.engine == "shed"
+        assert "awaiting its group" in str(late.error)
+
+    def test_isolation_respects_remaining_budget(self):
+        """A request that needs isolation carries its remaining budget
+        into the resilience policy instead of the engine default."""
+        captured = {}
+        import repro.batch.engine as engine_module
+
+        original = engine_module.solve_request
+
+        def spy(recurrence, values, **kwargs):
+            captured["policy"] = kwargs["policy"]
+            return original(recurrence, values, **kwargs)
+
+        state, clock = self._clock(0.0)
+        engine = BatchEngine(clock=clock)
+        engine_module.solve_request, saved = spy, original
+        try:
+            # NaN input forces isolation; deadline 7.5s from "now".
+            values = np.array([1.0, np.nan, 3.0], dtype=np.float32)
+            [outcome] = engine.execute(
+                [BatchRequest("(1: 1)", values, deadline=7.5)]
+            )
+        finally:
+            engine_module.solve_request = saved
+        assert outcome.ok  # serial fallback handles non-finite input
+        assert captured["policy"].deadline_s == pytest.approx(7.5, abs=0.5)
+
+    def test_deadline_coerced_to_float(self):
+        request = BatchRequest(
+            "(1: 1)", np.arange(4, dtype=np.int32), deadline=7
+        )
+        assert isinstance(request.deadline, float)

@@ -34,6 +34,9 @@ from repro.resilience.health import (
 )
 from repro.resilience.solver import FallbackPolicy, ResilientSolver
 
+from repro.core.coefficients import table1_signatures
+from tests.conftest import make_values
+
 
 @pytest.fixture(scope="module")
 def machine() -> MachineSpec:
@@ -448,3 +451,111 @@ class TestChaosHarness:
         assert sum(o.fault_events for o in report.outcomes) > 100
         assert sum(1 for o in report.outcomes if o.degraded) > 20
         assert len({o.case.recurrence for o in report.outcomes}) == 11
+
+
+class TestNestedDegradationOrdering:
+    """Satellite of the serving PR: the fallback chain's attempt record
+    must pin the exact degradation sequence when failures nest."""
+
+    def test_worker_death_then_overflow_then_promotion(self):
+        """process pool dies -> single-process fallback (no retry
+        consumed) -> float32 overflow detected -> dtype promotion ->
+        success.  The SolveReport must record exactly that story, in
+        that order."""
+        from repro.parallel.sharding import ShardOptions
+
+        solver = ResilientSolver(
+            "(1: 1.05)",
+            backend="process",
+            workers=2,
+            shard_options=ShardOptions(workers=2, inject="die"),
+        )
+        x = np.ones(4096, dtype=np.float32)
+        report = solver.solve_with_report(x)
+        assert report.ok
+        assert report.engine == "plr"  # recovered, not serial fallback
+        assert report.dtype == np.float64
+        assert [a.outcome for a in report.attempts] == [
+            "worker", "numerical", "ok",
+        ]
+        assert report.degradations == [
+            "process backend failed: single-process fallback",
+            "dtype promoted float32 -> float64",
+        ]
+        # The worker attempt kept the original dtype; promotion only
+        # happened after the overflow was detected single-process.
+        assert report.attempts[0].dtype == "float32"
+        assert report.attempts[1].dtype == "float32"
+        assert report.attempts[2].dtype == "float64"
+        reference = serial_full(x, Signature.parse("(1: 1.05)"), dtype=np.float64)
+        verdict = compare_results(report.output, reference)
+        assert verdict.ok, verdict.describe()
+
+    def test_worker_death_alone_consumes_no_retry(self):
+        from repro.parallel.sharding import ShardOptions
+
+        solver = ResilientSolver(
+            "(1: 1)",
+            backend="process",
+            workers=2,
+            policy=FallbackPolicy(max_retries=0),
+            shard_options=ShardOptions(workers=2, inject="die"),
+        )
+        # Below ~2k elements the solver plans a single slab and never
+        # touches the pool; the injection needs a real sharded run.
+        x = np.arange(4096, dtype=np.int32)
+        report = solver.solve_with_report(x)
+        assert report.ok and report.engine == "plr"
+        assert [a.outcome for a in report.attempts] == ["worker", "ok"]
+        assert report.degradations == [
+            "process backend failed: single-process fallback",
+        ]
+        np.testing.assert_array_equal(report.output, np.cumsum(x, dtype=np.int32))
+
+
+class TestChaosExtensions:
+    """Satellites of the serving PR: the chaos sweep reaches the
+    process-sharded backend and the batch engine's mixed queues."""
+
+    @pytest.mark.chaos
+    @pytest.mark.parametrize("inject", ["die", "hang"])
+    def test_chaos_process_backend_sharded(self, inject):
+        """Worker faults in the real process pool (death and hang) must
+        resolve to a correct output via the single-process fallback —
+        the resilience invariant on the sharded path."""
+        from repro.parallel.sharding import ShardOptions
+
+        for name in ("prefix_sum", "order2_prefix_sum", "high_pass_1"):
+            recurrence = Recurrence(table1_signatures()[name])
+            values = make_values(recurrence, 4096)
+            solver = ResilientSolver(
+                recurrence,
+                backend="process",
+                workers=2,
+                shard_options=ShardOptions(
+                    workers=2, timeout_s=0.5, inject=inject
+                ),
+            )
+            report = solver.solve_with_report(values)
+            assert report.ok, report.describe()
+            assert any("single-process fallback" in d for d in report.degradations)
+            expected = serial_full(
+                values, recurrence.signature, dtype=report.output.dtype
+            )
+            verdict = compare_results(report.output, expected)
+            assert verdict.ok, f"{name}/{inject}: {verdict.describe()}"
+
+    @pytest.mark.chaos
+    def test_engine_chaos_mixed_queue(self):
+        """One BatchEngine pass over a queue interleaving healthy
+        requests with empties, NaN poison, float32 overflow bombs,
+        fractional-coefficient integers, and pre-expired deadlines:
+        every outcome correct or typed."""
+        from repro.resilience.chaos import run_engine_chaos
+
+        report = run_engine_chaos(seed=20180324, requests=64)
+        assert report.ok, report.describe()
+        counts = report.counts()
+        assert counts.get("expired:typed_error", 0) >= 8
+        assert counts.get("nan_poisoned:correct", 0) >= 8
+        assert counts.get("overflow:correct", 0) >= 8
