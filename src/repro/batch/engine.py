@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.errors import DeadlineExceeded, ReproError
 from repro.core.recurrence import Recurrence
+from repro.obs.context import TraceContext, new_span_id
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import coerce_tracer
 from repro.batch.planner import BatchGroup, BatchPlanner, BatchRequest
@@ -87,6 +88,12 @@ class BatchEngine:
         tests; :func:`time.monotonic` by default).  Deadlines on
         :class:`~repro.batch.planner.BatchRequest` are absolute values
         of this clock.
+    backend / workers / shard_options:
+        Execution backend for *isolated* re-runs, forwarded into the
+        resilience chain: ``"process"`` lets an isolated request use the
+        multicore sharded path (its worker lanes then appear in the
+        request's trace).  The grouped vectorized pass always runs in
+        process — batching and sharding compose badly for small groups.
     """
 
     def __init__(
@@ -97,6 +104,9 @@ class BatchEngine:
         metrics: MetricsRegistry | None = None,
         tracer=None,
         clock=time.monotonic,
+        backend: str = "single",
+        workers: int | None = None,
+        shard_options=None,
     ) -> None:
         self.planner = planner or BatchPlanner()
         self.policy = policy or FallbackPolicy()
@@ -104,10 +114,21 @@ class BatchEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = coerce_tracer(tracer)
         self.clock = clock
+        self.backend = backend
+        self.workers = workers
+        self.shard_options = shard_options
 
     # ------------------------------------------------------------------
-    def execute(self, requests: list[BatchRequest]) -> list[RequestOutcome]:
-        """Run the queue; outcomes line up with the submitted requests."""
+    def execute(
+        self,
+        requests: list[BatchRequest],
+        context: TraceContext | None = None,
+    ) -> list[RequestOutcome]:
+        """Run the queue; outcomes line up with the submitted requests.
+
+        ``context`` is the caller's span (the serving layer passes its
+        flush span) — group spans and isolation chains parent under it.
+        """
         requests = list(requests)
         self.metrics.counter("batch.requests").inc(len(requests))
         outcomes: list[RequestOutcome | None] = [None] * len(requests)
@@ -146,7 +167,7 @@ class BatchEngine:
         for group in groups:
             self.metrics.histogram("batch.group_size").observe(group.batch_size)
             self.metrics.counter("batch.padded_values").inc(group.padding)
-            self._run_group(group, outcomes)
+            self._run_group(group, outcomes, context)
 
         assert all(o is not None for o in outcomes)
         return outcomes
@@ -172,8 +193,39 @@ class BatchEngine:
         )
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _group_context(
+        group: BatchGroup, context: TraceContext | None
+    ) -> TraceContext | None:
+        """The span context for one group pass.
+
+        A group serving exactly one traced request stays inside that
+        request's trace (parented to the caller's span when one was
+        given); a group covering several requests gets a span in the
+        caller's trace — or a fresh one — and the member trace ids ride
+        in the span args as links, since one span cannot belong to many
+        traces.
+        """
+        traced = [r.trace for r in group.requests if r.trace is not None]
+        if len(traced) == 1:
+            sole = traced[0]
+            return TraceContext(
+                trace_id=sole.trace_id,
+                span_id=new_span_id(),
+                parent_id=context.span_id if context is not None else sole.span_id,
+                sampled=sole.sampled,
+            )
+        if context is not None:
+            return context.child()
+        if traced:
+            return TraceContext.new()
+        return None
+
     def _run_group(
-        self, group: BatchGroup, outcomes: list[RequestOutcome | None]
+        self,
+        group: BatchGroup,
+        outcomes: list[RequestOutcome | None],
+        context: TraceContext | None = None,
     ) -> None:
         # Cooperative cancellation checkpoint: requests that expired
         # between planning and this group's turn are shed now, and the
@@ -200,6 +252,7 @@ class BatchEngine:
                 requests=[group.requests[row] for row in live],
                 indices=[group.indices[row] for row in live],
             )
+        group_ctx = self._group_context(group, context)
         span_args = None
         if self.tracer.enabled:
             span_args = {
@@ -209,7 +262,16 @@ class BatchEngine:
                 "bucket": group.bucket,
                 "padding": group.padding,
             }
-        with self.tracer.span("batch_group", cat="batch", args=span_args):
+            member_traces = sorted(
+                {r.trace.trace_id for r in group.requests if r.trace is not None}
+            )
+            if len(member_traces) > 1:
+                # One span cannot live in several traces; record the
+                # members as span links instead.
+                span_args["linked_traces"] = member_traces
+        with self.tracer.span(
+            "batch_group", cat="batch", args=span_args, link=group_ctx
+        ):
             solver = BatchSolver(
                 group.signature, machine=self.machine, tracer=self.tracer
             )
@@ -227,7 +289,7 @@ class BatchEngine:
                 # degradation story instead of sharing one failure.
                 for row, index in enumerate(group.indices):
                     outcomes[index] = self._isolate(
-                        group, group.requests[row], index, str(exc)
+                        group, group.requests[row], index, str(exc), group_ctx
                     )
                 return
             floating = np.issubdtype(group.dtype, np.floating)
@@ -252,7 +314,7 @@ class BatchEngine:
                 output = stacked[row, : request.n].copy()
                 if floating and not np.isfinite(output).all():
                     outcomes[index] = self._isolate(
-                        group, request, index, "non-finite row output"
+                        group, request, index, "non-finite row output", group_ctx
                     )
                     continue
                 outcomes[index] = RequestOutcome(
@@ -260,17 +322,33 @@ class BatchEngine:
                 )
 
     def _isolate(
-        self, group: BatchGroup, request: BatchRequest, index: int, why: str
+        self,
+        group: BatchGroup,
+        request: BatchRequest,
+        index: int,
+        why: str,
+        group_ctx: TraceContext | None = None,
     ) -> RequestOutcome:
         """Re-run one request alone through the resilience chain."""
         if self._expired(request):
             return self._shed(request, index, "expired before isolation re-run")
         self.metrics.counter("batch.isolated").inc()
+        # The isolation chain stays in the *request's* trace.  When the
+        # group span shares that trace (sole traced member) it becomes
+        # the parent; otherwise the chain hangs off the request root.
+        if request.trace is not None:
+            if group_ctx is not None and group_ctx.trace_id == request.trace.trace_id:
+                iso_ctx = group_ctx.child()
+            else:
+                iso_ctx = request.trace.child()
+        else:
+            iso_ctx = group_ctx.child() if group_ctx is not None else None
         if self.tracer.enabled:
             self.tracer.instant(
                 "isolate",
                 cat="batch",
                 args={"index": index, "why": why},
+                link=iso_ctx,
             )
         policy = self.policy
         if request.deadline is not None:
@@ -286,6 +364,10 @@ class BatchEngine:
             dtype=group.dtype,
             policy=policy,
             tracer=self.tracer,
+            context=iso_ctx,
+            backend=self.backend,
+            workers=self.workers,
+            shard_options=self.shard_options,
         )
         return RequestOutcome(
             index=index,

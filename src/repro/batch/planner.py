@@ -68,6 +68,12 @@ class BatchRequest:
     with a typed :class:`~repro.core.errors.DeadlineExceeded` when the
     deadline passes mid-solve — a late result is never returned."""
 
+    trace: object | None = None
+    """Optional :class:`~repro.obs.context.TraceContext` naming the
+    request — the serving layer mints one per admitted request.  The
+    engine parents its spans (group pass, isolation re-runs, worker
+    lanes) under it so one request reconstructs as one trace tree."""
+
     def __post_init__(self) -> None:
         self.signature = _as_signature(self.signature)
         self.values = np.asarray(self.values)

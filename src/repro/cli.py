@@ -26,11 +26,17 @@ Subcommands:
   failure isolation) and report group/padding statistics.
 * ``plr bench`` — measure the serial reference vs. the vectorized
   solver vs. the multicore process backend and write a
-  ``BENCH_parallel.json`` trajectory point.
+  ``BENCH_parallel.json`` trajectory point; ``--compare BASELINE``
+  turns it into a perf-regression gate (exit 1 past ``--tolerance``,
+  ``--update-baseline`` to accept an intentional change).
 * ``plr serve`` — run the long-lived JSONL solve server (adaptive
   micro-batching, deadlines, admission control, circuit breaker,
   graceful drain); ``--self-test`` runs a built-in client smoke test
   against an ephemeral instance and exits.
+* ``plr slo`` — query a live server's SLO report (latency-objective
+  attainment, error budget, multi-window burn rates).
+* ``plr metrics`` — query a live server's metrics as JSON or
+  Prometheus text exposition (``--format prometheus``).
 """
 
 from __future__ import annotations
@@ -239,6 +245,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default="BENCH_parallel.json",
         help="JSON file to write (default: BENCH_parallel.json)",
+    )
+    bench_p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help="perf-regression gate: re-run the benchmark the baseline "
+        "describes (same op/n/dtype/workers/repeat) and exit 1 if any "
+        "(op, n, dtype, backend) row regressed beyond --tolerance",
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="allowed regression per row, percent (default: 10)",
+    )
+    bench_p.add_argument(
+        "--metric",
+        choices=("speedup", "wall_s"),
+        default="speedup",
+        help="gated metric: speedup (relative to same-run serial; robust "
+        "to machine-wide noise, the default) or wall_s (absolute)",
+    )
+    bench_p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --compare: write the current run over the baseline "
+        "and exit 0 — the escape hatch for intentional perf changes",
+    )
+
+    slo_p = sub.add_parser(
+        "slo",
+        help="query a live server's SLO report (attainment, error "
+        "budget, burn rates)",
+    )
+    slo_p.add_argument(
+        "--connect",
+        default="127.0.0.1:7171",
+        metavar="HOST:PORT",
+        help="server address (default: 127.0.0.1:7171)",
+    )
+    slo_p.add_argument(
+        "--unix", default=None, metavar="PATH", help="connect over a Unix socket"
+    )
+
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="query a live server's metrics (JSON or Prometheus text)",
+    )
+    metrics_p.add_argument(
+        "--connect",
+        default="127.0.0.1:7171",
+        metavar="HOST:PORT",
+        help="server address (default: 127.0.0.1:7171)",
+    )
+    metrics_p.add_argument(
+        "--unix", default=None, metavar="PATH", help="connect over a Unix socket"
+    )
+    metrics_p.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="output format (default: json)",
     )
 
     serve_p = sub.add_parser(
@@ -749,27 +818,32 @@ def _time_best(fn, repeat: int) -> tuple[float, object]:
     return best, result
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    import json
+def _bench_payload(
+    signature: str,
+    n: int,
+    dtype: np.dtype | None,
+    workers: int | None,
+    repeat: int,
+    seed: int,
+) -> dict:
+    """One full bench run: serial vs vectorized vs process, verified."""
     import os
 
-    _ensure_writable(args.output)
-    recurrence = Recurrence.parse(args.signature)
-    values = _make_input(recurrence, args.n, args.seed)
-    dtype = np.dtype(args.dtype) if args.dtype else None
+    recurrence = Recurrence.parse(signature)
+    values = _make_input(recurrence, n, seed)
 
     serial_s, expected = _time_best(
-        lambda: serial_full(values, recurrence.signature, dtype=dtype), args.repeat
+        lambda: serial_full(values, recurrence.signature, dtype=dtype), repeat
     )
 
     vec_solver = PLRSolver(recurrence)
     vec_s, vec_out = _time_best(
-        lambda: vec_solver.solve(values, dtype=dtype), args.repeat
+        lambda: vec_solver.solve(values, dtype=dtype), repeat
     )
 
-    proc_solver = PLRSolver(recurrence, backend="process", workers=args.workers)
+    proc_solver = PLRSolver(recurrence, backend="process", workers=workers)
     proc_s, proc_out = _time_best(
-        lambda: proc_solver.solve(values, dtype=dtype), args.repeat
+        lambda: proc_solver.solve(values, dtype=dtype), repeat
     )
 
     for name, out in (("vectorized", vec_out), ("process", proc_out)):
@@ -781,7 +855,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     records = [
         {
             "op": str(recurrence.signature),
-            "n": args.n,
+            "n": n,
             "dtype": dtype_name,
             "backend": backend,
             "wall_s": wall,
@@ -793,19 +867,148 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ("process", proc_s),
         )
     ]
-    payload = {
-        "workers": args.workers or (os.cpu_count() or 1),
-        "repeat": args.repeat,
+    return {
+        "workers": workers or (os.cpu_count() or 1),
+        "repeat": repeat,
         "results": records,
     }
-    with open(args.output, "w") as handle:
-        json.dump(payload, handle, indent=1)
-    for record in records:
+
+
+def _print_bench(payload: dict) -> None:
+    for record in payload["results"]:
         print(
             f"{record['backend']:<11} {record['wall_s'] * 1e3:9.1f} ms  "
             f"speedup x{record['speedup']:.2f}"
         )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.benchgate import (
+        compare_payloads,
+        load_baseline,
+        render_report,
+    )
+
+    if args.compare:
+        # Gate mode: the baseline defines the run — same op, n, dtype,
+        # workers, repeat — so rows compare like for like.
+        baseline = load_baseline(args.compare)
+        if args.update_baseline:
+            _ensure_writable(args.compare, kind="baseline")
+        first = baseline["results"][0]
+        current = _bench_payload(
+            signature=first["op"],
+            n=int(first["n"]),
+            dtype=np.dtype(first["dtype"]),
+            workers=baseline.get("workers"),
+            repeat=int(baseline.get("repeat", args.repeat)),
+            seed=args.seed,
+        )
+        _print_bench(current)
+        report = compare_payloads(
+            baseline,
+            current,
+            tolerance_pct=args.tolerance,
+            metric=args.metric,
+        )
+        print(render_report(report))
+        if args.update_baseline:
+            with open(args.compare, "w") as handle:
+                json.dump(current, handle, indent=1)
+            print(f"updated baseline {args.compare}")
+            return 0
+        return 0 if report.ok else 1
+
+    _ensure_writable(args.output)
+    payload = _bench_payload(
+        signature=args.signature,
+        n=args.n,
+        dtype=np.dtype(args.dtype) if args.dtype else None,
+        workers=args.workers,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    _print_bench(payload)
     print(f"wrote {args.output}")
+    return 0
+
+
+def _control_address(args: argparse.Namespace):
+    """The server address from --unix / --connect (HOST:PORT)."""
+    if args.unix:
+        return args.unix
+    host, sep, port = args.connect.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ReproError(
+            f"--connect must be HOST:PORT, got {args.connect!r}"
+        )
+    return (host, int(port))
+
+
+async def _control_request(address, frame: dict) -> dict:
+    """One control round-trip against a live server."""
+    from repro.serve import ServeClient
+
+    try:
+        client = await ServeClient.connect(address)
+    except (ConnectionError, OSError) as exc:
+        where = address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+        raise ReproError(f"cannot connect to server at {where}: {exc}") from exc
+    try:
+        reply = await client.request(frame, timeout=10)
+    finally:
+        await client.close()
+    if reply is None:
+        raise ReproError("server closed the connection without replying")
+    if not reply.get("ok"):
+        raise ReproError(
+            f"server refused {frame.get('op')!r}: "
+            f"{reply.get('error')}: {reply.get('detail')}"
+        )
+    return reply
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    reply = asyncio.run(_control_request(_control_address(args), {"op": "slo"}))
+    report = reply["slo"]
+    objective = report["objective"]
+    print(
+        f"objective: {objective['target']:.2%} of replies ok and "
+        f"<= {objective['latency_ms']:g} ms"
+    )
+    budget = report["error_budget"]
+    print(
+        f"lifetime:  {report['good']}/{report['total']} good "
+        f"(attainment {report['attainment']:.4%}), error budget "
+        f"{budget['remaining_fraction']:.1%} remaining"
+    )
+    for window in report["windows"]:
+        print(
+            f"  {window['window_s']:g}s window: {window['good']}/{window['total']} "
+            f"good, attainment {window['attainment']:.4%}, "
+            f"burn rate x{window['burn_rate']:.2f}"
+        )
+    print(json.dumps(report, indent=1))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    frame: dict = {"op": "metrics"}
+    if args.format == "prometheus":
+        frame["format"] = "prometheus"
+    reply = asyncio.run(_control_request(_control_address(args), frame))
+    if args.format == "prometheus":
+        print(reply["body"], end="")
+    else:
+        print(json.dumps({k: reply[k] for k in ("metrics", "serving")}, indent=1))
     return 0
 
 
@@ -882,6 +1085,20 @@ async def _serve_self_test(config) -> int:
             (
                 "metrics reply carries serving stats",
                 bool(reply) and "serving" in reply and "metrics" in reply,
+                repr(reply)[:120],
+            )
+        )
+
+        reply = await client.slo(timeout=10)
+        slo = reply.get("slo") if reply else None
+        checks.append(
+            (
+                "slo reply carries attainment + burn windows",
+                bool(reply and reply.get("ok"))
+                and isinstance(slo, dict)
+                and slo.get("total", 0) >= 1
+                and "error_budget" in slo
+                and "windows" in slo,
                 repr(reply)[:120],
             )
         )
@@ -964,6 +1181,8 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "slo": _cmd_slo,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -1,0 +1,216 @@
+"""The perf-regression gate: compare a bench run against a baseline.
+
+``plr bench --compare BENCH_parallel.json`` re-runs the benchmark that
+produced the baseline and fails (exit 1) when any backend regressed
+beyond the tolerance.  The unit of comparison is one **row** — the
+``(op, n, dtype, backend)`` tuple — so a regression in the process
+backend cannot hide behind an improvement in the vectorized one, and a
+baseline row with no current counterpart fails loudly instead of
+silently shrinking coverage.
+
+Two metrics are supported:
+
+* ``speedup`` (default) — higher is better; measured relative to the
+  serial reference *within the same run*, which cancels machine-wide
+  noise (a globally slow CI box slows serial and parallel alike).
+* ``wall_s`` — lower is better; absolute wall time, for when the
+  machine is known to be stable.
+
+The gate is advisory-by-tolerance, never advisory-by-silence: every row
+is printed with its delta, and ``--update-baseline`` is the documented
+escape hatch for intentional performance changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "BenchRow",
+    "GateReport",
+    "compare_payloads",
+    "load_baseline",
+    "render_report",
+]
+
+METRICS = ("speedup", "wall_s")
+
+_HIGHER_IS_BETTER = {"speedup": True, "wall_s": False}
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One gated comparison: a baseline row against its current twin."""
+
+    op: str
+    n: int
+    dtype: str
+    backend: str
+    baseline: float
+    current: float | None
+    delta_pct: float | None
+    regressed: bool
+
+    @property
+    def key(self) -> tuple:
+        return (self.op, self.n, self.dtype, self.backend)
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Every row's verdict plus the gate's overall outcome."""
+
+    metric: str
+    tolerance_pct: float
+    rows: tuple
+
+    @property
+    def ok(self) -> bool:
+        return not any(row.regressed for row in self.rows)
+
+    @property
+    def regressions(self) -> list:
+        return [row for row in self.rows if row.regressed]
+
+
+def _row_key(record: dict) -> tuple:
+    return (
+        record["op"],
+        int(record["n"]),
+        record["dtype"],
+        record["backend"],
+    )
+
+
+def _validate_payload(payload, *, what: str) -> list[dict]:
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("results"), list
+    ):
+        raise ReproError(
+            f"{what} is not a bench payload: expected an object with a "
+            "'results' array"
+        )
+    records = payload["results"]
+    if not records:
+        raise ReproError(f"{what} has an empty 'results' array")
+    for record in records:
+        missing = [
+            key
+            for key in ("op", "n", "dtype", "backend", "wall_s", "speedup")
+            if key not in record
+        ]
+        if missing:
+            raise ReproError(
+                f"{what} row {record!r} is missing {', '.join(missing)}"
+            )
+    return records
+
+
+def load_baseline(path: str) -> dict:
+    """Read and shape-check a bench payload written by ``plr bench``."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        raise ReproError(
+            f"baseline {path!r} does not exist; run 'plr bench -o {path}' "
+            "to create one"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    _validate_payload(payload, what=f"baseline {path!r}")
+    return payload
+
+
+def compare_payloads(
+    baseline: dict,
+    current: dict,
+    *,
+    tolerance_pct: float = 10.0,
+    metric: str = "speedup",
+) -> GateReport:
+    """Gate ``current`` against ``baseline`` row by row.
+
+    A row regresses when its metric moved in the *bad* direction by more
+    than ``tolerance_pct`` percent of the baseline value; a baseline row
+    absent from the current run regresses unconditionally (lost
+    coverage must not pass silently).  Rows only in the current run are
+    ignored — the baseline defines the contract.
+    """
+    if metric not in METRICS:
+        raise ReproError(
+            f"unknown gate metric {metric!r}; known: {', '.join(METRICS)}"
+        )
+    if tolerance_pct < 0:
+        raise ReproError(
+            f"tolerance must be >= 0 percent, got {tolerance_pct}"
+        )
+    base_rows = _validate_payload(baseline, what="baseline")
+    cur_by_key = {
+        _row_key(record): record
+        for record in _validate_payload(current, what="current run")
+    }
+    higher_better = _HIGHER_IS_BETTER[metric]
+    rows = []
+    for record in base_rows:
+        key = _row_key(record)
+        base_value = float(record[metric])
+        cur = cur_by_key.get(key)
+        if cur is None:
+            rows.append(
+                BenchRow(*key, baseline=base_value, current=None,
+                         delta_pct=None, regressed=True)
+            )
+            continue
+        cur_value = float(cur[metric])
+        if base_value > 0:
+            # Signed change, oriented so positive == worse.
+            if higher_better:
+                delta_pct = (base_value - cur_value) / base_value * 100.0
+            else:
+                delta_pct = (cur_value - base_value) / base_value * 100.0
+        else:
+            delta_pct = 0.0
+        rows.append(
+            BenchRow(
+                *key,
+                baseline=base_value,
+                current=cur_value,
+                delta_pct=delta_pct,
+                regressed=delta_pct > tolerance_pct,
+            )
+        )
+    return GateReport(
+        metric=metric, tolerance_pct=float(tolerance_pct), rows=tuple(rows)
+    )
+
+
+def render_report(report: GateReport) -> str:
+    """The human-readable gate verdict, one line per row."""
+    lines = [
+        f"perf gate: metric={report.metric} "
+        f"tolerance={report.tolerance_pct:g}%"
+    ]
+    for row in report.rows:
+        label = f"{row.op} n={row.n} {row.dtype} {row.backend}"
+        if row.current is None:
+            lines.append(f"  FAIL {label}: row missing from current run")
+            continue
+        verdict = "FAIL" if row.regressed else "ok  "
+        lines.append(
+            f"  {verdict} {label}: {report.metric} "
+            f"{row.baseline:g} -> {row.current:g} "
+            f"({-row.delta_pct:+.1f}% vs baseline)"
+        )
+    if report.ok:
+        lines.append(f"gate passed: {len(report.rows)} rows within tolerance")
+    else:
+        lines.append(
+            f"gate FAILED: {len(report.regressions)}/{len(report.rows)} rows "
+            f"regressed beyond {report.tolerance_pct:g}% "
+            "(if intentional, refresh with --update-baseline)"
+        )
+    return "\n".join(lines)

@@ -10,9 +10,15 @@ stall time, and critical-path length of a simulated run.
 See ``docs/observability.md`` for the span taxonomy and event schema.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+)
 from repro.obs.exporters import (
     chrome_trace,
     metrics_json,
+    prometheus_text,
     timeline_svg,
     write_chrome_trace,
     write_metrics_json,
@@ -23,8 +29,17 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    exponential_buckets,
     global_metrics,
     reset_global_metrics,
+)
+from repro.obs.sampling import (
+    SamplingPolicy,
+    TraceLog,
+)
+from repro.obs.slo import (
+    SLOConfig,
+    SLOTracker,
 )
 from repro.obs.profile import (
     PipelineProfile,
@@ -51,16 +66,25 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PipelineProfile",
+    "SLOConfig",
+    "SLOTracker",
+    "SamplingPolicy",
+    "TraceContext",
     "TraceEvent",
+    "TraceLog",
     "TracePid",
     "Tracer",
     "build_profile",
     "chrome_trace",
     "coerce_tracer",
+    "exponential_buckets",
     "global_metrics",
     "merge_worker_events",
     "metrics_json",
+    "new_span_id",
+    "new_trace_id",
     "profile_simulation",
+    "prometheus_text",
     "reset_global_metrics",
     "timeline_svg",
     "write_chrome_trace",

@@ -1,0 +1,131 @@
+"""Request-scoped trace context: ids that survive process boundaries.
+
+A :class:`TraceContext` is the identity of one logical request as it
+crosses the serving stack's four layers — asyncio server, batch
+planner/engine, resilience chain, sharded worker processes.  It is
+deliberately tiny and wire-friendly:
+
+* ``trace_id`` — one per logical request; every span belonging to the
+  request carries it, no matter which process emitted the span.
+* ``span_id`` — one per span; the value a *child* span names as its
+  parent.
+* ``parent_id`` — the span_id of the parent span, or None for a root.
+* ``sampled`` — the head-sampling decision, made once at the root and
+  inherited by every child (see :mod:`repro.obs.sampling`).
+
+Propagation is by value: :meth:`TraceContext.child` derives the context
+for a sub-operation (fresh span_id, parent set to the current span),
+and :meth:`to_wire` / :meth:`from_wire` round-trip through the JSON
+dicts that cross sockets and ``multiprocessing`` pickles.  The tracer
+attaches a context to an event via the ``link=`` keyword, and
+:meth:`TraceEvent.to_chrome` folds it into ``args`` so Perfetto shows
+``trace_id`` / ``span_id`` / ``parent_id`` on every span — walking
+parent links reconstructs the request tree even across process lanes.
+
+Clients may supply their own trace id in the ``{"trace": ...}`` request
+field (see ``docs/serving.md``); anything else is minted here with
+:func:`new_trace_id` / :func:`new_span_id` (cryptographically random,
+collision-safe across processes with no coordination).
+"""
+
+from __future__ import annotations
+
+import re
+import secrets
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TraceContext",
+    "is_valid_id",
+    "new_span_id",
+    "new_trace_id",
+]
+
+_ID_RE = re.compile(r"^[0-9a-f]{1,64}$")
+"""Wire-format ids: lowercase hex, bounded (W3C traceparent uses 32/16)."""
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars)."""
+    return secrets.token_hex(8)
+
+
+def is_valid_id(value) -> bool:
+    """True iff ``value`` is a wire-legal trace/span id."""
+    return isinstance(value, str) and _ID_RE.match(value) is not None
+
+
+def _validate_id(value, *, what: str) -> str:
+    if not isinstance(value, str) or not _ID_RE.match(value):
+        raise ValueError(
+            f"{what} must be 1-64 lowercase hex chars, got {value!r}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of one request: (trace_id, span_id, parent_id)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    sampled: bool = True
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def new(cls, *, trace_id: str | None = None, sampled: bool = True) -> "TraceContext":
+        """A root context: fresh span, no parent.
+
+        ``trace_id`` lets a client-supplied id (already validated by the
+        protocol layer) name the trace; otherwise one is minted.
+        """
+        return cls(
+            trace_id=trace_id if trace_id is not None else new_trace_id(),
+            span_id=new_span_id(),
+            parent_id=None,
+            sampled=sampled,
+        )
+
+    def child(self) -> "TraceContext":
+        """The context for a sub-operation: same trace, fresh span,
+        parented to this span."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_id=self.span_id,
+            sampled=self.sampled,
+        )
+
+    def with_sampled(self, sampled: bool) -> "TraceContext":
+        return replace(self, sampled=sampled)
+
+    # -- wire form -------------------------------------------------------
+    def to_wire(self) -> dict:
+        """The JSON/pickle-safe dict form (crosses sockets and pools)."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if not self.sampled:
+            out["sampled"] = False
+        return out
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "TraceContext":
+        """Parse and validate a :meth:`to_wire` dict (raises ValueError)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"trace context must be an object, got {type(data).__name__}")
+        trace_id = _validate_id(data.get("trace_id"), what="trace_id")
+        span_id = _validate_id(data.get("span_id"), what="span_id")
+        parent_id = data.get("parent_id")
+        if parent_id is not None:
+            parent_id = _validate_id(parent_id, what="parent_id")
+        sampled = data.get("sampled", True)
+        if not isinstance(sampled, bool):
+            raise ValueError(f"sampled must be a bool, got {sampled!r}")
+        return cls(trace_id=trace_id, span_id=span_id, parent_id=parent_id, sampled=sampled)

@@ -11,6 +11,11 @@ Three consumers, three formats:
 * :func:`metrics_json` / :func:`write_metrics_json` — a
   :class:`~repro.obs.metrics.MetricsRegistry` snapshot with a small
   header.
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4) for a registry: counters as ``_total``, histograms
+  with cumulative ``le`` buckets, ``_sum`` and ``_count``.  Served live
+  by ``{"op": "metrics", "format": "prometheus"}`` and
+  ``plr metrics --format prometheus``.
 * :func:`timeline_svg` — a dependency-free SVG Gantt timeline (one row
   per chunk/tid), rendered by :func:`repro.eval.svgplot.render_timeline_svg`
   so all SVG styling lives in one module.
@@ -19,6 +24,7 @@ Three consumers, three formats:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 
 from repro.obs.metrics import MetricsRegistry
@@ -27,6 +33,7 @@ from repro.obs.tracer import NullTracer, TracePid, Tracer
 __all__ = [
     "chrome_trace",
     "metrics_json",
+    "prometheus_text",
     "timeline_svg",
     "write_chrome_trace",
     "write_metrics_json",
@@ -60,6 +67,9 @@ def chrome_trace(tracer: Tracer | NullTracer, *, time_unit: str = "us") -> dict:
             "generator": "repro.obs",
             "time_unit": time_unit,
             "event_count": len(tracer.events),
+            # Ring-buffer truncation is never silent: 0 means the trace
+            # is complete, anything else is how many events were lost.
+            "dropped_events": tracer.dropped,
         },
     }
 
@@ -75,6 +85,58 @@ def write_chrome_trace(
 
 def metrics_json(registry: MetricsRegistry) -> dict:
     return {"generator": "repro.obs", "metrics": registry.snapshot()}
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A metric name legal in the Prometheus exposition format."""
+    sanitized = _PROM_INVALID.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    as_float = float(value)
+    if as_float.is_integer() and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Dotted names become underscore-separated (``serve.latency_ms`` →
+    ``serve_latency_ms``); counters gain the conventional ``_total``
+    suffix; histograms emit cumulative ``le`` buckets (the registry
+    stores per-bucket counts) plus the ``+Inf`` bucket, ``_sum``, and
+    ``_count``.  Output is sorted by name so scrapes diff cleanly.
+    """
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge.value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.buckets, histogram.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
 
 
 def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> Path:

@@ -33,6 +33,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "exponential_buckets",
     "global_metrics",
     "reset_global_metrics",
 ]
@@ -41,6 +42,27 @@ DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 """Default histogram bucket upper bounds: unit/power-of-two spacing that
 is exact for small integer observations (look-back distances are capped
 at 32 by the protocol) and still bounded for large ones."""
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` geometric bucket bounds: start, start*factor, ...
+
+    The standard way to cover several orders of magnitude with a fixed
+    bucket budget — e.g. serve latencies from 50 microseconds to tens of
+    seconds — without flattening the fast end into one bucket (the
+    failure mode of a linear-at-the-bottom preset when p99 < 1 ms).
+    Bounds are rounded to 12 significant digits so repeated
+    multiplication cannot produce near-duplicate bounds that violate the
+    strictly-increasing invariant.
+    """
+    if start <= 0 or not math.isfinite(start):
+        raise ValueError(f"start must be a positive finite number, got {start}")
+    if factor <= 1 or not math.isfinite(factor):
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    bounds = tuple(float(f"{start * factor ** i:.12g}") for i in range(count))
+    return bounds
 
 
 @dataclass

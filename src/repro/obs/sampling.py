@@ -1,0 +1,176 @@
+"""Head + tail sampling and the structured JSONL request log.
+
+Always-on tracing of every request would blow the <5% overhead budget
+(``docs/observability.md``) on a busy server, so the serving layer logs
+requests through a two-stage sampling decision:
+
+* **Head sampling** — decided once per trace from a deterministic hash
+  of the ``trace_id`` (:meth:`SamplingPolicy.sample_head`), so the same
+  request samples identically on every process that sees it with no
+  coordination, and a pipeline of services would agree on which traces
+  to keep.
+* **Tail sampling** — requests the head decision would drop are kept
+  anyway when they turn out interesting: errors
+  (:attr:`SamplingPolicy.tail_errors`) and slow requests
+  (:attr:`SamplingPolicy.tail_slow_ms`).  Tail decisions need the
+  outcome, so they run at reply time — which is exactly when the serve
+  layer calls :meth:`TraceLog.record`.
+
+The :class:`TraceLog` writes one JSON object per line (append-only, so
+``tail -f`` and ``jq`` work on a live server) and counts what it
+suppressed — sampling is lossy by design, never silently lossy.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from hashlib import blake2b
+from pathlib import Path
+
+__all__ = [
+    "SamplingPolicy",
+    "TraceLog",
+]
+
+_HASH_SPACE = float(2**64)
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """When to keep a request's trace record.
+
+    Parameters
+    ----------
+    head_rate:
+        Fraction of traces kept unconditionally, in [0, 1].  1.0 keeps
+        everything (the default: small deployments want full logs and
+        the serve overhead guard holds either way); 0.0 keeps only what
+        tail sampling rescues.
+    tail_errors:
+        Keep every request that ended in an error, regardless of the
+        head decision.
+    tail_slow_ms:
+        Keep every request slower than this many milliseconds; None
+        disables the slow-tail rule.
+    """
+
+    head_rate: float = 1.0
+    tail_errors: bool = True
+    tail_slow_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.head_rate <= 1.0:
+            raise ValueError(f"head_rate must be in [0, 1], got {self.head_rate}")
+        if self.tail_slow_ms is not None and self.tail_slow_ms < 0:
+            raise ValueError(f"tail_slow_ms must be >= 0, got {self.tail_slow_ms}")
+
+    def sample_head(self, trace_id: str) -> bool:
+        """The head decision for a trace: deterministic in ``trace_id``.
+
+        Hashes with BLAKE2b (not Python's ``hash``, which is salted per
+        process) so every process — and every restart — agrees.
+        """
+        if self.head_rate >= 1.0:
+            return True
+        if self.head_rate <= 0.0:
+            return False
+        digest = blake2b(trace_id.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / _HASH_SPACE < self.head_rate
+
+    def decision(
+        self, *, head_sampled: bool, ok: bool, latency_ms: float
+    ) -> str | None:
+        """Why this request is kept, or None to suppress it.
+
+        Returns ``"head"``, ``"error"``, or ``"slow"`` — recorded in the
+        log entry so consumers can un-bias rate estimates (a kept error
+        under head_rate=0.01 represents one error, not a hundred).
+        """
+        if head_sampled:
+            return "head"
+        if self.tail_errors and not ok:
+            return "error"
+        if self.tail_slow_ms is not None and latency_ms > self.tail_slow_ms:
+            return "slow"
+        return None
+
+
+class TraceLog:
+    """Append-only JSONL log of sampled per-request records.
+
+    The file handle opens lazily on the first kept record and is line
+    buffered; :meth:`flush` is called by the server's drain path so a
+    graceful shutdown never loses tail entries.  Not thread-safe by
+    itself — the serving layer calls it from the event loop only.
+    """
+
+    def __init__(self, path: str | Path, policy: SamplingPolicy | None = None):
+        self.path = Path(path)
+        self.policy = policy if policy is not None else SamplingPolicy()
+        self.written = 0
+        self.suppressed = 0
+        self._handle = None
+
+    # -- recording -------------------------------------------------------
+    def record(
+        self,
+        *,
+        trace_id: str,
+        ok: bool,
+        latency_ms: float,
+        error: str | None = None,
+        engine: str | None = None,
+        extra: dict | None = None,
+    ) -> str | None:
+        """Log one finished request; returns the keep-reason or None."""
+        head = self.policy.sample_head(trace_id)
+        reason = self.policy.decision(
+            head_sampled=head, ok=ok, latency_ms=latency_ms
+        )
+        if reason is None:
+            self.suppressed += 1
+            return None
+        entry: dict = {
+            "ts": time.time(),
+            "trace_id": trace_id,
+            "ok": bool(ok),
+            "latency_ms": round(float(latency_ms), 3),
+            "sampled": reason,
+        }
+        if error is not None:
+            entry["error"] = error
+        if engine is not None:
+            entry["engine"] = engine
+        if extra:
+            entry.update(extra)
+        if self._handle is None:
+            self._handle = open(self.path, "a", buffering=1)
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.written += 1
+        return reason
+
+    # -- bookkeeping -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "written": self.written,
+            "suppressed": self.suppressed,
+        }
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,154 @@
+"""SLO tracking: latency-objective attainment, error budget, burn rates.
+
+The serving layer promises "a correct output or a typed error"; an SLO
+says how *often* and how *fast* that promise must hold.  This module
+turns the stream of per-request outcomes into the three numbers an
+operator actually pages on:
+
+* **attainment** — the fraction of requests that were *good*: replied
+  ``ok`` within the latency objective.  Compared against the target
+  (e.g. 0.99) directly.
+* **error budget** — a target of 0.99 allows 1% bad requests; the
+  budget is how much of that allowance remains over the tracker's
+  lifetime.  Negative remaining fraction means the SLO is blown.
+* **burn rate** — per sliding window, the ratio of the observed
+  bad-request rate to the allowed rate.  Burn rate 1.0 spends the
+  budget exactly on schedule; 14.4 over one hour is the classic
+  page-now threshold.  Multiple windows (default 5 min and 1 h)
+  distinguish a fast burn (incident) from a slow one (degradation).
+
+The tracker keeps per-second aggregate buckets in a bounded deque — no
+per-request allocation beyond one bucket per active second, O(window)
+memory, injectable clock for deterministic tests.  It is exposed live
+via the server's ``{"op": "slo"}`` control frame and ``plr slo``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = [
+    "SLOConfig",
+    "SLOTracker",
+]
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """The objective: latency bound, success target, burn windows."""
+
+    latency_objective_ms: float = 50.0
+    target: float = 0.99
+    windows_s: tuple[float, ...] = (300.0, 3600.0)
+
+    def __post_init__(self) -> None:
+        if self.latency_objective_ms <= 0:
+            raise ValueError(
+                f"latency_objective_ms must be > 0, got {self.latency_objective_ms}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        windows = tuple(float(w) for w in self.windows_s)
+        if not windows or any(w <= 0 for w in windows):
+            raise ValueError(f"windows_s must be positive, got {self.windows_s}")
+        if list(windows) != sorted(set(windows)):
+            raise ValueError(f"windows_s must strictly increase, got {self.windows_s}")
+        object.__setattr__(self, "windows_s", windows)
+
+
+class SLOTracker:
+    """Streaming attainment/budget/burn-rate computation.
+
+    ``clock`` returns seconds (monotonic by default); tests inject a
+    fake.  :meth:`record` is O(1) amortized; :meth:`report` is
+    O(max window in seconds), cheap enough for a control-frame handler.
+    """
+
+    def __init__(self, config: SLOConfig | None = None, *, clock=time.monotonic):
+        self.config = config if config is not None else SLOConfig()
+        self._clock = clock
+        self.total = 0
+        self.good = 0
+        # Per-second aggregates: [second, total, good], oldest first.
+        self._buckets: deque[list] = deque()
+        self._horizon = max(self.config.windows_s)
+
+    # -- recording -------------------------------------------------------
+    def record(self, *, ok: bool, latency_ms: float) -> bool:
+        """Account one finished request; returns whether it was good.
+
+        A request is *good* iff it succeeded and met the latency
+        objective — a slow success spends error budget just like a
+        failure, which is the point of a latency SLO.
+        """
+        good = bool(ok) and latency_ms <= self.config.latency_objective_ms
+        self.total += 1
+        if good:
+            self.good += 1
+        second = int(self._clock())
+        if self._buckets and self._buckets[-1][0] == second:
+            bucket = self._buckets[-1]
+        else:
+            bucket = [second, 0, 0]
+            self._buckets.append(bucket)
+            self._evict(second)
+        bucket[1] += 1
+        if good:
+            bucket[2] += 1
+        return good
+
+    def _evict(self, now_second: int) -> None:
+        cutoff = now_second - self._horizon
+        while self._buckets and self._buckets[0][0] < cutoff:
+            self._buckets.popleft()
+
+    # -- reporting -------------------------------------------------------
+    def report(self) -> dict:
+        """The JSON-ready SLO report (served by ``{"op": "slo"}``)."""
+        config = self.config
+        now_second = int(self._clock())
+        self._evict(now_second)
+        allowed = 1.0 - config.target
+        bad = self.total - self.good
+        attainment = self.good / self.total if self.total else 1.0
+        consumed = (bad / self.total) / allowed if self.total else 0.0
+        windows = []
+        for window in config.windows_s:
+            cutoff = now_second - window
+            w_total = w_good = 0
+            for second, total, good in self._buckets:
+                if second >= cutoff:
+                    w_total += total
+                    w_good += good
+            w_attainment = w_good / w_total if w_total else 1.0
+            windows.append(
+                {
+                    "window_s": window,
+                    "total": w_total,
+                    "good": w_good,
+                    "attainment": w_attainment,
+                    "burn_rate": (1.0 - w_attainment) / allowed,
+                }
+            )
+        return {
+            "objective": {
+                "latency_ms": config.latency_objective_ms,
+                "target": config.target,
+            },
+            "total": self.total,
+            "good": self.good,
+            "attainment": attainment,
+            "error_budget": {
+                "allowed_fraction": allowed,
+                "consumed_fraction": consumed,
+                "remaining_fraction": 1.0 - consumed,
+            },
+            "windows": windows,
+        }
+
+    def clear(self) -> None:
+        self.total = 0
+        self.good = 0
+        self._buckets.clear()

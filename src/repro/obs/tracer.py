@@ -34,6 +34,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
+from repro.obs.context import TraceContext
+
 __all__ = [
     "NULL_TRACER",
     "NullTracer",
@@ -95,6 +97,12 @@ class TraceEvent:
         events).
     args:
         Structured payload; must be JSON-serializable.
+    link:
+        Optional :class:`~repro.obs.context.TraceContext` binding the
+        event to a request: :meth:`to_chrome` folds its
+        trace_id/span_id/parent_id into ``args``, which is how parent
+        links survive into the exported trace (including events shipped
+        back from worker processes).
     """
 
     name: str
@@ -105,6 +113,7 @@ class TraceEvent:
     pid: int = TracePid.HOST
     tid: int = 0
     args: dict | None = None
+    link: TraceContext | None = None
 
     def to_chrome(self) -> dict:
         """The Chrome trace-event object for this record."""
@@ -119,7 +128,14 @@ class TraceEvent:
             out["cat"] = self.cat
         if self.dur is not None:
             out["dur"] = self.dur
-        if self.args is not None:
+        if self.link is not None:
+            args = dict(self.args) if self.args else {}
+            args["trace_id"] = self.link.trace_id
+            args["span_id"] = self.link.span_id
+            if self.link.parent_id is not None:
+                args["parent_id"] = self.link.parent_id
+            out["args"] = args
+        elif self.args is not None:
             out["args"] = self.args
         return out
 
@@ -139,10 +155,15 @@ class Tracer:
         is discarded (keeping tracing O(1) amortized and memory
         bounded on pathological runs).  Generous by default: a full
         small-GPU simulation of 2^16 words emits a few thousand events.
+        Discards are never silent: :attr:`dropped` counts every event
+        lost this way, and the Chrome exporter annotates the trace with
+        it (``otherData.dropped_events``) so a truncated timeline is
+        visibly truncated.
     """
 
     max_events: int = 1_000_000
     events: list[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
     _clock: Callable[[], float] = field(default=_wall_clock_us, repr=False)
     _t0: float = field(default=0.0, repr=False)
 
@@ -175,7 +196,9 @@ class Tracer:
     # -- emission --------------------------------------------------------
     def _append(self, event: TraceEvent) -> None:
         if len(self.events) >= self.max_events:
-            del self.events[: self.max_events // 2]
+            discard = self.max_events // 2
+            del self.events[:discard]
+            self.dropped += discard
         self.events.append(event)
 
     def instant(
@@ -187,6 +210,7 @@ class Tracer:
         tid: int = 0,
         args: dict | None = None,
         ts: float | None = None,
+        link: TraceContext | None = None,
     ) -> None:
         """Emit a point-in-time event (Chrome phase ``"i"``)."""
         self._append(
@@ -198,6 +222,7 @@ class Tracer:
                 pid=pid,
                 tid=tid,
                 args=args,
+                link=link,
             )
         )
 
@@ -211,6 +236,7 @@ class Tracer:
         pid: int = TracePid.HOST,
         tid: int = 0,
         args: dict | None = None,
+        link: TraceContext | None = None,
     ) -> None:
         """Emit a complete span (Chrome phase ``"X"``) explicitly."""
         self._append(
@@ -223,6 +249,7 @@ class Tracer:
                 pid=pid,
                 tid=tid,
                 args=args,
+                link=link,
             )
         )
 
@@ -258,6 +285,7 @@ class Tracer:
         pid: int = TracePid.HOST,
         tid: int = 0,
         args: dict | None = None,
+        link: TraceContext | None = None,
     ) -> Iterator[None]:
         """Time a ``with`` body as one complete span."""
         t0 = self.now()
@@ -265,7 +293,8 @@ class Tracer:
             yield
         finally:
             self.complete(
-                name, t0, self.now() - t0, cat=cat, pid=pid, tid=tid, args=args
+                name, t0, self.now() - t0, cat=cat, pid=pid, tid=tid, args=args,
+                link=link,
             )
 
     # -- inspection ------------------------------------------------------
@@ -292,6 +321,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
 
 class _NullSpan:
@@ -321,6 +351,7 @@ class NullTracer:
 
     enabled = False
     events: tuple = ()
+    dropped = 0
 
     def now(self) -> float:
         return 0.0
@@ -366,6 +397,9 @@ def merge_worker_events(
     shows the host spine plus one process lane per worker.  Worker
     clocks are fresh per task, so their timestamps are task-relative —
     fine for intra-worker ordering, which is what the lanes show.
+    Trace-context links survive the remap verbatim: a worker span keeps
+    the request trace_id/parent_id it was given, which is what stitches
+    the cross-process request tree back together.
     """
     if not tracer.enabled:
         return
@@ -381,6 +415,7 @@ def merge_worker_events(
                 pid=pid,
                 tid=event.tid,
                 args=event.args,
+                link=event.link,
             )
         )
 

@@ -40,6 +40,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.core.errors import WorkerError
+from repro.obs.context import TraceContext
 from repro.obs.tracer import NULL_TRACER, Tracer, coerce_tracer, merge_worker_events
 from repro.plr.factors import CorrectionFactorTable
 from repro.plr.phase1 import phase1_inplace
@@ -86,6 +87,20 @@ def _maybe_inject(inject: str | None, slab_index: int) -> None:
         time.sleep(3600)
 
 
+def _slab_context(context_wire: dict | None) -> TraceContext | None:
+    """Rehydrate the slab's trace context shipped across the pool.
+
+    Contexts cross the process boundary in wire (dict) form — the same
+    form they cross sockets in — so a worker's spans carry the request's
+    trace_id and parent to the host-side stage span, and
+    :func:`~repro.obs.tracer.merge_worker_events` stitches the lanes
+    back into one request tree.
+    """
+    if context_wire is None:
+        return None
+    return TraceContext.from_wire(context_wire)
+
+
 def _phase1_slab_task(
     work_name: str,
     carries_name: str,
@@ -97,6 +112,7 @@ def _phase1_slab_task(
     x: int,
     trace: bool,
     inject: str | None,
+    context_wire: dict | None = None,
 ):
     """Stage A, in a worker: Phase 1 on the slab + its affine summary.
 
@@ -107,6 +123,7 @@ def _phase1_slab_task(
     """
     _maybe_inject(inject, slab_index)
     tracer = Tracer() if trace else NULL_TRACER
+    slab_ctx = _slab_context(context_wire)
     dtype = np.dtype(dtype_str)
     start, stop = span
     work_shm = _attach(work_name)
@@ -122,12 +139,18 @@ def _phase1_slab_task(
                 "phase1_slab",
                 cat="parallel",
                 args={"slab": slab_index, "rows": stop - start},
+                link=slab_ctx,
             ):
                 phase1_inplace(slab, table, x, tracer=tracer)
             locals_ = local_carries(slab, table.order)
             carries[start:stop] = locals_
             matrix = transition_matrix(table)
-            with tracer.span("slab_summary", cat="parallel", args={"slab": slab_index}):
+            with tracer.span(
+                "slab_summary",
+                cat="parallel",
+                args={"slab": slab_index},
+                link=slab_ctx.child() if slab_ctx is not None else None,
+            ):
                 power = np.linalg.matrix_power(matrix, stop - start)
                 exit_carries = propagate_carries(np.asarray(carries[start:stop]), matrix)[-1].copy()
         events = list(tracer.events)
@@ -151,6 +174,7 @@ def _phase2_slab_task(
     table: CorrectionFactorTable,
     base: np.ndarray | None,
     trace: bool,
+    context_wire: dict | None = None,
 ):
     """Stage B, in a worker: propagate from the scanned base and correct.
 
@@ -159,6 +183,7 @@ def _phase2_slab_task(
     serial spine).  The correction runs in place on the shared slab.
     """
     tracer = Tracer() if trace else NULL_TRACER
+    slab_ctx = _slab_context(context_wire)
     dtype = np.dtype(dtype_str)
     start, stop = span
     work_shm = _attach(work_name)
@@ -176,6 +201,7 @@ def _phase2_slab_task(
                 "phase2_slab",
                 cat="parallel",
                 args={"slab": slab_index, "rows": stop - start},
+                link=slab_ctx,
             ):
                 global_ = propagate_carries(locals_, matrix, base=base)
                 if base is None:
@@ -311,6 +337,7 @@ def solve_sharded(
     x: int,
     options: ShardOptions | None = None,
     tracer=NULL_TRACER,
+    context: TraceContext | None = None,
 ) -> np.ndarray:
     """Run both phases over a padded 1D input across a process pool.
 
@@ -322,6 +349,11 @@ def solve_sharded(
 
     With one slab (or one usable worker) the solve runs inline in this
     process — same arithmetic, no pool overhead.
+
+    ``context`` names the owning request's trace: stage spans become its
+    children and each slab submission carries a wire-encoded child
+    context across the process boundary, so the merged worker lanes
+    reconnect to one parent-linked tree.
     """
     options = options or ShardOptions()
     tracer = coerce_tracer(tracer)
@@ -352,8 +384,12 @@ def solve_sharded(
     )
     trace = tracer.enabled
     try:
+        p1_ctx = context.child() if context is not None else None
         with tracer.span(
-            "phase1_shards", cat="parallel", args={"slabs": len(spans)}
+            "phase1_shards",
+            cat="parallel",
+            args={"slabs": len(spans)},
+            link=p1_ctx,
         ):
             futures = {
                 pool.submit(
@@ -368,6 +404,7 @@ def solve_sharded(
                     x,
                     trace,
                     options.inject,
+                    p1_ctx.child().to_wire() if p1_ctx is not None else None,
                 ): i
                 for i, span in enumerate(spans)
             }
@@ -378,7 +415,12 @@ def solve_sharded(
                 summaries[slab_index] = (power, exit_carries)
                 merge_worker_events(tracer, slab_index, events)
 
-        with tracer.span("carry_scan", cat="parallel", args={"slabs": len(spans)}):
+        with tracer.span(
+            "carry_scan",
+            cat="parallel",
+            args={"slabs": len(spans)},
+            link=context.child() if context is not None else None,
+        ):
             from repro.parallel.scan import exclusive_affine_scan
 
             prefixes = exclusive_affine_scan(summaries, k, dtype)
@@ -386,8 +428,12 @@ def solve_sharded(
             # the b-component of the exclusive prefix map.
             bases = [b for _, b in prefixes]
 
+        p2_ctx = context.child() if context is not None else None
         with tracer.span(
-            "phase2_shards", cat="parallel", args={"slabs": len(spans)}
+            "phase2_shards",
+            cat="parallel",
+            args={"slabs": len(spans)},
+            link=p2_ctx,
         ):
             futures = {
                 pool.submit(
@@ -401,6 +447,7 @@ def solve_sharded(
                     table,
                     None if i == 0 else bases[i],
                     trace,
+                    p2_ctx.child().to_wire() if p2_ctx is not None else None,
                 ): i
                 for i, span in enumerate(spans)
             }

@@ -234,20 +234,25 @@ class PLRSolver:
         values: np.ndarray,
         plan: ExecutionPlan | None = None,
         dtype: np.dtype | None = None,
+        context=None,
     ) -> np.ndarray:
         """Compute the recurrence over ``values``.
 
         Returns an array of the same length; dtype follows the paper's
         methodology (int32 for integer signatures on integer data,
-        float32 otherwise) unless overridden.
+        float32 otherwise) unless overridden.  ``context`` is an
+        optional :class:`~repro.obs.context.TraceContext`: when given,
+        the solve's spans (plan, phases, sharded stages, worker lanes)
+        parent under it so the solve joins a request-scoped trace.
         """
-        return self._solve(values, plan, dtype, keep_partial=False)[0]
+        return self._solve(values, plan, dtype, keep_partial=False, context=context)[0]
 
     def solve_with_artifacts(
         self,
         values: np.ndarray,
         plan: ExecutionPlan | None = None,
         dtype: np.dtype | None = None,
+        context=None,
     ) -> tuple[np.ndarray, SolveArtifacts]:
         """Like :meth:`solve` but also returns the intermediate state.
 
@@ -255,7 +260,7 @@ class PLRSolver:
         a copy rather than the Phase 1 buffer, so this entry point pays
         one extra (num_chunks, m) allocation that :meth:`solve` avoids.
         """
-        return self._solve(values, plan, dtype, keep_partial=True)
+        return self._solve(values, plan, dtype, keep_partial=True, context=context)
 
     def _solve(
         self,
@@ -263,14 +268,26 @@ class PLRSolver:
         plan: ExecutionPlan | None,
         dtype: np.dtype | None,
         keep_partial: bool,
+        context=None,
     ) -> tuple[np.ndarray, SolveArtifacts]:
         tracer = self.tracer
+
+        def link():
+            # One fresh child per span; None stays None so the untraced
+            # hot path allocates nothing.
+            return context.child() if context is not None else None
+
         values = np.asarray(values)
         if values.ndim != 1:
             raise ValueError(f"expected a 1D sequence, got shape {values.shape}")
         n = values.size
         if plan is None:
-            with tracer.span("plan", cat="solver", args={"n": n} if tracer.enabled else None):
+            with tracer.span(
+                "plan",
+                cat="solver",
+                args={"n": n} if tracer.enabled else None,
+                link=link(),
+            ):
                 plan = self.plan_for(n)
         if dtype is None:
             dtype = resolve_dtype(self.recurrence.signature, values.dtype)
@@ -287,7 +304,7 @@ class PLRSolver:
         work = values.astype(dtype, copy=False)
         # Map stage (2): eliminate the feed-forward coefficients.
         if self.recurrence.has_map_stage:
-            with tracer.span("map_stage", cat="solver"):
+            with tracer.span("map_stage", cat="solver", link=link()):
                 work = self.recurrence.apply_map_stage(work)
 
         # Zero-pad to a whole number of chunks.  Trailing zeros never
@@ -299,7 +316,7 @@ class PLRSolver:
         else:
             padded = work
 
-        with tracer.span("factor_table", cat="solver"):
+        with tracer.span("factor_table", cat="solver", link=link()):
             table = self.factor_table(plan, dtype)
         factor_plan = optimize_factors(table, self.optimization)
 
@@ -307,10 +324,12 @@ class PLRSolver:
         if self.backend == "process":
             from repro.parallel.backend import solve_sharded
 
+            sharded_ctx = link()
             with tracer.span(
                 "solve_sharded",
                 cat="solver",
                 args={"chunks": padded_n // plan.chunk_size} if tracer.enabled else None,
+                link=sharded_ctx,
             ):
                 corrected = solve_sharded(
                     padded,
@@ -318,6 +337,7 @@ class PLRSolver:
                     plan.values_per_thread,
                     options=self.shard_options,
                     tracer=tracer,
+                    context=sharded_ctx,
                 )
             # Workers corrected their shared slabs in place; no host-side
             # Phase 1 snapshot exists to expose.
@@ -327,9 +347,10 @@ class PLRSolver:
                 "phase1",
                 cat="solver",
                 args={"chunks": padded_n // plan.chunk_size} if tracer.enabled else None,
+                link=link(),
             ):
                 partial = phase1(padded, table, plan.values_per_thread, tracer=tracer)
-            with tracer.span("phase2", cat="solver"):
+            with tracer.span("phase2", cat="solver", link=link()):
                 # Correct the Phase 1 buffer in place unless the caller
                 # asked for the pristine partial result.
                 corrected = phase2(

@@ -45,6 +45,7 @@ from repro.core.validation import compare_results
 from repro.gpusim.executor import SimulatedPLR
 from repro.gpusim.faults import FaultEvent, FaultPlan
 from repro.gpusim.spec import MachineSpec
+from repro.obs.context import TraceContext
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import TracePid, coerce_tracer
 from repro.plr.phase1 import check_integer_coefficients
@@ -204,6 +205,13 @@ class ResilientSolver:
         typed :class:`~repro.core.errors.WorkerError` and the chain
         degrades to the single-process path — the multicore level is an
         accelerator, never a correctness dependency.
+    context:
+        Optional :class:`~repro.obs.context.TraceContext` naming the
+        request this chain serves.  When set, the chain emits a
+        ``resilient_solve`` span under it, each attempt/fallback
+        instant carries its own child span, and per-attempt contexts
+        propagate into the engine (and, for ``backend="process"``, into
+        the worker lanes) — one request, one connected trace tree.
     """
 
     def __init__(
@@ -220,6 +228,7 @@ class ResilientSolver:
         backend: str = "single",
         workers: int | None = None,
         shard_options=None,
+        context: TraceContext | None = None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
@@ -243,6 +252,7 @@ class ResilientSolver:
         self.chunk_size = chunk_size
         self.deadlock_rounds = deadlock_rounds
         self.tracer = coerce_tracer(tracer)
+        self.context = context
         self.metrics = MetricsRegistry()
         self._solver = PLRSolver(
             recurrence,
@@ -277,7 +287,13 @@ class ResilientSolver:
         passes each request's grouped dtype); the chain may still
         promote it while degrading.
         """
-        report = self._run_chain(values, dtype=dtype)
+        if self.tracer.enabled and self.context is not None:
+            with self.tracer.span(
+                "resilient_solve", cat="resilience", link=self.context
+            ):
+                report = self._run_chain(values, dtype=dtype)
+        else:
+            report = self._run_chain(values, dtype=dtype)
         report.metrics = self.metrics.snapshot()
         return report
 
@@ -291,6 +307,7 @@ class ResilientSolver:
                 cat="resilience",
                 pid=TracePid.HOST,
                 args={"action": message},
+                link=self.context.child() if self.context is not None else None,
             )
 
     def _run_chain(
@@ -332,10 +349,13 @@ class ResilientSolver:
                 break
             t0 = time.monotonic()
             self._pending_events = []
+            attempt_ctx = (
+                self.context.child() if self.context is not None else None
+            )
             try:
-                output = self._attempt(values, dtype, plan, seed)
+                output = self._attempt(values, dtype, plan, seed, attempt_ctx)
                 report.attempts.append(
-                    self._record(dtype, plan, seed, "ok", "", t0)
+                    self._record(dtype, plan, seed, "ok", "", t0, attempt_ctx)
                 )
                 report.ok = True
                 report.output = output
@@ -345,7 +365,7 @@ class ResilientSolver:
             except NumericalError as exc:
                 last_error = exc
                 report.attempts.append(
-                    self._record(dtype, plan, seed, "numerical", str(exc), t0)
+                    self._record(dtype, plan, seed, "numerical", str(exc), t0, attempt_ctx)
                 )
                 if policy.promote_dtype and promotable:
                     dtype = np.dtype(np.float64)
@@ -376,7 +396,7 @@ class ResilientSolver:
             except WorkerError as exc:
                 last_error = exc
                 report.attempts.append(
-                    self._record(dtype, plan, seed, "worker", str(exc), t0)
+                    self._record(dtype, plan, seed, "worker", str(exc), t0, attempt_ctx)
                 )
                 self.metrics.counter("resilience.worker_faults").inc()
                 if self._solver.backend == "process":
@@ -397,17 +417,17 @@ class ResilientSolver:
             except DeadlockError as exc:
                 last_error = exc
                 report.attempts.append(
-                    self._record(dtype, plan, seed, "deadlock", str(exc).splitlines()[0], t0)
+                    self._record(dtype, plan, seed, "deadlock", str(exc).splitlines()[0], t0, attempt_ctx)
                 )
             except ValidationError as exc:
                 last_error = exc
                 report.attempts.append(
-                    self._record(dtype, plan, seed, "corrupt", str(exc), t0)
+                    self._record(dtype, plan, seed, "corrupt", str(exc), t0, attempt_ctx)
                 )
             except SimulationError as exc:
                 last_error = exc
                 report.attempts.append(
-                    self._record(dtype, plan, seed, "simulation", str(exc), t0)
+                    self._record(dtype, plan, seed, "simulation", str(exc), t0, attempt_ctx)
                 )
             finally:
                 # Injected-fault event log of the simulator attempt, if
@@ -474,6 +494,7 @@ class ResilientSolver:
         outcome: str,
         detail: str,
         t0: float,
+        ctx: TraceContext | None = None,
     ) -> AttemptRecord:
         self.metrics.counter("resilience.attempts").inc()
         self.metrics.counter(f"resilience.attempts.{outcome}").inc()
@@ -488,6 +509,7 @@ class ResilientSolver:
                     "seed": seed if self.engine == "sim" else None,
                     "outcome": outcome,
                 },
+                link=ctx,
             )
         return AttemptRecord(
             engine=self.engine,
@@ -512,6 +534,7 @@ class ResilientSolver:
         dtype: np.dtype,
         plan: ExecutionPlan | None,
         seed: int,
+        ctx: TraceContext | None = None,
     ) -> np.ndarray:
         work = values.astype(dtype, copy=False)
         if self.engine == "sim":
@@ -542,7 +565,9 @@ class ResilientSolver:
             # An attempt is allowed to overflow — that is precisely what
             # the health check below detects — so keep numpy quiet here.
             with np.errstate(over="ignore", invalid="ignore"):
-                output = self._solver.solve(values, plan=plan, dtype=dtype)
+                output = self._solver.solve(
+                    values, plan=plan, dtype=dtype, context=ctx
+                )
         if np.issubdtype(np.dtype(dtype), np.floating) and not np.isfinite(output).all():
             bad = int((~np.isfinite(output)).sum())
             raise NumericalError(
@@ -612,6 +637,7 @@ class ResilientSolver:
                 cat="resilience",
                 pid=TracePid.HOST,
                 args={"engine": "serial", "dtype": np.dtype(dtype).name, "outcome": "ok"},
+                link=self.context.child() if self.context is not None else None,
             )
         report.attempts.append(
             AttemptRecord(
@@ -637,6 +663,10 @@ def solve_request(
     dtype: np.dtype | None = None,
     policy: FallbackPolicy | None = None,
     tracer=None,
+    context: TraceContext | None = None,
+    backend: str = "single",
+    workers: int | None = None,
+    shard_options=None,
 ) -> SolveReport:
     """Solve one request through a fresh degradation chain.
 
@@ -644,7 +674,18 @@ def solve_request(
     fails (or one row's output is unhealthy), each affected request is
     re-run alone through this function so its failure — and any
     degradation that rescues it — stays confined to that request.
-    ``dtype`` pins the dtype the request was grouped under.
+    ``dtype`` pins the dtype the request was grouped under; ``context``
+    carries the request's trace identity into the chain; ``backend``
+    (with ``workers``/``shard_options``) selects the multicore sharded
+    path for the isolated re-run.
     """
-    solver = ResilientSolver(recurrence, policy=policy, tracer=tracer)
+    solver = ResilientSolver(
+        recurrence,
+        policy=policy,
+        tracer=tracer,
+        context=context,
+        backend=backend,
+        workers=workers,
+        shard_options=shard_options,
+    )
     return solver.solve_with_report(np.asarray(values), dtype=dtype)

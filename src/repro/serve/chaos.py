@@ -99,13 +99,13 @@ class FaultyEngine(BatchEngine):
         super().__init__(*args, **kwargs)
         self.schedule = schedule or FaultSchedule()
 
-    def execute(self, requests):
+    def execute(self, requests, context=None):
         if self.schedule.die_remaining > 0:
             self.schedule.die_remaining -= 1
             raise WorkerError("injected worker death mid-batch")
         if self.schedule.delay_s > 0:
             time.sleep(self.schedule.delay_s)
-        return super().execute(requests)
+        return super().execute(requests, context=context)
 
 
 @dataclass(frozen=True)

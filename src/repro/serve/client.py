@@ -82,6 +82,7 @@ class ServeClient:
         dtype: str | None = None,
         deadline_ms: float | None = None,
         request_id: object = None,
+        trace: dict | None = None,
         timeout: float = 30.0,
     ) -> dict | None:
         frame: dict = {"id": request_id, "signature": signature, "values": list(values)}
@@ -89,10 +90,20 @@ class ServeClient:
             frame["dtype"] = dtype
         if deadline_ms is not None:
             frame["deadline_ms"] = deadline_ms
+        if trace is not None:
+            frame["trace"] = trace
         return await self.request(frame, timeout)
 
-    async def metrics(self, timeout: float = 30.0) -> dict | None:
-        return await self.request({"op": "metrics"}, timeout)
+    async def metrics(
+        self, format: str | None = None, timeout: float = 30.0
+    ) -> dict | None:
+        frame: dict = {"op": "metrics"}
+        if format is not None:
+            frame["format"] = format
+        return await self.request(frame, timeout)
+
+    async def slo(self, timeout: float = 30.0) -> dict | None:
+        return await self.request({"op": "slo"}, timeout)
 
     async def ping(self, timeout: float = 30.0) -> dict | None:
         return await self.request({"op": "ping"}, timeout)

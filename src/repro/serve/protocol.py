@@ -19,11 +19,17 @@ live in how frames are *validated*, not in how they are framed:
 Solve frames::
 
     {"id": 7, "signature": "(1: 2, -1)", "values": [1, 2, 3],
-     "dtype": "int32", "deadline_ms": 50}
+     "dtype": "int32", "deadline_ms": 50,
+     "trace": {"trace_id": "4bf9...", "span_id": "a1b2..."}}
 
-``id`` is echoed verbatim in the reply (any JSON value); ``dtype`` and
-``deadline_ms`` are optional.  Control frames carry an ``op`` instead:
-``{"op": "ping"}``, ``{"op": "metrics"}``, ``{"op": "drain"}``.
+``id`` is echoed verbatim in the reply (any JSON value); ``dtype``,
+``deadline_ms``, and ``trace`` are optional.  ``trace`` lets a caller
+join the request to its own distributed trace: ``trace_id`` (lowercase
+hex) is adopted for every span the server emits for this request, and
+``span_id``, if present, becomes the parent of the server's root span.
+Control frames carry an ``op`` instead: ``{"op": "ping"}``,
+``{"op": "metrics"}`` (optionally ``"format": "prometheus"``),
+``{"op": "slo"}``, ``{"op": "drain"}``.
 
 Replies::
 
@@ -38,11 +44,13 @@ import math
 from dataclasses import dataclass
 
 from repro.core.errors import ProtocolError, ReproError
+from repro.obs.context import is_valid_id
 
 __all__ = [
     "CONTROL_OPS",
     "ControlFrame",
     "MAX_LINE_BYTES",
+    "METRICS_FORMATS",
     "ServerError",
     "SolveFrame",
     "encode_reply",
@@ -55,7 +63,9 @@ MAX_LINE_BYTES = 1 << 20
 reasonable solve request; refusing it bounds the memory one client can
 pin and defeats endless-line slow-loris streams."""
 
-CONTROL_OPS = ("ping", "metrics", "drain")
+CONTROL_OPS = ("ping", "metrics", "slo", "drain")
+
+METRICS_FORMATS = ("json", "prometheus")
 
 
 class ServerError(ReproError):
@@ -70,21 +80,31 @@ class ServerError(ReproError):
 
 @dataclass(frozen=True)
 class ControlFrame:
-    """An operational request: no solving, no queueing."""
+    """An operational request: no solving, no queueing.
+
+    ``format`` only applies to ``op == "metrics"`` — ``"json"`` (the
+    default) or ``"prometheus"`` text exposition.
+    """
 
     op: str
     id: object = None
+    format: str | None = None
 
 
 @dataclass(frozen=True)
 class SolveFrame:
-    """One validated solve request, still in wire types (lists, str)."""
+    """One validated solve request, still in wire types (lists, str).
+
+    ``trace`` is the caller's trace-context dict (``trace_id`` required,
+    ``span_id`` optional) — shape-validated here, adopted at admission.
+    """
 
     id: object
     signature: str
     values: list
     dtype: str | None = None
     deadline_ms: float | None = None
+    trace: dict | None = None
 
 
 def parse_frame(line: bytes | str) -> ControlFrame | SolveFrame:
@@ -115,7 +135,18 @@ def parse_frame(line: bytes | str) -> ControlFrame | SolveFrame:
             raise ProtocolError(
                 f"unknown op {op!r}; known ops: {', '.join(CONTROL_OPS)}"
             )
-        return ControlFrame(op=op, id=obj.get("id"))
+        fmt = obj.get("format")
+        if fmt is not None:
+            if op != "metrics":
+                raise ProtocolError(
+                    f"format only applies to op 'metrics', not {op!r}"
+                )
+            if fmt not in METRICS_FORMATS:
+                raise ProtocolError(
+                    f"unknown metrics format {fmt!r}; "
+                    f"known formats: {', '.join(METRICS_FORMATS)}"
+                )
+        return ControlFrame(op=op, id=obj.get("id"), format=fmt)
 
     missing = [key for key in ("signature", "values") if key not in obj]
     if missing:
@@ -147,12 +178,30 @@ def parse_frame(line: bytes | str) -> ControlFrame | SolveFrame:
             raise ProtocolError(
                 f"deadline_ms must be finite and >= 0, got {deadline_ms}"
             )
+    trace = obj.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict):
+            raise ProtocolError(
+                f"trace must be a JSON object, got {type(trace).__name__}"
+            )
+        if not is_valid_id(trace.get("trace_id")):
+            raise ProtocolError(
+                "trace.trace_id must be 1-64 lowercase hex chars, "
+                f"got {trace.get('trace_id')!r}"
+            )
+        span_id = trace.get("span_id")
+        if span_id is not None and not is_valid_id(span_id):
+            raise ProtocolError(
+                "trace.span_id must be 1-64 lowercase hex chars, "
+                f"got {span_id!r}"
+            )
     return SolveFrame(
         id=obj.get("id"),
         signature=signature,
         values=values,
         dtype=dtype,
         deadline_ms=deadline_ms,
+        trace=trace,
     )
 
 

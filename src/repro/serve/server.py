@@ -51,7 +51,12 @@ import numpy as np
 from repro.batch.engine import BatchEngine, RequestOutcome
 from repro.batch.planner import BatchPlanner, BatchRequest
 from repro.core.errors import OverloadError, ProtocolError, ReproError
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry, exponential_buckets
+from repro.obs.sampling import SamplingPolicy, TraceLog
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.tracer import coerce_tracer
 from repro.plr.planner import plan_execution
 from repro.plr.solver import cached_factor_table
 from repro.serve.protocol import (
@@ -63,11 +68,23 @@ from repro.serve.protocol import (
     parse_frame,
 )
 
-__all__ = ["CircuitBreaker", "PLRServer", "ServeConfig", "WarmTables"]
+__all__ = [
+    "CircuitBreaker",
+    "PLRServer",
+    "SERVE_LATENCY_BUCKETS_MS",
+    "ServeConfig",
+    "WarmTables",
+]
 
 LATENCY_BUCKETS_MS = (
     0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
 )
+"""Legacy linear-ish bucket preset, kept for callers that imported it."""
+
+SERVE_LATENCY_BUCKETS_MS = exponential_buckets(0.05, 2.0, 20)
+"""Default serve-latency buckets: 50 µs to ~26 s, ×2 per bucket.  The
+sub-millisecond range gets six buckets of its own, so a p99 below 1 ms
+is resolved instead of flattened into one catch-all bucket."""
 
 
 @dataclass(frozen=True)
@@ -120,6 +137,33 @@ class ServeConfig:
     metrics_path: str | None = None
     """When set, the drain path writes the final metrics snapshot here."""
 
+    latency_buckets_ms: tuple = SERVE_LATENCY_BUCKETS_MS
+    """Bucket bounds of the ``serve.latency_ms`` histogram.  The default
+    exponential preset resolves sub-millisecond latencies; pass your own
+    increasing tuple to match a different latency regime."""
+
+    slo_latency_ms: float = 50.0
+    """The latency objective: a reply is *good* only if it is ok AND at
+    or under this many milliseconds."""
+
+    slo_target: float = 0.99
+    """Target fraction of good replies (the SLO itself)."""
+
+    slo_windows_s: tuple = (300.0, 3600.0)
+    """Burn-rate windows (seconds) reported by ``{"op": "slo"}``."""
+
+    trace_log_path: str | None = None
+    """When set, sampled per-request records append to this JSONL file
+    (see :class:`repro.obs.sampling.TraceLog`)."""
+
+    trace_head_rate: float = 1.0
+    """Head-sampling rate for the trace log: fraction of trace ids kept
+    up front.  Errors and slow requests are tail-rescued regardless."""
+
+    trace_tail_slow_ms: float | None = None
+    """Latency above which an unsampled request is tail-rescued into the
+    trace log; None disables the slow rescue."""
+
     def __post_init__(self) -> None:
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
@@ -135,6 +179,22 @@ class ServeConfig:
             raise ValueError(
                 f"read_timeout_s must be positive, got {self.read_timeout_s}"
             )
+        buckets = tuple(float(b) for b in self.latency_buckets_ms)
+        if not buckets or any(
+            b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])
+        ):
+            raise ValueError(
+                "latency_buckets_ms must be a non-empty increasing "
+                f"sequence, got {self.latency_buckets_ms!r}"
+            )
+        object.__setattr__(self, "latency_buckets_ms", buckets)
+        if self.slo_latency_ms <= 0:
+            raise ValueError(
+                f"slo_latency_ms must be positive, got {self.slo_latency_ms}"
+            )
+        object.__setattr__(
+            self, "slo_windows_s", tuple(float(w) for w in self.slo_windows_s)
+        )
 
 
 class CircuitBreaker:
@@ -219,7 +279,7 @@ class WarmTables:
 class _Pending:
     """One admitted request riding the intake queue."""
 
-    __slots__ = ("request", "future", "arrival", "reply_id")
+    __slots__ = ("request", "future", "arrival", "reply_id", "ctx")
 
     def __init__(
         self,
@@ -227,11 +287,13 @@ class _Pending:
         future: asyncio.Future,
         arrival: float,
         reply_id: object,
+        ctx: TraceContext,
     ) -> None:
         self.request = request
         self.future = future
         self.arrival = arrival
         self.reply_id = reply_id
+        self.ctx = ctx
 
 
 _SHUTDOWN = object()
@@ -262,15 +324,33 @@ class PLRServer:
     ) -> None:
         self.config = config or ServeConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = coerce_tracer(tracer)
         self.engine = engine or BatchEngine(
             planner=BatchPlanner(
                 min_bucket=self.config.min_bucket,
                 max_batch=self.config.max_batch,
             ),
             metrics=self.metrics,
-            tracer=tracer,
+            tracer=self.tracer,
         )
         self.clock = getattr(self.engine, "clock", time.monotonic)
+        self.sampling = SamplingPolicy(
+            head_rate=self.config.trace_head_rate,
+            tail_slow_ms=self.config.trace_tail_slow_ms,
+        )
+        self.trace_log = (
+            TraceLog(self.config.trace_log_path, policy=self.sampling)
+            if self.config.trace_log_path
+            else None
+        )
+        self.slo = SLOTracker(
+            SLOConfig(
+                latency_objective_ms=self.config.slo_latency_ms,
+                target=self.config.slo_target,
+                windows_s=self.config.slo_windows_s,
+            ),
+            clock=self.clock,
+        )
         self.breaker = CircuitBreaker(
             self.config.breaker_threshold,
             self.config.breaker_cooldown_s,
@@ -361,6 +441,8 @@ class PLRServer:
         if self.config.metrics_path:
             with open(self.config.metrics_path, "w") as handle:
                 json.dump(self.final_snapshot, handle, indent=1)
+        if self.trace_log is not None:
+            self.trace_log.close()
         for writer in list(self._conn_writers):
             writer.close()
         self._drained.set()
@@ -520,6 +602,27 @@ class PLRServer:
             )
         return None
 
+    def _mint_context(self, frame: SolveFrame) -> TraceContext:
+        """The request's root trace context, minted at admission.
+
+        A client-supplied ``trace`` joins the request to the caller's
+        trace: its trace_id is adopted (so the head-sampling decision is
+        deterministic across retries and processes) and its span_id, if
+        any, becomes the parent of the server's root span.
+        """
+        if frame.trace is not None:
+            trace_id = frame.trace["trace_id"]
+            parent_id = frame.trace.get("span_id")
+        else:
+            trace_id = new_trace_id()
+            parent_id = None
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent_id,
+            sampled=self.sampling.sample_head(trace_id),
+        )
+
     def _pending_from(self, frame: SolveFrame) -> _Pending | dict:
         """Build the queued request, or a typed reply if that fails."""
         now = self.clock()
@@ -527,6 +630,7 @@ class PLRServer:
         if deadline_ms is None:
             deadline_ms = self.config.default_deadline_ms
         deadline = None if deadline_ms is None else now + deadline_ms / 1000.0
+        ctx = self._mint_context(frame)
         try:
             values = np.asarray(frame.values)
             request = BatchRequest(
@@ -535,6 +639,7 @@ class PLRServer:
                 dtype=np.dtype(frame.dtype) if frame.dtype else None,
                 tag=frame.id,
                 deadline=deadline,
+                trace=ctx,
             )
         except ReproError as exc:
             self.metrics.counter("serve.rejected_requests").inc()
@@ -543,7 +648,7 @@ class PLRServer:
             self.metrics.counter("serve.rejected_requests").inc()
             return error_reply(frame.id, ProtocolError(f"bad request: {exc}"))
         future = asyncio.get_running_loop().create_future()
-        return _Pending(request, future, arrival=now, reply_id=frame.id)
+        return _Pending(request, future, arrival=now, reply_id=frame.id, ctx=ctx)
 
     async def _reply_when_done(
         self,
@@ -552,9 +657,33 @@ class PLRServer:
         write_lock: asyncio.Lock,
     ) -> None:
         reply = await pending.future
-        self.metrics.histogram("serve.latency_ms", LATENCY_BUCKETS_MS).observe(
-            (self.clock() - pending.arrival) * 1000.0
-        )
+        latency_ms = (self.clock() - pending.arrival) * 1000.0
+        ok = bool(reply.get("ok"))
+        reply.setdefault("trace_id", pending.ctx.trace_id)
+        self.metrics.histogram(
+            "serve.latency_ms", self.config.latency_buckets_ms
+        ).observe(latency_ms)
+        self.slo.record(ok=ok, latency_ms=latency_ms)
+        if self.tracer.enabled:
+            # The request's root span: admission to reply, parent of the
+            # whole engine/resilience/worker tree.
+            dur_us = latency_ms * 1000.0
+            self.tracer.complete(
+                "serve_request",
+                self.tracer.now() - dur_us,
+                dur_us,
+                cat="serve",
+                args={"ok": ok, "engine": reply.get("engine")},
+                link=pending.ctx,
+            )
+        if self.trace_log is not None:
+            self.trace_log.record(
+                trace_id=pending.ctx.trace_id,
+                ok=ok,
+                latency_ms=latency_ms,
+                error=reply.get("error"),
+                engine=reply.get("engine"),
+            )
         await self._write(writer, write_lock, reply)
 
     # -- control ops -----------------------------------------------------
@@ -571,8 +700,22 @@ class PLRServer:
                 {"id": frame.id, "ok": True, "op": "ping"},
             )
         elif frame.op == "metrics":
+            if frame.format == "prometheus":
+                reply = {
+                    "id": frame.id,
+                    "ok": True,
+                    "op": "metrics",
+                    "format": "prometheus",
+                    "body": prometheus_text(self.metrics),
+                }
+            else:
+                reply = self._metrics_reply(frame.id)
+            await self._write(writer, write_lock, reply)
+        elif frame.op == "slo":
             await self._write(
-                writer, write_lock, self._metrics_reply(frame.id)
+                writer,
+                write_lock,
+                {"id": frame.id, "ok": True, "op": "slo", "slo": self.slo.report()},
             )
         elif frame.op == "drain":
             # Acknowledge first — once the drain completes, this
@@ -585,7 +728,9 @@ class PLRServer:
             asyncio.ensure_future(self.drain())
 
     def _metrics_reply(self, reply_id: object) -> dict:
-        latency = self.metrics.histogram("serve.latency_ms", LATENCY_BUCKETS_MS)
+        latency = self.metrics.histogram(
+            "serve.latency_ms", self.config.latency_buckets_ms
+        )
         occupancy = self.metrics.histogram("serve.batch_occupancy")
         return {
             "id": reply_id,
@@ -608,6 +753,14 @@ class PLRServer:
                 "batch_occupancy": {
                     "count": occupancy.count,
                     "mean": occupancy.mean,
+                },
+                "tracing": {
+                    "dropped_events": self.tracer.dropped,
+                    "trace_log": (
+                        self.trace_log.stats()
+                        if self.trace_log is not None
+                        else None
+                    ),
                 },
             },
         }
@@ -640,10 +793,34 @@ class PLRServer:
             self.metrics.counter("serve.flushes").inc()
             await self._execute_flush(batch)
 
+    def _flush_context(self, batch: list[_Pending]) -> TraceContext | None:
+        """The trace context of one flush.
+
+        A single-request flush belongs to that request's trace (child of
+        its root span); a multi-request flush is shared work, so it gets
+        a trace of its own with the member traces attached as span links
+        (``linked_traces``) rather than claiming any one request's tree.
+        """
+        if not self.tracer.enabled:
+            return None
+        if len(batch) == 1:
+            return batch[0].ctx.child()
+        return TraceContext.new()
+
     async def _execute_flush(self, batch: list[_Pending]) -> None:
         requests = [p.request for p in batch]
+        flush_ctx = self._flush_context(batch)
+        span_args: dict = {"batch": len(batch)}
+        if flush_ctx is not None and len(batch) > 1:
+            members = sorted({p.ctx.trace_id for p in batch})
+            span_args["linked_traces"] = members
         try:
-            outcomes = await asyncio.to_thread(self._execute_sync, requests)
+            with self.tracer.span(
+                "serve_flush", cat="serve", args=span_args, link=flush_ctx
+            ):
+                outcomes = await asyncio.to_thread(
+                    self._execute_sync, requests, flush_ctx
+                )
         except ReproError as exc:
             self._fail_flush(batch, exc)
             return
@@ -660,7 +837,11 @@ class PLRServer:
                     self._outcome_reply(pending.reply_id, outcome)
                 )
 
-    def _execute_sync(self, requests: list[BatchRequest]) -> list[RequestOutcome]:
+    def _execute_sync(
+        self,
+        requests: list[BatchRequest],
+        context: TraceContext | None = None,
+    ) -> list[RequestOutcome]:
         """Worker-thread body: prewarm hot tables, then execute."""
         planner = self.engine.planner
         seen = set()
@@ -681,7 +862,7 @@ class PLRServer:
                 # Unplannable/overflowing table: the engine's own path
                 # will surface the typed error per request.
                 pass
-        return self.engine.execute(requests)
+        return self.engine.execute(requests, context=context)
 
     def _fail_flush(self, batch: list[_Pending], error: ReproError) -> None:
         """A whole flush failed: typed replies, breaker accounting."""

@@ -1,0 +1,191 @@
+"""The perf-regression gate: row comparison, tolerance, CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.eval.benchgate import (
+    compare_payloads,
+    load_baseline,
+    render_report,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def payload(**speedups):
+    """A bench payload with one row per backend; wall_s = 1/speedup."""
+    return {
+        "workers": 2,
+        "repeat": 3,
+        "results": [
+            {
+                "op": "(1: 2, -1)",
+                "n": 1024,
+                "dtype": "int32",
+                "backend": backend,
+                "wall_s": 1.0 / value,
+                "speedup": value,
+            }
+            for backend, value in speedups.items()
+        ],
+    }
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        base = payload(serial=1.0, vectorized=40.0, process=50.0)
+        report = compare_payloads(base, base, tolerance_pct=10)
+        assert report.ok and len(report.rows) == 3
+        assert all(row.delta_pct == pytest.approx(0.0) for row in report.rows)
+
+    def test_regression_beyond_tolerance_fails_that_row_only(self):
+        base = payload(serial=1.0, vectorized=40.0, process=50.0)
+        cur = payload(serial=1.0, vectorized=39.0, process=30.0)
+        report = compare_payloads(base, cur, tolerance_pct=10)
+        assert not report.ok
+        (bad,) = report.regressions
+        assert bad.backend == "process"
+        assert bad.delta_pct == pytest.approx(40.0)
+
+    def test_improvement_never_fails(self):
+        base = payload(process=10.0)
+        cur = payload(process=100.0)
+        assert compare_payloads(base, cur, tolerance_pct=0).ok
+
+    def test_tolerance_boundary_is_exclusive(self):
+        base = payload(process=100.0)
+        cur = payload(process=90.0)  # exactly -10%
+        assert compare_payloads(base, cur, tolerance_pct=10).ok
+        assert not compare_payloads(base, cur, tolerance_pct=9.9).ok
+
+    def test_missing_row_fails_loudly(self):
+        base = payload(serial=1.0, process=50.0)
+        cur = payload(serial=1.0)
+        report = compare_payloads(base, cur, tolerance_pct=100)
+        assert not report.ok
+        (missing,) = report.regressions
+        assert missing.current is None and missing.backend == "process"
+        assert "missing" in render_report(report)
+
+    def test_wall_s_metric_flips_direction(self):
+        base = payload(process=10.0)  # wall_s 0.1
+        slower = payload(process=5.0)  # wall_s 0.2: +100% wall time
+        report = compare_payloads(base, slower, metric="wall_s", tolerance_pct=50)
+        assert not report.ok
+        assert report.rows[0].delta_pct == pytest.approx(100.0)
+
+    def test_unknown_metric_and_bad_tolerance_rejected(self):
+        base = payload(process=10.0)
+        with pytest.raises(ReproError):
+            compare_payloads(base, base, metric="latency")
+        with pytest.raises(ReproError):
+            compare_payloads(base, base, tolerance_pct=-1)
+
+    def test_render_mentions_escape_hatch_on_failure(self):
+        base = payload(process=100.0)
+        report = compare_payloads(base, payload(process=1.0), tolerance_pct=10)
+        text = render_report(report)
+        assert "gate FAILED" in text and "--update-baseline" in text
+
+
+class TestLoadBaseline:
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(ReproError, match="does not exist"):
+            load_baseline(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_is_typed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_baseline(str(path))
+
+    def test_wrong_shape_is_typed(self, tmp_path):
+        path = tmp_path / "shape.json"
+        path.write_text(json.dumps({"results": [{"op": "x"}]}))
+        with pytest.raises(ReproError, match="missing"):
+            load_baseline(str(path))
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps(payload(serial=1.0, process=8.0)))
+        assert len(load_baseline(str(path))["results"]) == 2
+
+
+class TestBenchCompareCLI:
+    """Exit codes of ``plr bench --compare`` with the benchmark itself
+    stubbed out (the real run is exercised by scripts/verify.sh)."""
+
+    @pytest.fixture
+    def fake_bench(self, monkeypatch):
+        import repro.cli as cli
+
+        current = payload(serial=1.0, vectorized=40.0, process=50.0)
+        calls = {}
+
+        def stub(**kwargs):
+            calls.update(kwargs)
+            return current
+
+        monkeypatch.setattr(
+            cli, "_bench_payload", lambda **kw: stub(**kw)
+        )
+        return current, calls
+
+    def test_pass_exits_zero(self, tmp_path, capsys, fake_bench):
+        from repro.cli import main
+
+        current, calls = fake_bench
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(current))
+        assert main(["bench", "--compare", str(base)]) == 0
+        assert "gate passed" in capsys.readouterr().out
+        # The run is derived from the baseline, not CLI defaults.
+        assert calls["n"] == 1024 and calls["workers"] == 2
+
+    def test_injected_slowdown_exits_one(self, tmp_path, capsys, fake_bench):
+        from repro.cli import main
+
+        current, _ = fake_bench
+        doctored = json.loads(json.dumps(current))
+        for row in doctored["results"]:
+            row["speedup"] *= 3
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(doctored))
+        assert main(["bench", "--compare", str(base), "--tolerance", "25"]) == 1
+        assert "gate FAILED" in capsys.readouterr().out
+
+    def test_update_baseline_rewrites_and_passes(
+        self, tmp_path, capsys, fake_bench
+    ):
+        from repro.cli import main
+
+        current, _ = fake_bench
+        doctored = json.loads(json.dumps(current))
+        for row in doctored["results"]:
+            row["speedup"] *= 3
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(doctored))
+        assert (
+            main(
+                [
+                    "bench",
+                    "--compare",
+                    str(base),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert json.loads(base.read_text()) == current
+        # And a re-run against the refreshed baseline passes.
+        assert main(["bench", "--compare", str(base)]) == 0
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--compare", str(tmp_path / "no.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -576,7 +576,7 @@ class TestServeCLI:
 
         assert main(["serve", "--self-test"]) == 0
         out = capsys.readouterr().out
-        assert "6/6 checks passed" in out
+        assert "7/7 checks passed" in out
 
     def test_chaos_cli_server_mode_writes_report(self, tmp_path, capsys):
         from repro.cli import main
