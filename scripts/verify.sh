@@ -8,9 +8,11 @@
 # Three stages, in order of increasing cost; the script stops at the
 # first failure:
 #
-#   1. tier-1 pytest  — the full default suite (correctness).
+#   1. tier-1 pytest  — the full default suite (correctness; the
+#      native-marked tests skip themselves when no C compiler exists).
 #   2. serve self-test — a live ephemeral server, one pass over the
-#      reply contract (7 checks).
+#      reply contract (7 checks); repeated with --backend native when
+#      a C compiler is available.
 #   3. bench gate      — re-runs the committed BENCH_parallel.json
 #      benchmark and fails on a >25% per-row slowdown.
 #
@@ -33,6 +35,12 @@ python -m pytest -x -q
 
 echo "== stage 2/3: serve self-test =="
 python -m repro.cli serve --self-test
+if command -v cc >/dev/null 2>&1 || command -v gcc >/dev/null 2>&1; then
+    echo "== stage 2/3: serve self-test (native backend) =="
+    python -m repro.cli serve --self-test --backend native
+else
+    echo "== stage 2/3: native serve self-test SKIPPED (no C compiler) =="
+fi
 
 if [ "${PLR_SKIP_BENCH_GATE:-0}" = "1" ]; then
     echo "== stage 3/3: bench gate SKIPPED (PLR_SKIP_BENCH_GATE=1) =="

@@ -89,11 +89,14 @@ class BatchEngine:
         :class:`~repro.batch.planner.BatchRequest` are absolute values
         of this clock.
     backend / workers / shard_options:
-        Execution backend for *isolated* re-runs, forwarded into the
-        resilience chain: ``"process"`` lets an isolated request use the
-        multicore sharded path (its worker lanes then appear in the
-        request's trace).  The grouped vectorized pass always runs in
-        process — batching and sharding compose badly for small groups.
+        Execution backend, forwarded into the resilience chain for
+        *isolated* re-runs: ``"process"`` lets an isolated request use
+        the multicore sharded path (its worker lanes then appear in the
+        request's trace).  ``"native"`` additionally switches the
+        grouped pass itself to the JIT-compiled C kernels (per-row, one
+        compile per kernel shape) with automatic numpy fallback.  The
+        process backend never applies to the grouped pass — batching
+        and sharding compose badly for small groups.
     """
 
     def __init__(
@@ -273,7 +276,13 @@ class BatchEngine:
             "batch_group", cat="batch", args=span_args, link=group_ctx
         ):
             solver = BatchSolver(
-                group.signature, machine=self.machine, tracer=self.tracer
+                group.signature,
+                machine=self.machine,
+                tracer=self.tracer,
+                # The grouped pass may run native kernels per row; the
+                # process backend stays isolation-only (batching and
+                # sharding compose badly for small groups).
+                backend="native" if self.backend == "native" else "single",
             )
             try:
                 # Overflow in one row is expected occasionally and the

@@ -49,7 +49,12 @@ class BatchSolver:
         ``"single"`` (default) vectorizes in this process;
         ``"process"`` shards the batch axis across a multicore pool —
         rows are independent, so workers need no carry exchange at all
-        (see :func:`repro.parallel.solve_batch_sharded`).
+        (see :func:`repro.parallel.solve_batch_sharded`);
+        ``"native"`` runs each row through the JIT-compiled C kernel
+        (:mod:`repro.codegen.jit` — one compile per (signature, plan,
+        dtype), then a dict lookup per row), degrading to the
+        vectorized numpy pass with a ``native.fallbacks`` count when no
+        compiler is available or compilation fails.
     workers / shard_options:
         Process-backend pool tuning, as on
         :class:`~repro.plr.solver.PLRSolver`.
@@ -68,14 +73,16 @@ class BatchSolver:
             recurrence = Recurrence.parse(recurrence)
         elif isinstance(recurrence, Signature):
             recurrence = Recurrence(recurrence)
-        if backend not in ("single", "process"):
+        if backend not in ("single", "process", "native"):
             raise ValueError(
-                f"unknown backend {backend!r}; expected 'single' or 'process'"
+                f"unknown backend {backend!r}; expected 'single', 'process', "
+                f"or 'native'"
             )
         self.recurrence = recurrence
         self.machine = machine or MachineSpec.titan_x()
         self.tracer = coerce_tracer(tracer)
         self.backend = backend
+        self._native_solver = None
         if shard_options is None:
             from repro.parallel.sharding import ShardOptions
 
@@ -116,6 +123,10 @@ class BatchSolver:
                 args={"batch": rows, "n": n} if self.tracer.enabled else None,
             ):
                 plan = self.plan_for(n)
+        if self.backend == "native":
+            out = self._solve_native(values, plan, dtype)
+            if out is not None:
+                return out
         with self.tracer.span(
             "batch_solve",
             cat="batch",
@@ -129,6 +140,43 @@ class BatchSolver:
                 dtype=dtype,
                 plan=plan,
                 tracer=self.tracer,
-                backend=self.backend,
+                backend="single" if self.backend == "native" else self.backend,
                 shard_options=self.shard_options,
             )
+
+    def _solve_native(self, values, plan, dtype):
+        """Row loop through the compiled kernel; ``None`` → numpy pass.
+
+        The kernel solves one sequence at a time, so the batch is a
+        Python loop over rows — the per-row overhead is one memoized
+        cache lookup plus the ctypes call, and the kernel itself is far
+        faster than the vectorized pass, so the loop still wins for the
+        row lengths the batch engine buckets.  Any typed backend failure
+        degrades the whole group to the vectorized numpy pass.
+        """
+        from repro.core.errors import BackendError, CodegenError
+        from repro.obs.metrics import global_metrics
+        from repro.plr.solver import PLRSolver
+
+        if self._native_solver is None:
+            self._native_solver = PLRSolver(
+                self.recurrence,
+                machine=self.machine,
+                tracer=self.tracer,
+                backend="native",
+                native_fallback=False,
+            )
+        try:
+            with self.tracer.span(
+                "batch_native",
+                cat="batch",
+                args={"batch": len(values)} if self.tracer.enabled else None,
+            ):
+                rows = [
+                    self._native_solver.solve(row, plan=plan, dtype=dtype)
+                    for row in values
+                ]
+            return np.stack(rows)
+        except (BackendError, CodegenError):
+            global_metrics().counter("native.fallbacks").inc()
+            return None

@@ -82,8 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("-n", type=int, default=1 << 20)
     run_p.add_argument(
         "--backend",
-        choices=("solver",) + tuple(b for b in BACKENDS if b != "cuda"),
+        choices=("solver", "native") + tuple(b for b in BACKENDS if b != "cuda"),
         default="solver",
+        help="solver = numpy; native = JIT-compiled C kernel through the "
+        "solver (numpy fallback if no compiler); c / python = run the "
+        "emitted kernel directly",
     )
     run_p.add_argument("--seed", type=int, default=0)
 
@@ -357,6 +360,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final metrics snapshot here on drain",
     )
     serve_p.add_argument(
+        "--backend",
+        choices=("single", "native", "process"),
+        default="single",
+        help="solve backend for grouped flushes: single = vectorized "
+        "numpy; native = JIT-compiled C kernels (numpy fallback when no "
+        "compiler); process = multicore sharded pool",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the process backend / native sharding",
+    )
+    serve_p.add_argument(
         "--self-test",
         action="store_true",
         help="start an ephemeral instance, run a client smoke test, exit",
@@ -445,8 +462,11 @@ def _make_input(recurrence: Recurrence, n: int, seed: int) -> np.ndarray:
 def _cmd_run(args: argparse.Namespace) -> int:
     recurrence = Recurrence.parse(args.signature)
     values = _make_input(recurrence, args.n, args.seed)
-    if args.backend == "solver":
-        solver = PLRSolver(recurrence)
+    if args.backend in ("solver", "native"):
+        solver = PLRSolver(
+            recurrence,
+            backend="native" if args.backend == "native" else "single",
+        )
         start = time.perf_counter()
         result = solver.solve(values)
         elapsed = time.perf_counter() - start
@@ -826,8 +846,16 @@ def _bench_payload(
     repeat: int,
     seed: int,
 ) -> dict:
-    """One full bench run: serial vs vectorized vs process, verified."""
+    """One full bench run: serial vs vectorized vs process vs native.
+
+    Every non-serial backend is verified against the serial reference.
+    The native row is included only when a C compiler is available; its
+    kernel is compiled by an untimed warmup solve so the timed repeats
+    measure execution, not the one-off JIT cost.
+    """
     import os
+
+    from repro.core.errors import BackendError, CodegenError
 
     recurrence = Recurrence.parse(signature)
     values = _make_input(recurrence, n, seed)
@@ -837,6 +865,7 @@ def _bench_payload(
     )
 
     vec_solver = PLRSolver(recurrence)
+    vec_solver.solve(values, dtype=dtype)  # warm the factor-table cache
     vec_s, vec_out = _time_best(
         lambda: vec_solver.solve(values, dtype=dtype), repeat
     )
@@ -846,11 +875,34 @@ def _bench_payload(
         lambda: proc_solver.solve(values, dtype=dtype), repeat
     )
 
-    for name, out in (("vectorized", vec_out), ("process", proc_out)):
+    native_s = None
+    native_error = None
+    try:
+        native_solver = PLRSolver(
+            recurrence, backend="native", native_fallback=False
+        )
+        native_solver.solve(values, dtype=dtype)  # compile outside the timer
+        native_s, native_out = _time_best(
+            lambda: native_solver.solve(values, dtype=dtype), repeat
+        )
+    except (BackendError, CodegenError) as exc:
+        native_error = f"{type(exc).__name__}: {exc}"
+
+    checked = [("vectorized", vec_out), ("process", proc_out)]
+    if native_s is not None:
+        checked.append(("native", native_out))
+    for name, out in checked:
         outcome = compare_results(out, expected)
         if not outcome.ok:
             raise ReproError(f"{name} backend mismatch: {outcome.describe()}")
 
+    timings = [
+        ("serial", serial_s),
+        ("vectorized", vec_s),
+        ("process", proc_s),
+    ]
+    if native_s is not None:
+        timings.append(("native", native_s))
     dtype_name = np.dtype(vec_out.dtype).name
     records = [
         {
@@ -861,17 +913,16 @@ def _bench_payload(
             "wall_s": wall,
             "speedup": serial_s / wall if wall > 0 else float("inf"),
         }
-        for backend, wall in (
-            ("serial", serial_s),
-            ("vectorized", vec_s),
-            ("process", proc_s),
-        )
+        for backend, wall in timings
     ]
-    return {
+    payload = {
         "workers": workers or (os.cpu_count() or 1),
         "repeat": repeat,
         "results": records,
     }
+    if native_error is not None:
+        payload["native_skipped"] = native_error
+    return payload
 
 
 def _print_bench(payload: dict) -> None:
@@ -912,6 +963,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             current,
             tolerance_pct=args.tolerance,
             metric=args.metric,
+            # A baseline native row must not fail the gate on machines
+            # that cannot compile it — the skip reason is declared.
+            skipped_backends={"native": current["native_skipped"]}
+            if "native_skipped" in current
+            else None,
         )
         print(render_report(report))
         if args.update_baseline:
@@ -1026,6 +1082,8 @@ def _serve_config(args: argparse.Namespace, port: int | None = None):
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
         metrics_path=args.metrics_out,
+        backend=args.backend,
+        workers=args.workers,
     )
 
 

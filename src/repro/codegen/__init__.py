@@ -1,7 +1,20 @@
 """The PLR compiler: IR construction and the CUDA / C / Python emitters."""
 
-from repro.codegen.cbackend import CompiledCKernel, compile_c_kernel, emit_c
+from repro.codegen.cbackend import (
+    CompiledCKernel,
+    compile_c_kernel,
+    default_cache_dir,
+    emit_c,
+    kernel_digest,
+    load_kernel_library,
+)
 from repro.codegen.compiler import BACKENDS, CompilationResult, PLRCompiler
+from repro.codegen.jit import (
+    NativeAttempt,
+    clear_native_cache,
+    native_available,
+    native_kernel,
+)
 from repro.codegen.cuda import emit_cuda, emit_cuda_program
 from repro.codegen.frontend import (
     LoopPatternError,
@@ -23,11 +36,18 @@ __all__ = [
     "CompiledPythonKernel",
     "KernelIR",
     "LoopPatternError",
+    "NativeAttempt",
     "PLRCompiler",
     "RecognizedLoop",
     "build_ir",
+    "clear_native_cache",
     "compile_c_kernel",
     "compile_python_kernel",
+    "default_cache_dir",
+    "kernel_digest",
+    "load_kernel_library",
+    "native_available",
+    "native_kernel",
     "emit_c",
     "emit_cuda",
     "emit_cuda_program",

@@ -22,6 +22,18 @@ and not worth pipelining there); the protocol itself is exercised by
 The emitted source is compiled with the system C compiler into a shared
 object and loaded through ctypes, giving a genuine
 signature -> generated code -> machine code -> verified result path.
+
+Compiled objects are cached on disk as ``plr_<digest>.so`` under
+:func:`default_cache_dir`.  The digest covers the emitted source, the
+compiler's real path and ``--version`` banner, the exact flag set, and
+the dtype/chunk-size pair, so a toolchain swap or flag change can never
+resurrect a stale binary.  Publication is atomic (compile to a unique
+temp file, then ``os.replace``): concurrent processes race benignly —
+first writer wins, later writers replace it with a byte-equivalent
+object — and a reader can never load a half-written ``.so``.  A
+corrupt cache entry (e.g. left by a compile killed before this
+hardening) fails its load-time validation and is recompiled in place.
+See ``docs/native.md`` for the cache layout and how to clear it.
 """
 
 from __future__ import annotations
@@ -42,7 +54,14 @@ from repro.core.errors import BackendError
 from repro.plr.optimizer import FactorRealization
 from repro.plr.phase2 import transition_matrix
 
-__all__ = ["emit_c", "CompiledCKernel", "compile_c_kernel"]
+__all__ = [
+    "emit_c",
+    "CompiledCKernel",
+    "compile_c_kernel",
+    "default_cache_dir",
+    "kernel_digest",
+    "load_kernel_library",
+]
 
 
 def _chunked(literals: list[str], per_line: int = 12) -> str:
@@ -289,8 +308,19 @@ class CompiledCKernel:
     source: str
     library_path: Path
     _lib: ctypes.CDLL
+    digest: str = ""
 
     def __call__(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise BackendError(
+                f"native kernel expects a 1-D array, got shape {values.shape}"
+            )
+        if values.size == 0:
+            raise BackendError(
+                "native kernel expects a non-empty array (length-0 inputs "
+                "are handled by the numpy path before reaching a kernel)"
+            )
         values = np.ascontiguousarray(values, dtype=self.ir.dtype)
         out = np.empty_like(values)
         self._lib.plr_compute(
@@ -301,40 +331,186 @@ class CompiledCKernel:
         return out
 
 
+_COMPILER_CANDIDATES = ("cc", "gcc", "clang")
+
+# Base flag set.  -fwrapv makes signed-integer overflow wrap (two's
+# complement) instead of being undefined: the integer recurrences are
+# ring arithmetic and must match numpy's wraparound bit for bit.
+_BASE_FLAGS = ("-O2", "-fPIC", "-shared", "-fwrapv")
+
+# OpenMP support per compiler realpath, probed once per process.
+_OPENMP_SUPPORT: dict[str, bool] = {}
+
+
 def _find_compiler() -> str:
-    for candidate in ("cc", "gcc", "clang"):
+    for candidate in _COMPILER_CANDIDATES:
         path = shutil.which(candidate)
         if path:
             return path
-    raise BackendError("no C compiler found (tried cc, gcc, clang)")
+    raise BackendError(
+        f"no C compiler found (tried {', '.join(_COMPILER_CANDIDATES)})"
+    )
+
+
+def _compiler_version(compiler: str) -> str:
+    """First line of ``<compiler> --version`` — the toolchain identity."""
+    try:
+        proc = subprocess.run(
+            [compiler, "--version"], capture_output=True, text=True, timeout=30
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    text = (proc.stdout or proc.stderr or "").strip()
+    return text.splitlines()[0] if text else "unknown"
+
+
+def _openmp_supported(compiler: str) -> bool:
+    """Whether the compiler accepts -fopenmp, probed on a trivial TU.
+
+    The probe runs once per compiler per process.  Knowing the answer
+    *before* compiling a kernel means the final flag set is fixed up
+    front and can be part of the cache digest — the old try-with-then-
+    without dance made ``-fopenmp`` availability invisible to the cache
+    key, so toolchain changes silently reused stale binaries.
+    """
+    real = os.path.realpath(compiler)
+    cached = _OPENMP_SUPPORT.get(real)
+    if cached is not None:
+        return cached
+    with tempfile.TemporaryDirectory(prefix="plr_omp_probe_") as tmp:
+        probe = Path(tmp) / "probe.c"
+        probe.write_text("int plr_probe(void) { return 0; }\n")
+        proc = subprocess.run(
+            [compiler, "-fopenmp", "-fPIC", "-shared", str(probe),
+             "-o", str(Path(tmp) / "probe.so")],
+            capture_output=True,
+            text=True,
+        )
+        ok = proc.returncode == 0
+    _OPENMP_SUPPORT[real] = ok
+    return ok
+
+
+def default_cache_dir() -> Path:
+    """Where compiled kernels live: $PLR_NATIVE_CACHE_DIR or the tmpdir."""
+    env = os.environ.get("PLR_NATIVE_CACHE_DIR")
+    return Path(env) if env else Path(tempfile.gettempdir()) / "plr_cgen"
+
+
+def kernel_digest(
+    source: str,
+    compiler: str,
+    flags: tuple[str, ...],
+    dtype: np.dtype,
+    chunk_size: int,
+) -> str:
+    """The cache key: source + toolchain identity + flags + shape.
+
+    dtype and chunk size are already baked into the source, but they are
+    hashed explicitly so the key's coverage doesn't depend on the header
+    comment the emitter happens to write.
+    """
+    h = hashlib.sha256()
+    parts = (
+        source,
+        os.path.realpath(compiler),
+        _compiler_version(compiler),
+        "\x1f".join(flags),
+        np.dtype(dtype).str,
+        str(chunk_size),
+    )
+    for part in parts:
+        h.update(part.encode("utf-8", "replace"))
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def load_kernel_library(so_path: str | os.PathLike) -> ctypes.CDLL:
+    """Load a compiled kernel and validate its entry point.
+
+    Raises a typed :class:`BackendError` both when the object cannot be
+    loaded (truncated/corrupt file) and when it loads but does not
+    export ``plr_compute`` — callers never see a raw ``OSError`` or
+    ``AttributeError`` from the ctypes layer.
+    """
+    try:
+        lib = ctypes.CDLL(str(so_path))
+    except OSError as exc:
+        raise BackendError(f"failed to load native kernel {so_path}: {exc}") from exc
+    try:
+        entry = lib.plr_compute
+    except AttributeError:
+        raise BackendError(
+            f"native kernel {so_path} does not export the 'plr_compute' symbol"
+        ) from None
+    entry.restype = None
+    entry.argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong]
+    return lib
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
 
 
 def compile_c_kernel(
-    ir: KernelIR, workdir: str | os.PathLike | None = None
+    ir: KernelIR,
+    workdir: str | os.PathLike | None = None,
+    extra_flags: tuple[str, ...] = (),
 ) -> CompiledCKernel:
-    """Emit, compile (with OpenMP when available), and load a kernel."""
+    """Emit, compile (with OpenMP when available), and load a kernel.
+
+    The compile goes to a unique temp file that is ``os.replace``d into
+    ``plr_<digest>.so`` only once it is complete, so a concurrent or
+    killed compile can never leave a partially written object under the
+    published name.  An existing entry that fails to load (corrupt
+    leftovers from before this hardening) is recompiled in place.
+    """
     source = emit_c(ir)
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
-    base = Path(workdir) if workdir else Path(tempfile.gettempdir()) / "plr_cgen"
+    compiler = _find_compiler()
+    flags = list(_BASE_FLAGS)
+    if _openmp_supported(compiler):
+        flags.insert(0, "-fopenmp")
+    flags.extend(extra_flags)
+    digest = kernel_digest(source, compiler, tuple(flags), ir.dtype, ir.chunk_size)
+    base = Path(workdir) if workdir else default_cache_dir()
     base.mkdir(parents=True, exist_ok=True)
-    c_path = base / f"plr_{digest}.c"
     so_path = base / f"plr_{digest}.so"
-    c_path.write_text(source)
 
-    if not so_path.exists():
-        compiler = _find_compiler()
-        cmd = [compiler, "-O2", "-fPIC", "-shared", str(c_path), "-o", str(so_path)]
-        attempt = subprocess.run(
-            cmd[:1] + ["-fopenmp"] + cmd[1:], capture_output=True, text=True
-        )
-        if attempt.returncode != 0:
-            attempt = subprocess.run(cmd, capture_output=True, text=True)
-        if attempt.returncode != 0:
-            raise BackendError(
-                f"C compilation failed:\n{attempt.stderr}\n(source at {c_path})"
+    lib = None
+    if so_path.exists():
+        try:
+            lib = load_kernel_library(so_path)
+        except BackendError:
+            lib = None
+    if lib is None:
+        c_path = base / f"plr_{digest}.c"
+        _atomic_write_text(c_path, source)
+        fd, tmp_so = tempfile.mkstemp(dir=base, prefix=f"plr_{digest}.", suffix=".so.tmp")
+        os.close(fd)
+        try:
+            attempt = subprocess.run(
+                [compiler, *flags, str(c_path), "-o", tmp_so],
+                capture_output=True,
+                text=True,
             )
-
-    lib = ctypes.CDLL(str(so_path))
-    lib.plr_compute.restype = None
-    lib.plr_compute.argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong]
-    return CompiledCKernel(ir=ir, source=source, library_path=so_path, _lib=lib)
+            if attempt.returncode != 0:
+                raise BackendError(
+                    f"C compilation failed ({compiler} {' '.join(flags)}):\n"
+                    f"{attempt.stderr}\n(source at {c_path})"
+                )
+            os.replace(tmp_so, so_path)
+        finally:
+            if os.path.exists(tmp_so):
+                os.unlink(tmp_so)
+        lib = load_kernel_library(so_path)
+    return CompiledCKernel(
+        ir=ir, source=source, library_path=so_path, _lib=lib, digest=digest
+    )

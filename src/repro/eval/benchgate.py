@@ -53,6 +53,7 @@ class BenchRow:
     current: float | None
     delta_pct: float | None
     regressed: bool
+    skipped_reason: str | None = None
 
     @property
     def key(self) -> tuple:
@@ -131,6 +132,7 @@ def compare_payloads(
     *,
     tolerance_pct: float = 10.0,
     metric: str = "speedup",
+    skipped_backends: dict | None = None,
 ) -> GateReport:
     """Gate ``current`` against ``baseline`` row by row.
 
@@ -139,6 +141,12 @@ def compare_payloads(
     absent from the current run regresses unconditionally (lost
     coverage must not pass silently).  Rows only in the current run are
     ignored — the baseline defines the contract.
+
+    ``skipped_backends`` maps a backend name to a declared reason it
+    could not run on this machine (e.g. the native backend on a box
+    with no C compiler).  A baseline row for such a backend that is
+    missing from the current run is reported as skipped, not regressed
+    — the machine lacks the capability, the code did not lose it.
     """
     if metric not in METRICS:
         raise ReproError(
@@ -160,9 +168,11 @@ def compare_payloads(
         base_value = float(record[metric])
         cur = cur_by_key.get(key)
         if cur is None:
+            reason = (skipped_backends or {}).get(record["backend"])
             rows.append(
                 BenchRow(*key, baseline=base_value, current=None,
-                         delta_pct=None, regressed=True)
+                         delta_pct=None, regressed=reason is None,
+                         skipped_reason=reason)
             )
             continue
         cur_value = float(cur[metric])
@@ -197,7 +207,10 @@ def render_report(report: GateReport) -> str:
     for row in report.rows:
         label = f"{row.op} n={row.n} {row.dtype} {row.backend}"
         if row.current is None:
-            lines.append(f"  FAIL {label}: row missing from current run")
+            if row.skipped_reason is not None:
+                lines.append(f"  skip {label}: {row.skipped_reason}")
+            else:
+                lines.append(f"  FAIL {label}: row missing from current run")
             continue
         verdict = "FAIL" if row.regressed else "ok  "
         lines.append(

@@ -18,11 +18,12 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 
 import numpy as np
 
+from repro.core.errors import BackendError, CodegenError
 from repro.core.recurrence import Recurrence
 from repro.core.reference import resolve_dtype
 from repro.core.signature import Signature
@@ -63,13 +64,18 @@ class SolveArtifacts:
         (num_chunks, m).  ``None`` for the process backend, whose
         workers correct their shared-memory slabs in place — there is
         no moment at which an intact full Phase 1 result exists on the
-        host.
+        host — and for solves the native kernel completed end to end.
+    native:
+        A :class:`~repro.codegen.jit.NativeAttempt` describing what the
+        native backend did (ran a compiled kernel, or degraded to numpy
+        and why).  ``None`` for the other backends.
     """
 
     plan: ExecutionPlan
     table: CorrectionFactorTable
     factor_plan: FactorPlan
     partial: np.ndarray | None
+    native: object | None = None
 
 
 # Factor tables are pure functions of (signature, m, dtype); building
@@ -180,14 +186,34 @@ class PLRSolver:
         log-depth carry scan (:mod:`repro.parallel`).  Process-backend
         results are bit-identical for integer dtypes and within normal
         rounding for floats (sums reassociate at slab boundaries).
+        ``"native"`` JIT-compiles the recurrence with the C backend
+        (:mod:`repro.codegen.jit`) and runs the compiled kernel —
+        bit-identical for integer dtypes (the kernel is built with
+        ``-fwrapv`` so wraparound matches numpy's ring), tolerance-equal
+        for floats (the kernel associates chunk-locally).  When no C
+        compiler is available or compilation fails, the solve degrades
+        to the numpy path and records the typed error on
+        ``artifacts.native`` (see ``native_fallback``).
     workers / shard_options:
-        Process-backend tuning: ``workers`` is shorthand for
-        ``ShardOptions(workers=...)``; pass a full
+        Pool tuning for the process backend: ``workers`` is shorthand
+        for ``ShardOptions(workers=...)``; pass a full
         :class:`~repro.parallel.ShardOptions` to also set the stage
-        timeout.  Both are ignored by the single backend.
+        timeout.  The native backend runs in-process by default (the
+        kernel is already OpenMP-parallel over chunks); setting
+        ``workers`` explicitly makes it shard slabs across a pool with
+        each worker running the compiled kernel on its slab, the carry
+        scan unchanged.  Both are ignored by the single backend.
+    native_fallback:
+        Native backend only.  True (default): a
+        :class:`~repro.core.errors.BackendError` /
+        :class:`~repro.core.errors.CodegenError` from the compile-and-
+        load path degrades the solve to numpy instead of failing it.
+        False: the typed error propagates — what the resilience chain
+        uses so the degradation is *its* decision and gets a typed
+        attempt record.
     """
 
-    BACKENDS = ("single", "process")
+    BACKENDS = ("single", "process", "native")
 
     def __init__(
         self,
@@ -198,6 +224,7 @@ class PLRSolver:
         backend: str = "single",
         workers: int | None = None,
         shard_options: ShardOptions | None = None,
+        native_fallback: bool = True,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
@@ -212,6 +239,7 @@ class PLRSolver:
         self.optimization = optimization or OptimizationConfig()
         self.tracer = coerce_tracer(tracer)
         self.backend = backend
+        self.native_fallback = native_fallback
         self.shard_options = (
             shard_options
             if shard_options is not None
@@ -307,6 +335,44 @@ class PLRSolver:
             with tracer.span("map_stage", cat="solver", link=link()):
                 work = self.recurrence.apply_map_stage(work)
 
+        with tracer.span("factor_table", cat="solver", link=link()):
+            table = self.factor_table(plan, dtype)
+        factor_plan = optimize_factors(table, self.optimization)
+
+        native_record = None
+        if self.backend == "native":
+            try:
+                out, native_record = self._solve_native(
+                    work, n, plan, table, factor_plan, dtype, tracer, link
+                )
+            except (BackendError, CodegenError) as exc:
+                if not self.native_fallback:
+                    raise
+                # Degrade to the numpy path below; the typed record on
+                # the artifacts (and the counter/instant) is the story.
+                from repro.codegen.jit import NativeAttempt
+
+                native_record = NativeAttempt(
+                    used=False, error=f"{type(exc).__name__}: {exc}"
+                )
+                global_metrics().counter("native.fallbacks").inc()
+                if tracer.enabled:
+                    tracer.instant(
+                        "native_fallback",
+                        cat="solver",
+                        args={"error": str(exc)[:200]},
+                        link=link(),
+                    )
+            else:
+                artifacts = SolveArtifacts(
+                    plan=plan,
+                    table=table,
+                    factor_plan=factor_plan,
+                    partial=None,
+                    native=native_record,
+                )
+                return out, artifacts
+
         # Zero-pad to a whole number of chunks.  Trailing zeros never
         # influence earlier outputs, so the unpadded prefix is exact.
         padded_n = plan.padded_n
@@ -315,10 +381,6 @@ class PLRSolver:
             padded[:n] = work
         else:
             padded = work
-
-        with tracer.span("factor_table", cat="solver", link=link()):
-            table = self.factor_table(plan, dtype)
-        factor_plan = optimize_factors(table, self.optimization)
 
         partial: np.ndarray | None
         if self.backend == "process":
@@ -361,9 +423,95 @@ class PLRSolver:
 
         out = corrected.reshape(-1)[:n]
         artifacts = SolveArtifacts(
-            plan=plan, table=table, factor_plan=factor_plan, partial=partial
+            plan=plan,
+            table=table,
+            factor_plan=factor_plan,
+            partial=partial,
+            native=native_record,
         )
         return out, artifacts
+
+    def _solve_native(
+        self, work, n, plan, table, factor_plan, dtype, tracer, link
+    ):
+        """Run the solve through a JIT-compiled C kernel.
+
+        ``work`` is the post-map-stage, unpadded input.  The kernel is
+        built from the *recursive-only* signature with one serial cell
+        spanning each chunk (``x = m``) — the doubling hierarchy inside
+        a chunk is a GPU shape; on a CPU the chunk-serial solve plus the
+        carry spine plus the bulk correction is both less work and the
+        layout OpenMP parallelizes cleanly.  The kernel pads internally,
+        so the host neither maps nor pads twice.
+
+        Raises :class:`~repro.core.errors.BackendError` /
+        :class:`~repro.core.errors.CodegenError` when a kernel cannot be
+        produced; the caller decides whether that degrades or fails.
+        """
+        from repro.codegen.ir import KernelIR
+        from repro.codegen.jit import NativeAttempt, native_kernel
+
+        ir = KernelIR(
+            recurrence=Recurrence(self.recurrence.recursive_signature),
+            plan=replace(plan, values_per_thread=plan.chunk_size),
+            table=table,
+            factor_plan=factor_plan,
+            dtype=dtype,
+        )
+        kernel = native_kernel(ir)
+
+        # Sharding is opt-in for the native backend: the kernel already
+        # parallelizes over chunks with OpenMP, so a process pool on top
+        # would oversubscribe unless the caller asked for it.
+        if self.shard_options.workers is not None:
+            from repro.parallel.backend import solve_sharded
+            from repro.parallel.sharding import resolve_workers, slab_spans
+
+            m = plan.chunk_size
+            num_chunks = plan.padded_n // m
+            spans = slab_spans(
+                num_chunks, resolve_workers(self.shard_options.workers, num_chunks)
+            )
+            if len(spans) > 1:
+                padded = np.zeros(plan.padded_n, dtype=dtype)
+                padded[:n] = work
+                sharded_ctx = link()
+                with tracer.span(
+                    "solve_sharded",
+                    cat="solver",
+                    args={"chunks": num_chunks, "native": True}
+                    if tracer.enabled
+                    else None,
+                    link=sharded_ctx,
+                ):
+                    corrected = solve_sharded(
+                        padded,
+                        table,
+                        plan.values_per_thread,
+                        options=self.shard_options,
+                        tracer=tracer,
+                        context=sharded_ctx,
+                        native_so=str(kernel.library_path),
+                    )
+                record = NativeAttempt(
+                    used=True,
+                    digest=kernel.digest,
+                    library_path=str(kernel.library_path),
+                    sharded=True,
+                )
+                return corrected.reshape(-1)[:n], record
+
+        with tracer.span(
+            "native_kernel",
+            cat="solver",
+            args={"n": n, "digest": kernel.digest} if tracer.enabled else None,
+            link=link(),
+        ):
+            out = kernel(work)
+        record = NativeAttempt(
+            used=True, digest=kernel.digest, library_path=str(kernel.library_path)
+        )
+        return out, record
 
 
 def plr_solve(signature: str | Signature, values: np.ndarray) -> np.ndarray:

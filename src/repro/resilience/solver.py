@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.errors import (
+    BackendError,
     DeadlockError,
     NumericalError,
     ReproError,
@@ -119,7 +120,7 @@ class AttemptRecord:
     dtype: str
     chunk_size: int | None
     seed: int | None
-    outcome: str  # "ok" | "numerical" | "simulation" | "deadlock" | "corrupt" | "worker"
+    outcome: str  # "ok" | "numerical" | "simulation" | "deadlock" | "corrupt" | "worker" | "backend"
     detail: str = ""
     elapsed_s: float = 0.0
 
@@ -204,6 +205,13 @@ class ResilientSolver:
         ``backend="process"`` a dead or stuck pool worker surfaces as a
         typed :class:`~repro.core.errors.WorkerError` and the chain
         degrades to the single-process path — the multicore level is an
+        accelerator, never a correctness dependency.  With
+        ``backend="native"`` the solver is built *strict*
+        (``native_fallback=False``) so a missing compiler or failed
+        compile surfaces as a typed
+        :class:`~repro.core.errors.BackendError` here, where the chain
+        records a ``"backend"`` attempt and degrades to the numpy path
+        without consuming a retry — the toolchain, like the pool, is an
         accelerator, never a correctness dependency.
     context:
         Optional :class:`~repro.obs.context.TraceContext` naming the
@@ -261,6 +269,10 @@ class ResilientSolver:
             backend=backend,
             workers=workers,
             shard_options=shard_options,
+            # Strict: the chain owns the degradation decision, so a
+            # native-backend failure must surface as a typed error here
+            # rather than silently falling back inside the solver.
+            native_fallback=False,
         )
         self._pending_events: list[FaultEvent] = []
 
@@ -399,11 +411,14 @@ class ResilientSolver:
                     self._record(dtype, plan, seed, "worker", str(exc), t0, attempt_ctx)
                 )
                 self.metrics.counter("resilience.worker_faults").inc()
-                if self._solver.backend == "process":
+                if self._solver.backend in ("process", "native"):
                     # A broken pool is not transient within this solve:
                     # drop to the single-process path and go again
                     # without consuming a retry — same arithmetic, no
-                    # pool to break.
+                    # pool to break.  (A sharded *native* solve reaches
+                    # here too when its pool dies; the numpy path is the
+                    # common safe ground.)
+                    failed = self._solver.backend
                     self._solver = PLRSolver(
                         self.recurrence,
                         machine=self.machine if self.engine == "plr" else None,
@@ -411,7 +426,30 @@ class ResilientSolver:
                     )
                     self._degrade(
                         report,
-                        "process backend failed: single-process fallback",
+                        "process backend failed: single-process fallback"
+                        if failed == "process"
+                        else "native sharded workers failed: single-process fallback",
+                    )
+                    continue
+            except BackendError as exc:
+                last_error = exc
+                report.attempts.append(
+                    self._record(dtype, plan, seed, "backend", str(exc), t0, attempt_ctx)
+                )
+                self.metrics.counter("resilience.backend_faults").inc()
+                if self._solver.backend == "native":
+                    # No compiler / failed compile is not transient
+                    # within this solve: drop to the numpy path and go
+                    # again without consuming a retry — same recurrence,
+                    # no toolchain dependency.
+                    self._solver = PLRSolver(
+                        self.recurrence,
+                        machine=self.machine if self.engine == "plr" else None,
+                        tracer=self.tracer,
+                    )
+                    self._degrade(
+                        report,
+                        "native backend failed: numpy single-process fallback",
                     )
                     continue
             except DeadlockError as exc:

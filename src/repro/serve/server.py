@@ -164,7 +164,22 @@ class ServeConfig:
     """Latency above which an unsampled request is tail-rescued into the
     trace log; None disables the slow rescue."""
 
+    backend: str = "single"
+    """Execution backend of the batch engine: ``"single"`` (numpy,
+    default), ``"native"`` (JIT-compiled C kernels for the grouped pass
+    and isolated re-runs, with automatic typed fallback to numpy when no
+    compiler is available — a server must never die for lack of a
+    toolchain), or ``"process"`` (multicore sharding for isolated
+    re-runs only)."""
+
+    workers: int | None = None
+    """Worker-pool size forwarded to the backend (isolated re-runs)."""
+
     def __post_init__(self) -> None:
+        if self.backend not in ("single", "native", "process"):
+            raise ValueError(
+                f"backend must be single|native|process, got {self.backend!r}"
+            )
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
         if self.max_batch < 1:
@@ -332,6 +347,8 @@ class PLRServer:
             ),
             metrics=self.metrics,
             tracer=self.tracer,
+            backend=self.config.backend,
+            workers=self.config.workers,
         )
         self.clock = getattr(self.engine, "clock", time.monotonic)
         self.sampling = SamplingPolicy(

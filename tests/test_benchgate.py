@@ -62,6 +62,21 @@ class TestCompare:
         assert compare_payloads(base, cur, tolerance_pct=10).ok
         assert not compare_payloads(base, cur, tolerance_pct=9.9).ok
 
+    def test_declared_skip_does_not_fail(self):
+        # A machine without a C compiler cannot produce the native row;
+        # the declared skip reports instead of regressing.
+        base = payload(serial=1.0, native=90.0)
+        cur = payload(serial=1.0)
+        report = compare_payloads(
+            base,
+            cur,
+            tolerance_pct=10,
+            skipped_backends={"native": "no C compiler"},
+        )
+        assert report.ok
+        assert "skip" in render_report(report)
+        assert "no C compiler" in render_report(report)
+
     def test_missing_row_fails_loudly(self):
         base = payload(serial=1.0, process=50.0)
         cur = payload(serial=1.0)

@@ -283,7 +283,10 @@ class TestBench:
         payload = json.loads(out.read_text())
         assert payload["workers"] == 2 and payload["repeat"] == 1
         backends = [r["backend"] for r in payload["results"]]
-        assert backends == ["serial", "vectorized", "process"]
+        assert backends[:3] == ["serial", "vectorized", "process"]
+        # The native row rides along wherever a C compiler exists; on
+        # machines without one the payload records why it was skipped.
+        assert backends[3:] == ["native"] or "native_skipped" in payload
         for record in payload["results"]:
             assert set(record) == {"op", "n", "dtype", "backend", "wall_s", "speedup"}
             assert record["n"] == 4096

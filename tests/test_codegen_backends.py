@@ -8,6 +8,7 @@ from repro.codegen.compiler import PLRCompiler
 from repro.codegen.ir import build_ir
 from repro.codegen.pybackend import compile_python_kernel, emit_python
 from repro.core.coefficients import table1_signatures
+from repro.core.errors import BackendError
 from repro.core.recurrence import Recurrence
 from repro.core.reference import serial_full
 from repro.core.validation import assert_valid
@@ -71,10 +72,18 @@ class TestCBackend:
         )
         assert first.library_path == second.library_path
 
-    def test_empty_input(self, compiler):
+    def test_empty_input_rejected(self, compiler):
+        # The native kernel contract is 1-D and non-empty; zero-length
+        # inputs never reach it (the planner refuses n = 0 first), so a
+        # direct call is a typed caller error, not a silent size-0 pass.
         kernel = compiler.compile("(1: 1)", n=1024, backend="c").kernel
-        out = kernel(np.array([], dtype=np.int32))
-        assert out.size == 0
+        with pytest.raises(BackendError, match="non-empty"):
+            kernel(np.array([], dtype=np.int32))
+
+    def test_non_1d_input_rejected(self, compiler):
+        kernel = compiler.compile("(1: 1)", n=1024, backend="c").kernel
+        with pytest.raises(BackendError, match="1-D"):
+            kernel(np.zeros((4, 4), dtype=np.int32))
 
 
 class TestPythonBackend:
