@@ -94,9 +94,13 @@ class BatchEngine:
         the multicore sharded path (its worker lanes then appear in the
         request's trace).  ``"native"`` additionally switches the
         grouped pass itself to the JIT-compiled C kernels (per-row, one
-        compile per kernel shape) with automatic numpy fallback.  The
-        process backend never applies to the grouped pass — batching
-        and sharding compose badly for small groups.
+        compile per kernel shape) with automatic numpy fallback.
+        ``"auto"`` lets the machine's calibration table pick the
+        grouped-pass backend per (signature class, row length, dtype)
+        (:mod:`repro.tune`); isolated re-runs then use the
+        deterministic single-process chain.  The process backend never
+        applies to the grouped pass — batching and sharding compose
+        badly for small groups.
     """
 
     def __init__(
@@ -279,10 +283,13 @@ class BatchEngine:
                 group.signature,
                 machine=self.machine,
                 tracer=self.tracer,
-                # The grouped pass may run native kernels per row; the
-                # process backend stays isolation-only (batching and
-                # sharding compose badly for small groups).
-                backend="native" if self.backend == "native" else "single",
+                # The grouped pass may run native kernels per row (or
+                # let the calibration table pick); the process backend
+                # stays isolation-only (batching and sharding compose
+                # badly for small groups).
+                backend=self.backend
+                if self.backend in ("native", "auto")
+                else "single",
             )
             try:
                 # Overflow in one row is expected occasionally and the
@@ -374,7 +381,10 @@ class BatchEngine:
             policy=policy,
             tracer=self.tracer,
             context=iso_ctx,
-            backend=self.backend,
+            # Isolation is the careful slow path: "auto" re-runs there
+            # as the deterministic single-process chain so a typed
+            # degradation story never depends on tuning state.
+            backend="single" if self.backend == "auto" else self.backend,
             workers=self.workers,
             shard_options=self.shard_options,
         )

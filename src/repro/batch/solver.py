@@ -54,10 +54,18 @@ class BatchSolver:
         (:mod:`repro.codegen.jit` — one compile per (signature, plan,
         dtype), then a dict lookup per row), degrading to the
         vectorized numpy pass with a ``native.fallbacks`` count when no
-        compiler is available or compilation fails.
+        compiler is available or compilation fails;
+        ``"auto"`` consults the machine's calibration table
+        (:mod:`repro.tune`) per solve and dispatches to whichever of
+        the above measured fastest for this (signature class, row
+        length, dtype), with the static heuristics as the cold-table
+        fallback.
     workers / shard_options:
         Process-backend pool tuning, as on
         :class:`~repro.plr.solver.PLRSolver`.
+    policy:
+        ``backend="auto"`` only: the tuning policy to consult; the
+        process-wide default when None.
     """
 
     def __init__(
@@ -68,20 +76,22 @@ class BatchSolver:
         backend: str = "single",
         workers: int | None = None,
         shard_options=None,
+        policy=None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
         elif isinstance(recurrence, Signature):
             recurrence = Recurrence(recurrence)
-        if backend not in ("single", "process", "native"):
+        if backend not in ("single", "process", "native", "auto"):
             raise ValueError(
                 f"unknown backend {backend!r}; expected 'single', 'process', "
-                f"or 'native'"
+                f"'native', or 'auto'"
             )
         self.recurrence = recurrence
         self.machine = machine or MachineSpec.titan_x()
         self.tracer = coerce_tracer(tracer)
         self.backend = backend
+        self.policy = policy
         self._native_solver = None
         if shard_options is None:
             from repro.parallel.sharding import ShardOptions
@@ -116,6 +126,9 @@ class BatchSolver:
         dtype = np.dtype(dtype)
         if rows == 0 or n == 0:
             return values.astype(dtype)
+        backend = self.backend
+        if backend == "auto":
+            backend = self._resolve_auto(n, dtype)
         if plan is None:
             with self.tracer.span(
                 "plan",
@@ -123,7 +136,7 @@ class BatchSolver:
                 args={"batch": rows, "n": n} if self.tracer.enabled else None,
             ):
                 plan = self.plan_for(n)
-        if self.backend == "native":
+        if backend == "native":
             out = self._solve_native(values, plan, dtype)
             if out is not None:
                 return out
@@ -140,9 +153,33 @@ class BatchSolver:
                 dtype=dtype,
                 plan=plan,
                 tracer=self.tracer,
-                backend="single" if self.backend == "native" else self.backend,
+                backend="single" if backend == "native" else backend,
                 shard_options=self.shard_options,
             )
+
+    def _resolve_auto(self, n: int, dtype) -> str:
+        """One tuning decision for the whole batch (rows share a shape).
+
+        The decision is per (signature class, row length, dtype) — the
+        grouped pass already guarantees homogeneous rows, so one lookup
+        steers every row.  Never raises; a cold table resolves to the
+        static heuristics (see :class:`repro.tune.TuningPolicy`).
+        """
+        from repro.tune.policy import default_policy
+
+        policy = self.policy if self.policy is not None else default_policy()
+        decision = policy.decide(self.recurrence.signature, n, dtype)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "tuning_decision",
+                cat="batch",
+                args={
+                    "backend": decision.backend,
+                    "source": decision.source,
+                    "reason": decision.reason[:200],
+                },
+            )
+        return decision.backend
 
     def _solve_native(self, values, plan, dtype):
         """Row loop through the compiled kernel; ``None`` → numpy pass.

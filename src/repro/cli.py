@@ -37,6 +37,9 @@ Subcommands:
   attainment, error budget, multi-window burn rates).
 * ``plr metrics`` — query a live server's metrics as JSON or
   Prometheus text exposition (``--format prometheus``).
+* ``plr tune`` — benchmark this machine and write the persistent
+  calibration table that ``backend="auto"`` consults (``--quick`` for
+  a seconds-long sweep, ``--show`` to inspect the stored table).
 """
 
 from __future__ import annotations
@@ -82,10 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("-n", type=int, default=1 << 20)
     run_p.add_argument(
         "--backend",
-        choices=("solver", "native") + tuple(b for b in BACKENDS if b != "cuda"),
+        choices=("solver", "native", "auto")
+        + tuple(b for b in BACKENDS if b != "cuda"),
         default="solver",
         help="solver = numpy; native = JIT-compiled C kernel through the "
-        "solver (numpy fallback if no compiler); c / python = run the "
+        "solver (numpy fallback if no compiler); auto = consult the "
+        "calibration table from `plr tune`; c / python = run the "
         "emitted kernel directly",
     )
     run_p.add_argument("--seed", type=int, default=0)
@@ -361,11 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--backend",
-        choices=("single", "native", "process"),
+        choices=("single", "native", "process", "auto"),
         default="single",
         help="solve backend for grouped flushes: single = vectorized "
         "numpy; native = JIT-compiled C kernels (numpy fallback when no "
-        "compiler); process = multicore sharded pool",
+        "compiler); process = multicore sharded pool; auto = whichever "
+        "the machine's calibration table measured fastest (plr tune)",
     )
     serve_p.add_argument(
         "--workers",
@@ -378,6 +384,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="start an ephemeral instance, run a client smoke test, exit",
     )
+
+    tune_p = sub.add_parser(
+        "tune",
+        help="measure this machine and write the calibration table "
+        'behind backend="auto"',
+    )
+    tune_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="seconds-long sweep (two buckets, one repetition, no x "
+        "search) — enough to seed the table on first use or in CI",
+    )
+    tune_p.add_argument(
+        "--show",
+        action="store_true",
+        help="print the stored table (status, fingerprint, entries) "
+        "and exit without measuring; exit 1 if the table is not usable",
+    )
+    tune_p.add_argument(
+        "--db",
+        default=None,
+        metavar="PATH",
+        help="calibration table to read/write (default: $PLR_TUNE_DB, "
+        "else the user cache dir)",
+    )
+    tune_p.add_argument(
+        "--signature",
+        action="append",
+        default=None,
+        metavar="SIG",
+        help="restrict the sweep to these signatures (repeatable; "
+        "default: one representative per calibration class)",
+    )
+    tune_p.add_argument(
+        "--repeat",
+        type=int,
+        default=None,
+        help="timing repetitions per point; best is kept (default: 3, "
+        "or 1 with --quick)",
+    )
+    tune_p.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -462,10 +509,10 @@ def _make_input(recurrence: Recurrence, n: int, seed: int) -> np.ndarray:
 def _cmd_run(args: argparse.Namespace) -> int:
     recurrence = Recurrence.parse(args.signature)
     values = _make_input(recurrence, args.n, args.seed)
-    if args.backend in ("solver", "native"):
+    if args.backend in ("solver", "native", "auto"):
         solver = PLRSolver(
             recurrence,
-            backend="native" if args.backend == "native" else "single",
+            backend="single" if args.backend == "solver" else args.backend,
         )
         start = time.perf_counter()
         result = solver.solve(values)
@@ -852,10 +899,19 @@ def _bench_payload(
     The native row is included only when a C compiler is available; its
     kernel is compiled by an untimed warmup solve so the timed repeats
     measure execution, not the one-off JIT cost.
-    """
-    import os
 
+    The payload records provenance a cross-machine reader needs: the
+    machine fingerprint (so ``--compare`` can declare foreign
+    baselines), the *requested* worker count at the top level (None =
+    resolve per machine), and the *effective* worker count per row —
+    the process row's pool size is resolved against this machine and
+    this plan, not copied from the flag.
+    """
     from repro.core.errors import BackendError, CodegenError
+    from repro.parallel.backend import _tuned_workers
+    from repro.parallel.sharding import resolve_workers
+    from repro.plr.planner import plan_execution
+    from repro.tune.fingerprint import machine_fingerprint
 
     recurrence = Recurrence.parse(signature)
     values = _make_input(recurrence, n, seed)
@@ -873,6 +929,14 @@ def _bench_payload(
     proc_solver = PLRSolver(recurrence, backend="process", workers=workers)
     proc_s, proc_out = _time_best(
         lambda: proc_solver.solve(values, dtype=dtype), repeat
+    )
+    # The pool size the process row actually ran with: the request (or,
+    # when unset, the calibration table's recommendation) clamped to the
+    # plan's chunk count — mirroring solve_sharded exactly.
+    plan = plan_execution(recurrence.signature, n, dtype=dtype)
+    proc_workers = resolve_workers(
+        workers if workers is not None else _tuned_workers(plan.padded_n),
+        plan.num_chunks,
     )
 
     native_s = None
@@ -897,12 +961,12 @@ def _bench_payload(
             raise ReproError(f"{name} backend mismatch: {outcome.describe()}")
 
     timings = [
-        ("serial", serial_s),
-        ("vectorized", vec_s),
-        ("process", proc_s),
+        ("serial", serial_s, 1),
+        ("vectorized", vec_s, 1),
+        ("process", proc_s, proc_workers),
     ]
     if native_s is not None:
-        timings.append(("native", native_s))
+        timings.append(("native", native_s, 1))
     dtype_name = np.dtype(vec_out.dtype).name
     records = [
         {
@@ -910,14 +974,16 @@ def _bench_payload(
             "n": n,
             "dtype": dtype_name,
             "backend": backend,
+            "workers": row_workers,
             "wall_s": wall,
             "speedup": serial_s / wall if wall > 0 else float("inf"),
         }
-        for backend, wall in timings
+        for backend, wall, row_workers in timings
     ]
     payload = {
-        "workers": workers or (os.cpu_count() or 1),
+        "workers": workers,
         "repeat": repeat,
+        "fingerprint": machine_fingerprint(),
         "results": records,
     }
     if native_error is not None:
@@ -946,6 +1012,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # Gate mode: the baseline defines the run — same op, n, dtype,
         # workers, repeat — so rows compare like for like.
         baseline = load_baseline(args.compare)
+        stored_fp = baseline.get("fingerprint")
+        if isinstance(stored_fp, dict):
+            from repro.tune.fingerprint import (
+                fingerprint_mismatches,
+                machine_fingerprint,
+            )
+
+            mismatches = fingerprint_mismatches(stored_fp, machine_fingerprint())
+            if mismatches:
+                print(
+                    "warning: baseline was measured on a different machine "
+                    f"({'; '.join(mismatches)}); cross-machine timings gate "
+                    "on speedup ratios, not absolute walls",
+                    file=sys.stderr,
+                )
         if args.update_baseline:
             _ensure_writable(args.compare, kind="baseline")
         first = baseline["results"][0]
@@ -1223,6 +1304,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tune import CalibrationDatabase, default_db_path, run_tuning
+    from repro.tune.fingerprint import fingerprint_digest
+
+    path = args.db or default_db_path()
+    if args.show:
+        db = CalibrationDatabase.load(path)
+        info = db.describe()
+        status = info["status"] + (
+            f" ({info['reason']})" if info["reason"] else ""
+        )
+        print(f"table    {info['path']}")
+        print(f"status   {status}")
+        print(f"machine  {info['fingerprint']}")
+        if db.entries:
+            print(
+                f"{'class':<20} {'bucket':>9} {'dtype':<8} {'backend':<8} "
+                f"{'workers':>7} {'ms':>10}"
+            )
+            for entry in sorted(db.entries.values(), key=lambda e: e.key):
+                best = db.best(entry.sig_class, entry.bucket, entry.dtype)
+                marker = "  <- fastest" if best is entry else ""
+                print(
+                    f"{entry.sig_class:<20} {entry.bucket:>9} "
+                    f"{entry.dtype:<8} {entry.backend:<8} "
+                    f"{entry.workers:>7} {entry.wall_s * 1e3:>10.3f}{marker}"
+                )
+        return 0 if db.status == "ok" else 1
+
+    if args.signature:
+        for spec in args.signature:  # fail fast before minutes of timing
+            Recurrence.parse(spec)
+    mode = "quick" if args.quick else "full"
+    print(f"calibrating {path} ({mode} sweep):")
+    db, points = run_tuning(
+        path=path,
+        signatures=args.signature,
+        quick=args.quick,
+        repeat=args.repeat,
+        seed=args.seed,
+        progress=print,
+    )
+    recorded = sum(1 for point in points if point.recorded)
+    skipped = len(points) - recorded
+    print(
+        f"recorded {recorded} measurements"
+        + (f" ({skipped} skipped)" if skipped else "")
+        + f" for machine {fingerprint_digest(db.fingerprint)} -> {db.path}"
+    )
+    # A long-lived process that ran `plr tune` programmatically should
+    # see the new table without restarting.
+    from repro.tune.policy import reset_default_policy
+
+    reset_default_policy()
+    return 0
+
+
 _COMMANDS = {
     "compile": _cmd_compile,
     "run": _cmd_run,
@@ -1241,6 +1379,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "slo": _cmd_slo,
     "metrics": _cmd_metrics,
+    "tune": _cmd_tune,
 }
 
 

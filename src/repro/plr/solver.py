@@ -69,6 +69,15 @@ class SolveArtifacts:
         A :class:`~repro.codegen.jit.NativeAttempt` describing what the
         native backend did (ran a compiled kernel, or degraded to numpy
         and why).  ``None`` for the other backends.
+    tuning:
+        A :class:`~repro.tune.policy.TuningDecision` recording which
+        backend ``backend="auto"`` resolved to and *why* (measured,
+        interpolated, or static fallback with its typed reason).
+        ``None`` when the backend was fixed by the caller.
+    backend:
+        The backend that actually executed this solve (after any
+        ``"auto"`` resolution): ``"single"``, ``"process"``, or
+        ``"native"``.
     """
 
     plan: ExecutionPlan
@@ -76,6 +85,8 @@ class SolveArtifacts:
     factor_plan: FactorPlan
     partial: np.ndarray | None
     native: object | None = None
+    tuning: object | None = None
+    backend: str = "single"
 
 
 # Factor tables are pure functions of (signature, m, dtype); building
@@ -211,9 +222,17 @@ class PLRSolver:
         False: the typed error propagates — what the resilience chain
         uses so the degradation is *its* decision and gets a typed
         attempt record.
+    policy:
+        ``backend="auto"`` only: the
+        :class:`~repro.tune.policy.TuningPolicy` consulted per solve;
+        defaults to the process-wide policy over the persistent
+        calibration database (:func:`repro.tune.default_policy`).  The
+        decision — and why it was made — lands on
+        ``artifacts.tuning``; a cold or broken table degrades to the
+        static heuristics, never to an exception.
     """
 
-    BACKENDS = ("single", "process", "native")
+    BACKENDS = ("single", "process", "native", "auto")
 
     def __init__(
         self,
@@ -225,6 +244,7 @@ class PLRSolver:
         workers: int | None = None,
         shard_options: ShardOptions | None = None,
         native_fallback: bool = True,
+        policy=None,
     ) -> None:
         if isinstance(recurrence, str):
             recurrence = Recurrence.parse(recurrence)
@@ -240,6 +260,7 @@ class PLRSolver:
         self.tracer = coerce_tracer(tracer)
         self.backend = backend
         self.native_fallback = native_fallback
+        self.policy = policy
         self.shard_options = (
             shard_options
             if shard_options is not None
@@ -309,6 +330,18 @@ class PLRSolver:
         if values.ndim != 1:
             raise ValueError(f"expected a 1D sequence, got shape {values.shape}")
         n = values.size
+        if dtype is None:
+            dtype = resolve_dtype(self.recurrence.signature, values.dtype)
+        dtype = np.dtype(dtype)
+
+        backend = self.backend
+        shard_options = self.shard_options
+        tuning = None
+        if backend == "auto":
+            backend, shard_options, tuning = self._resolve_auto(
+                n, dtype, tracer, link
+            )
+
         if plan is None:
             with tracer.span(
                 "plan",
@@ -317,9 +350,6 @@ class PLRSolver:
                 link=link(),
             ):
                 plan = self.plan_for(n)
-        if dtype is None:
-            dtype = resolve_dtype(self.recurrence.signature, values.dtype)
-        dtype = np.dtype(dtype)
         # A fractional coefficient cast to an integer working dtype
         # truncates silently (b=0.5 -> 0) and computes a *different*
         # recurrence; fail with a typed error before any work happens.
@@ -340,10 +370,11 @@ class PLRSolver:
         factor_plan = optimize_factors(table, self.optimization)
 
         native_record = None
-        if self.backend == "native":
+        if backend == "native":
             try:
                 out, native_record = self._solve_native(
-                    work, n, plan, table, factor_plan, dtype, tracer, link
+                    work, n, plan, table, factor_plan, dtype, tracer, link,
+                    shard_options,
                 )
             except (BackendError, CodegenError) as exc:
                 if not self.native_fallback:
@@ -370,6 +401,8 @@ class PLRSolver:
                     factor_plan=factor_plan,
                     partial=None,
                     native=native_record,
+                    tuning=tuning,
+                    backend="native",
                 )
                 return out, artifacts
 
@@ -383,7 +416,7 @@ class PLRSolver:
             padded = work
 
         partial: np.ndarray | None
-        if self.backend == "process":
+        if backend == "process":
             from repro.parallel.backend import solve_sharded
 
             sharded_ctx = link()
@@ -397,7 +430,7 @@ class PLRSolver:
                     padded,
                     table,
                     plan.values_per_thread,
-                    options=self.shard_options,
+                    options=shard_options,
                     tracer=tracer,
                     context=sharded_ctx,
                 )
@@ -428,11 +461,50 @@ class PLRSolver:
             factor_plan=factor_plan,
             partial=partial,
             native=native_record,
+            tuning=tuning,
+            backend=backend,
         )
         return out, artifacts
 
+    def _resolve_auto(self, n, dtype, tracer, link):
+        """Resolve ``backend="auto"`` through the tuning policy.
+
+        Returns ``(backend, shard_options, decision)``.  The policy's
+        contract guarantees a decision (measured, interpolated, or
+        static fallback with a typed reason) — this never raises on the
+        solve path.  A measured process decision also carries the
+        measured-best worker count, which fills a ``workers=None``
+        shard configuration without overriding an explicit one.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.tune.policy import default_policy
+
+        policy = self.policy if self.policy is not None else default_policy()
+        decision = policy.decide(self.recurrence.signature, n, dtype)
+        shard_options = self.shard_options
+        if (
+            decision.backend == "process"
+            and decision.workers is not None
+            and shard_options.workers is None
+        ):
+            shard_options = dc_replace(shard_options, workers=decision.workers)
+        if tracer.enabled:
+            tracer.instant(
+                "tuning_decision",
+                cat="solver",
+                args={
+                    "backend": decision.backend,
+                    "source": decision.source,
+                    "reason": decision.reason[:200],
+                },
+                link=link(),
+            )
+        return decision.backend, shard_options, decision
+
     def _solve_native(
-        self, work, n, plan, table, factor_plan, dtype, tracer, link
+        self, work, n, plan, table, factor_plan, dtype, tracer, link,
+        shard_options=None,
     ):
         """Run the solve through a JIT-compiled C kernel.
 
@@ -459,18 +531,20 @@ class PLRSolver:
             dtype=dtype,
         )
         kernel = native_kernel(ir)
+        if shard_options is None:
+            shard_options = self.shard_options
 
         # Sharding is opt-in for the native backend: the kernel already
         # parallelizes over chunks with OpenMP, so a process pool on top
         # would oversubscribe unless the caller asked for it.
-        if self.shard_options.workers is not None:
+        if shard_options.workers is not None:
             from repro.parallel.backend import solve_sharded
             from repro.parallel.sharding import resolve_workers, slab_spans
 
             m = plan.chunk_size
             num_chunks = plan.padded_n // m
             spans = slab_spans(
-                num_chunks, resolve_workers(self.shard_options.workers, num_chunks)
+                num_chunks, resolve_workers(shard_options.workers, num_chunks)
             )
             if len(spans) > 1:
                 padded = np.zeros(plan.padded_n, dtype=dtype)
@@ -488,7 +562,7 @@ class PLRSolver:
                         padded,
                         table,
                         plan.values_per_thread,
-                        options=self.shard_options,
+                        options=shard_options,
                         tracer=tracer,
                         context=sharded_ctx,
                         native_so=str(kernel.library_path),

@@ -169,16 +169,19 @@ class ServeConfig:
     default), ``"native"`` (JIT-compiled C kernels for the grouped pass
     and isolated re-runs, with automatic typed fallback to numpy when no
     compiler is available — a server must never die for lack of a
-    toolchain), or ``"process"`` (multicore sharding for isolated
-    re-runs only)."""
+    toolchain), ``"process"`` (multicore sharding for isolated re-runs
+    only), or ``"auto"`` (the machine's calibration table picks the
+    grouped-pass backend per signature class / length / dtype; see
+    :mod:`repro.tune`)."""
 
     workers: int | None = None
     """Worker-pool size forwarded to the backend (isolated re-runs)."""
 
     def __post_init__(self) -> None:
-        if self.backend not in ("single", "native", "process"):
+        if self.backend not in ("single", "native", "process", "auto"):
             raise ValueError(
-                f"backend must be single|native|process, got {self.backend!r}"
+                "backend must be single|native|process|auto, "
+                f"got {self.backend!r}"
             )
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
@@ -388,6 +391,8 @@ class PLRServer:
         """Bind the socket and start the batcher; returns when ready."""
         if self._server is not None:
             raise RuntimeError("server already started")
+        if self.config.backend in ("native", "auto"):
+            await asyncio.to_thread(self._warm_native)
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
         self._drained = asyncio.Event()
         if self.config.unix_path:
@@ -404,6 +409,32 @@ class PLRServer:
                 limit=self.config.max_line_bytes,
             )
         self._batcher = asyncio.create_task(self._batch_loop())
+
+    def _warm_native(self) -> None:
+        """Pre-compile a native kernel before the socket binds.
+
+        The first native solve pays compiler discovery, compile-cache
+        directory creation, and a full cc invocation — hundreds of
+        milliseconds no request should eat.  Warming compiles a
+        representative kernel untimed at startup; other signatures
+        still compile on first sight, but against a probed toolchain
+        and an existing on-disk cache.  A missing compiler only counts
+        a metric — the engine's own typed per-request fallback owns
+        that degradation.
+        """
+        started = time.perf_counter()
+        try:
+            from repro.plr.solver import PLRSolver
+
+            solver = PLRSolver("(1: 1)", backend="native", native_fallback=False)
+            solver.solve(np.ones(max(self.config.min_bucket, 2), dtype=np.int32))
+        except Exception:  # noqa: BLE001 — warmup is best-effort
+            self.metrics.counter("serve.native_warmup_failures").inc()
+            return
+        self.metrics.counter("serve.native_warmups").inc()
+        self.metrics.gauge("serve.native_warmup_ms").set(
+            round((time.perf_counter() - started) * 1000.0, 3)
+        )
 
     @property
     def address(self) -> tuple[str, int] | str:
@@ -779,8 +810,25 @@ class PLRServer:
                         else None
                     ),
                 },
+                "tuning": self._tuning_info(),
             },
         }
+
+    @staticmethod
+    def _tuning_info() -> dict | None:
+        """The process-wide tuning policy's view of itself, or None.
+
+        Reported regardless of the configured backend — an operator
+        asking ``{"op": "metrics"}`` wants to know whether switching to
+        ``backend="auto"`` would run measured (table status "ok") or
+        fall back to the static heuristics.
+        """
+        try:
+            from repro.tune.policy import default_policy
+
+            return default_policy().describe()
+        except Exception:  # noqa: BLE001 — metrics must never fail
+            return None
 
     # -- the micro-batcher ----------------------------------------------
     async def _batch_loop(self) -> None:

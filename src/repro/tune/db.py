@@ -1,0 +1,291 @@
+"""The persistent calibration table behind ``backend="auto"``.
+
+One :class:`CalibrationEntry` records one measurement: "on this
+machine, this backend solved this recurrence class at this size bucket
+in this many seconds".  The :class:`CalibrationDatabase` is the durable
+set of those measurements — a versioned JSON file under a user cache
+directory — with three hard guarantees the solve path relies on:
+
+* **lossless round-trip** — entries survive save/load bit-exactly
+  (floats serialize via ``repr`` through ``json``, which round-trips
+  IEEE doubles), so a ranking measured today is the ranking consulted
+  after any number of restarts;
+* **fingerprint invalidation** — a table written on a different
+  machine class (core count, compiler, numpy, platform — see
+  :mod:`repro.tune.fingerprint`) loads *empty* with a declared reason,
+  never as silently wrong advice;
+* **no exceptions on the solve path** — a missing, corrupt, or
+  foreign table degrades to a cold database whose :attr:`status`
+  explains why; :class:`~repro.tune.policy.TuningPolicy` turns that
+  into the static-heuristic fallback.
+
+The entry key is ``(signature class, n bucket, dtype, backend,
+workers)``.  Keying by *class* rather than exact signature keeps the
+table small and transferable: backend crossovers are set by arithmetic
+shape (order, integer vs float, FIR stage) and size, not by the
+particular coefficient values, so one measured representative per
+class steers every signature in it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.tune.fingerprint import (
+    fingerprint_digest,
+    fingerprint_mismatches,
+    machine_fingerprint,
+)
+
+__all__ = [
+    "DB_VERSION",
+    "CalibrationEntry",
+    "CalibrationDatabase",
+    "default_db_path",
+    "n_bucket",
+    "signature_class",
+]
+
+DB_VERSION = 1
+"""Schema version; a table with a different version loads cold (the
+declared reason names both versions) rather than being misread."""
+
+
+def default_db_path() -> Path:
+    """Where the calibration table lives: $PLR_TUNE_DB or the user cache.
+
+    Follows the XDG convention (``$XDG_CACHE_HOME`` or ``~/.cache``)
+    like the native kernel cache follows ``$PLR_NATIVE_CACHE_DIR``.
+    """
+    env = os.environ.get("PLR_TUNE_DB")
+    if env:
+        return Path(env)
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "plr" / "tuning.json"
+
+
+def n_bucket(n: int) -> int:
+    """The size bucket for an input of length n: the next power of two.
+
+    Powers of two give log-spaced buckets, matching how backend
+    crossovers behave (a backend that wins at 2^16 wins at 1.3 * 2^16
+    too); exact sizes would make every odd length a cold lookup.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def signature_class(signature) -> str:
+    """The calibration key for a signature: family, order, arithmetic.
+
+    E.g. ``"prefix_sum:1:int"`` for ``(1: 1)`` or ``"iir_filter:1:float"``
+    for ``(0.2: 0.8)``.  Accepts a :class:`~repro.core.signature.Signature`,
+    a :class:`~repro.core.recurrence.Recurrence`, or a signature string.
+    """
+    from repro.core.classify import classify
+    from repro.core.signature import Signature
+
+    if isinstance(signature, str):
+        signature = Signature.parse(signature)
+    signature = getattr(signature, "signature", signature)
+    cls = classify(signature)
+    arithmetic = "int" if signature.is_integer else "float"
+    return f"{cls.kind.value}:{cls.order}:{arithmetic}"
+
+
+@dataclass(frozen=True)
+class CalibrationEntry:
+    """One measurement: a backend's best wall time at one key.
+
+    Attributes
+    ----------
+    sig_class:
+        The :func:`signature_class` of the measured representative.
+    bucket:
+        The :func:`n_bucket` the measurement ran at (the actual input
+        length equals the bucket).
+    dtype:
+        Working dtype name (``"int32"`` / ``"float32"`` / ...).
+    backend:
+        ``"single"`` | ``"process"`` | ``"native"``.
+    workers:
+        Effective pool size the measurement used (1 for in-process
+        backends).
+    wall_s:
+        Best-of-repeat wall seconds for one solve.
+    values_per_thread:
+        The plan's x during the measurement; the planner consults the
+        winning backend's x for measured buckets.
+    repeat:
+        How many timed repetitions the best was taken over.
+    """
+
+    sig_class: str
+    bucket: int
+    dtype: str
+    backend: str
+    workers: int
+    wall_s: float
+    values_per_thread: int | None = None
+    repeat: int = 1
+
+    @property
+    def key(self) -> tuple:
+        return (self.sig_class, self.bucket, self.dtype, self.backend, self.workers)
+
+
+@dataclass
+class CalibrationDatabase:
+    """The in-memory calibration table plus its provenance and health.
+
+    ``status`` is one of ``"ok"`` (loaded with entries or freshly
+    built), ``"cold"`` (no table on disk yet), ``"corrupt"``,
+    ``"version-mismatch"``, or ``"fingerprint-mismatch"``; ``reason``
+    carries the human-readable detail for everything but ``"ok"``.
+    A database whose status is not ``"ok"`` always has zero entries —
+    stale advice is discarded at load time, not filtered per lookup.
+    """
+
+    path: Path
+    fingerprint: dict = field(default_factory=machine_fingerprint)
+    entries: dict = field(default_factory=dict)
+    status: str = "ok"
+    reason: str | None = None
+
+    # -- persistence -----------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path | None = None) -> "CalibrationDatabase":
+        """Read the table, degrading (never raising) on any defect."""
+        path = Path(path) if path is not None else default_db_path()
+        current = machine_fingerprint()
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return cls(
+                path=path,
+                fingerprint=current,
+                status="cold",
+                reason=f"no calibration table at {path} (run 'plr tune')",
+            )
+        except OSError as exc:
+            return cls(
+                path=path,
+                fingerprint=current,
+                status="corrupt",
+                reason=f"cannot read {path}: {exc}",
+            )
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("top level is not an object")
+            version = payload["version"]
+            stored_fp = payload["fingerprint"]
+            raw_entries = payload["entries"]
+            if not isinstance(stored_fp, dict) or not isinstance(raw_entries, list):
+                raise ValueError("fingerprint/entries have the wrong shape")
+            entries = [CalibrationEntry(**record) for record in raw_entries]
+        except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+            return cls(
+                path=path,
+                fingerprint=current,
+                status="corrupt",
+                reason=f"calibration table {path} is unreadable: {exc}",
+            )
+        if version != DB_VERSION:
+            return cls(
+                path=path,
+                fingerprint=current,
+                status="version-mismatch",
+                reason=(
+                    f"calibration table {path} has schema v{version}, "
+                    f"this build reads v{DB_VERSION}; re-run 'plr tune'"
+                ),
+            )
+        mismatches = fingerprint_mismatches(stored_fp, current)
+        if mismatches:
+            return cls(
+                path=path,
+                fingerprint=current,
+                status="fingerprint-mismatch",
+                reason=(
+                    "calibration table was measured on a different machine "
+                    f"({'; '.join(mismatches)}); re-run 'plr tune'"
+                ),
+            )
+        db = cls(path=path, fingerprint=stored_fp)
+        for entry in entries:
+            db.entries[entry.key] = entry
+        return db
+
+    def save(self) -> Path:
+        """Atomically publish the table (write temp file, then rename)."""
+        payload = {
+            "version": DB_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": [
+                asdict(entry)
+                for entry in sorted(self.entries.values(), key=lambda e: e.key)
+            ],
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=self.path.name + ".", dir=str(self.path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.status, self.reason = "ok", None
+        return self.path
+
+    # -- queries ---------------------------------------------------------
+    def record(self, entry: CalibrationEntry) -> None:
+        """Insert or replace the measurement at ``entry.key``."""
+        self.entries[entry.key] = entry
+
+    def lookup(self, sig_class: str, bucket: int, dtype: str) -> list:
+        """Every backend's entry at one (class, bucket, dtype) point."""
+        return [
+            entry
+            for entry in self.entries.values()
+            if entry.sig_class == sig_class
+            and entry.bucket == bucket
+            and entry.dtype == dtype
+        ]
+
+    def buckets(self, sig_class: str, dtype: str) -> list[int]:
+        """Sorted measured buckets for one (class, dtype) pair."""
+        return sorted(
+            {
+                entry.bucket
+                for entry in self.entries.values()
+                if entry.sig_class == sig_class and entry.dtype == dtype
+            }
+        )
+
+    def best(self, sig_class: str, bucket: int, dtype: str):
+        """The fastest entry at one point, or None when unmeasured."""
+        entries = self.lookup(sig_class, bucket, dtype)
+        return min(entries, key=lambda e: e.wall_s) if entries else None
+
+    def describe(self) -> dict:
+        """The health block surfaced through ``{"op": "metrics"}``."""
+        return {
+            "path": str(self.path),
+            "status": self.status,
+            "reason": self.reason,
+            "entries": len(self.entries),
+            "fingerprint": fingerprint_digest(self.fingerprint),
+        }

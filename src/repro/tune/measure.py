@@ -1,0 +1,268 @@
+"""The closed-loop part of the autotuner: benchmark, record, persist.
+
+:func:`run_tuning` measures the actual machine — one representative
+recurrence per calibration class, each backend, a log-spaced sweep of
+size buckets — and writes the results into a
+:class:`~repro.tune.db.CalibrationDatabase`.  From then on every
+``backend="auto"`` solve answers with the fastest *measured*
+configuration instead of a hard-coded guess.
+
+Measurement protocol (mirrors ``plr bench``):
+
+* best-of-``repeat`` wall time per point — the minimum filters
+  scheduler noise, which only ever adds time;
+* the native kernel is compiled by an untimed warmup solve, so the
+  table records steady-state execution, not the one-off JIT cost (a
+  serving process pays that once; the serve layer pre-compiles it at
+  startup);
+* every backend's output is verified against the vectorized solver
+  before its timing is recorded — a backend that answers wrongly must
+  not win the table;
+* a backend that cannot run here (no C compiler, a worker pool that
+  cannot start) is *skipped with a declared note*, never recorded as
+  infinitely slow and never fatal to the sweep.
+
+``quick=True`` shrinks the sweep (two buckets, one repetition, no
+values-per-thread search) to a few seconds for CI and first-use
+calibration; the full sweep adds more buckets and an x search on the
+vectorized backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.tune.db import (
+    CalibrationDatabase,
+    CalibrationEntry,
+    signature_class,
+)
+
+__all__ = [
+    "FULL_SWEEP_SIZES",
+    "QUICK_SWEEP_SIZES",
+    "REPRESENTATIVE_SIGNATURES",
+    "MeasuredPoint",
+    "run_tuning",
+]
+
+REPRESENTATIVE_SIGNATURES = ("(1: 1)", "(1: 2, -1)", "(0.2: 0.8)")
+"""One representative per calibration class the workloads exercise:
+integer prefix sum, second-order integer recurrence (Fibonacci-like),
+and first-order float IIR (the EMA/low-pass family)."""
+
+FULL_SWEEP_SIZES = (1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20)
+QUICK_SWEEP_SIZES = (1 << 12, 1 << 16)
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One timed (signature, bucket, backend) result, for reporting."""
+
+    signature: str
+    sig_class: str
+    bucket: int
+    dtype: str
+    backend: str
+    workers: int
+    wall_s: float
+    recorded: bool
+    note: str = ""
+
+
+def _time_best(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _verified(output, expected) -> bool:
+    from repro.core.validation import compare_results
+
+    return compare_results(output, expected).ok
+
+
+def run_tuning(
+    db: CalibrationDatabase | None = None,
+    path=None,
+    signatures=None,
+    sizes=None,
+    quick: bool = False,
+    repeat: int | None = None,
+    seed: int = 0,
+    progress=None,
+) -> tuple[CalibrationDatabase, list[MeasuredPoint]]:
+    """Benchmark this machine and persist the calibration table.
+
+    Returns the written database and the per-point measurement log.
+    ``progress`` (e.g. ``print``) receives one line per measured point.
+    """
+    from repro.codegen.jit import native_available
+    from repro.core.errors import BackendError, CodegenError, ReproError
+    from repro.core.recurrence import Recurrence
+    from repro.core.reference import resolve_dtype
+    from repro.plr.planner import plan_execution
+    from repro.plr.solver import PLRSolver
+    from repro.tune.fingerprint import machine_fingerprint
+
+    if db is None:
+        db = CalibrationDatabase.load(path)
+    # Whatever the old table's status, this sweep re-establishes it for
+    # the current machine.
+    db.fingerprint = machine_fingerprint()
+    db.status, db.reason = "ok", None
+
+    signatures = tuple(signatures or REPRESENTATIVE_SIGNATURES)
+    sizes = tuple(sizes or (QUICK_SWEEP_SIZES if quick else FULL_SWEEP_SIZES))
+    repeat = repeat if repeat is not None else (1 if quick else 3)
+    say = progress or (lambda line: None)
+    points: list[MeasuredPoint] = []
+    have_native = native_available()
+
+    for spec in signatures:
+        recurrence = Recurrence.parse(spec)
+        sig_class = signature_class(recurrence.signature)
+        rng = np.random.default_rng(seed)
+        for n in sizes:
+            if recurrence.is_integer:
+                values = rng.integers(-100, 100, size=n).astype(np.int32)
+            else:
+                values = rng.standard_normal(n).astype(np.float32)
+            dtype = np.dtype(resolve_dtype(recurrence.signature, values.dtype))
+            # The bucket *is* the measured size: sweep sizes are powers
+            # of two, so the measurement sits exactly on its key.
+            plan = plan_execution(recurrence.signature, n, policy=None)
+
+            def emit(backend, workers, wall_s, recorded, note="", x=None):
+                point = MeasuredPoint(
+                    signature=spec,
+                    sig_class=sig_class,
+                    bucket=n,
+                    dtype=dtype.name,
+                    backend=backend,
+                    workers=workers,
+                    wall_s=wall_s,
+                    recorded=recorded,
+                    note=note,
+                )
+                points.append(point)
+                say(
+                    f"  {spec:<12} n=2^{n.bit_length() - 1} {dtype.name:<8} "
+                    f"{backend:<8} w={workers} "
+                    + (
+                        f"{wall_s * 1e3:9.2f} ms"
+                        if wall_s == wall_s and wall_s != float("inf")
+                        else "   skipped"
+                    )
+                    + (f"  ({note})" if note else "")
+                )
+                if recorded:
+                    db.record(
+                        CalibrationEntry(
+                            sig_class=sig_class,
+                            bucket=n,
+                            dtype=dtype.name,
+                            backend=backend,
+                            workers=workers,
+                            wall_s=wall_s,
+                            values_per_thread=x,
+                            repeat=repeat,
+                        )
+                    )
+
+            # -- vectorized numpy (the reference the others verify against)
+            single = PLRSolver(recurrence)
+            expected = single.solve(values, plan=plan, dtype=dtype)  # warm cache
+            best_x = plan.values_per_thread
+            single_s = _time_best(
+                lambda: single.solve(values, plan=plan, dtype=dtype), repeat
+            )
+            if not quick:
+                # Search x on the vectorized backend: the chunk shape is
+                # the knob the paper defers to future work.
+                for x in sorted({1, max(1, plan.values_per_thread // 2)}):
+                    if x == plan.values_per_thread:
+                        continue
+                    chunk = plan.block_size * x
+                    alt = replace(
+                        plan,
+                        values_per_thread=x,
+                        chunk_size=chunk,
+                        num_chunks=-(-n // chunk),
+                    )
+                    single.solve(values, plan=alt, dtype=dtype)  # warm
+                    alt_s = _time_best(
+                        lambda: single.solve(values, plan=alt, dtype=dtype),
+                        repeat,
+                    )
+                    if alt_s < single_s:
+                        single_s, best_x = alt_s, x
+            emit("single", 1, single_s, recorded=True, x=best_x)
+
+            # -- multicore process pool
+            try:
+                proc = PLRSolver(recurrence, backend="process")
+                out = proc.solve(values, plan=plan, dtype=dtype)
+                if not _verified(out, expected):
+                    emit(
+                        "process", 0, float("inf"), recorded=False,
+                        note="output mismatch vs vectorized",
+                    )
+                else:
+                    from repro.parallel.sharding import resolve_workers
+
+                    workers = resolve_workers(None, plan.num_chunks)
+                    proc_s = _time_best(
+                        lambda: proc.solve(values, plan=plan, dtype=dtype),
+                        repeat,
+                    )
+                    emit(
+                        "process", workers, proc_s, recorded=True,
+                        x=plan.values_per_thread,
+                    )
+            except ReproError as exc:
+                emit(
+                    "process", 0, float("inf"), recorded=False,
+                    note=f"{type(exc).__name__}: {exc}",
+                )
+
+            # -- JIT-compiled native kernel
+            if not have_native:
+                emit(
+                    "native", 1, float("inf"), recorded=False,
+                    note="no C compiler on this machine",
+                )
+                continue
+            try:
+                native = PLRSolver(
+                    recurrence, backend="native", native_fallback=False
+                )
+                out = native.solve(values, plan=plan, dtype=dtype)  # compile
+                if not _verified(out, expected):
+                    emit(
+                        "native", 1, float("inf"), recorded=False,
+                        note="output mismatch vs vectorized",
+                    )
+                else:
+                    native_s = _time_best(
+                        lambda: native.solve(values, plan=plan, dtype=dtype),
+                        repeat,
+                    )
+                    emit(
+                        "native", 1, native_s, recorded=True,
+                        x=plan.values_per_thread,
+                    )
+            except (BackendError, CodegenError) as exc:
+                emit(
+                    "native", 1, float("inf"), recorded=False,
+                    note=f"{type(exc).__name__}: {exc}",
+                )
+
+    db.save()
+    return db, points

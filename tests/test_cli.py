@@ -287,9 +287,18 @@ class TestBench:
         # The native row rides along wherever a C compiler exists; on
         # machines without one the payload records why it was skipped.
         assert backends[3:] == ["native"] or "native_skipped" in payload
+        assert payload["fingerprint"]["cpu_count"] >= 1
         for record in payload["results"]:
-            assert set(record) == {"op", "n", "dtype", "backend", "wall_s", "speedup"}
+            assert set(record) == {
+                "op", "n", "dtype", "backend", "workers", "wall_s", "speedup",
+            }
             assert record["n"] == 4096
+            # Effective pool size per row: in-process rows pin 1, the
+            # process row records what actually ran (clamped to chunks).
+            if record["backend"] == "process":
+                assert 1 <= record["workers"] <= 2
+            else:
+                assert record["workers"] == 1
             assert record["wall_s"] > 0 and record["speedup"] > 0
 
     def test_bad_signature_is_clean_error(self, tmp_path, capsys):

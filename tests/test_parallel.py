@@ -97,9 +97,15 @@ class TestShardOptions:
         with pytest.raises(ValueError):
             ShardOptions(workers=0)
 
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            ShardOptions(workers=-2)
+
     def test_rejects_nonpositive_timeout(self):
         with pytest.raises(ValueError):
             ShardOptions(timeout_s=0.0)
+        with pytest.raises(ValueError, match="timeout_s must be positive"):
+            ShardOptions(timeout_s=-1.0)
 
     def test_rejects_unknown_injection(self):
         with pytest.raises(ValueError):
@@ -110,6 +116,27 @@ class TestShardOptions:
         assert resolve_workers(2, 100) == 2
         assert resolve_workers(None, 5) >= 1
         assert resolve_workers(None, 0) == 0 or resolve_workers(None, 1) == 1
+
+    def test_resolve_workers_single_chunk_means_one(self):
+        assert resolve_workers(8, 1) == 1
+        assert resolve_workers(None, 1) == 1
+
+    def test_resolve_workers_never_below_one(self):
+        assert resolve_workers(4, 0) == 1
+
+    def test_oversubscribed_pool_matches_vectorized(self):
+        # workers > num_chunks: the pool clamps to the available slabs
+        # and the sharded output is still exact.
+        from repro.plr.solver import PLRSolver
+
+        values = np.arange(1, 401, dtype=np.int32)
+        sharded = PLRSolver(
+            "(1: 2, -1)",
+            backend="process",
+            shard_options=ShardOptions(workers=6),
+        ).solve(values)
+        single = PLRSolver("(1: 2, -1)").solve(values)
+        assert np.array_equal(sharded, single)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,465 @@
+"""The closed-loop autotuner: database, policy, auto dispatch, wiring.
+
+The contracts under test, in the order the ISSUE states them:
+
+* the calibration table round-trips losslessly and survives restart;
+* a fingerprint change invalidates it with a declared reason;
+* a cold/corrupt table degrades to the static heuristics with a typed
+  reason on SolveArtifacts — never an exception on the solve path;
+* ``backend="auto"`` dispatches to the measured winner and records the
+  decision;
+* the planner, sharded backend, bench payload, and serving layer all
+  consult (or surface) the same table.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.recurrence import Recurrence
+from repro.core.reference import serial_full
+from repro.plr.planner import plan_execution
+from repro.plr.solver import PLRSolver
+from repro.tune import (
+    DB_VERSION,
+    CalibrationDatabase,
+    CalibrationEntry,
+    TuningPolicy,
+    default_db_path,
+    n_bucket,
+    run_tuning,
+    signature_class,
+)
+from repro.tune.fingerprint import (
+    fingerprint_digest,
+    fingerprint_mismatches,
+    machine_fingerprint,
+)
+
+pytestmark = pytest.mark.tune
+
+FIB = "(1: 2, -1)"
+
+
+def make_entry(**overrides) -> CalibrationEntry:
+    base = dict(
+        sig_class="higher_order_prefix_sum:2:int",
+        bucket=65536,
+        dtype="int32",
+        backend="single",
+        workers=1,
+        wall_s=0.00123,
+        values_per_thread=3,
+        repeat=3,
+    )
+    base.update(overrides)
+    return CalibrationEntry(**base)
+
+
+def write_table(path, entries, fingerprint=None) -> CalibrationDatabase:
+    db = CalibrationDatabase(path=path)
+    if fingerprint is not None:
+        db.fingerprint = fingerprint
+    for entry in entries:
+        db.record(entry)
+    db.save()
+    return db
+
+
+# ----------------------------------------------------------------------
+# The database: round-trip, invalidation, degradation
+
+
+class TestCalibrationDatabase:
+    def test_round_trip_is_lossless(self, tmp_path):
+        path = tmp_path / "t.json"
+        entries = [
+            make_entry(wall_s=1 / 3, backend="single"),
+            make_entry(wall_s=0.1234567890123456789, backend="native"),
+            make_entry(backend="process", workers=7, values_per_thread=None),
+        ]
+        write_table(path, entries)
+        loaded = CalibrationDatabase.load(path)
+        assert loaded.status == "ok"
+        assert loaded.entries == {e.key: e for e in entries}
+        # Survives a second save/load cycle bit-exactly (restart twice).
+        loaded.save()
+        again = CalibrationDatabase.load(path)
+        assert again.entries == loaded.entries
+        assert again.fingerprint == machine_fingerprint()
+
+    def test_missing_table_loads_cold_with_reason(self, tmp_path):
+        db = CalibrationDatabase.load(tmp_path / "absent.json")
+        assert db.status == "cold"
+        assert not db.entries
+        assert "plr tune" in db.reason
+
+    def test_garbage_loads_corrupt_not_raise(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("{not json at all")
+        db = CalibrationDatabase.load(path)
+        assert db.status == "corrupt" and not db.entries
+
+    def test_wrong_shape_loads_corrupt(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert CalibrationDatabase.load(path).status == "corrupt"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": DB_VERSION,
+                    "fingerprint": machine_fingerprint(),
+                    "entries": [{"bogus": True}],
+                }
+            )
+        )
+        assert CalibrationDatabase.load(path).status == "corrupt"
+
+    def test_version_mismatch_declared(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_table(path, [make_entry()])
+        payload = json.loads(path.read_text())
+        payload["version"] = DB_VERSION + 41
+        path.write_text(json.dumps(payload))
+        db = CalibrationDatabase.load(path)
+        assert db.status == "version-mismatch"
+        assert not db.entries
+        assert str(DB_VERSION) in db.reason
+
+    def test_fingerprint_change_invalidates(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_table(path, [make_entry()])
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["cpu_count"] = 4096
+        path.write_text(json.dumps(payload))
+        db = CalibrationDatabase.load(path)
+        assert db.status == "fingerprint-mismatch"
+        assert not db.entries  # stale advice dropped at load, not per lookup
+        assert "cpu_count" in db.reason
+
+    def test_save_is_atomic_publication(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "t.json"
+        write_table(path, [make_entry()])
+        # No temp droppings next to the published file.
+        assert [p.name for p in path.parent.iterdir()] == ["t.json"]
+
+    def test_best_picks_minimum_wall(self, tmp_path):
+        db = CalibrationDatabase(path=tmp_path / "t.json")
+        db.record(make_entry(backend="single", wall_s=2.0))
+        db.record(make_entry(backend="native", wall_s=0.5))
+        db.record(make_entry(backend="process", workers=2, wall_s=1.0))
+        best = db.best("higher_order_prefix_sum:2:int", 65536, "int32")
+        assert best.backend == "native"
+
+    def test_n_bucket_is_next_power_of_two(self):
+        assert n_bucket(1) == 1
+        assert n_bucket(1024) == 1024
+        assert n_bucket(1025) == 2048
+        assert n_bucket(100000) == 131072
+        with pytest.raises(ValueError):
+            n_bucket(0)
+
+    def test_signature_class_keys(self):
+        assert signature_class("(1: 1)") == "prefix_sum:1:int"
+        assert signature_class("(0.2: 0.8)") == "iir_filter:1:float"
+        assert signature_class(FIB) == "higher_order_prefix_sum:2:int"
+        # Class, not coefficients, is the key: same-shape signatures share it.
+        assert signature_class("(0.5: 0.5)") == signature_class("(0.2: 0.8)")
+
+    def test_default_path_honors_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("PLR_TUNE_DB", str(tmp_path / "custom.json"))
+        assert default_db_path() == tmp_path / "custom.json"
+        monkeypatch.delenv("PLR_TUNE_DB")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_db_path() == tmp_path / "xdg" / "plr" / "tuning.json"
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+
+
+class TestFingerprint:
+    def test_fields_present_and_digest_stable(self):
+        fp = machine_fingerprint()
+        assert set(fp) >= {"cpu_count", "platform", "machine", "python", "numpy"}
+        assert fingerprint_digest(fp) == fingerprint_digest(machine_fingerprint())
+
+    def test_mismatches_name_both_values(self):
+        fp = machine_fingerprint()
+        other = dict(fp, numpy="0.0.1")
+        (line,) = fingerprint_mismatches(other, fp)
+        assert "numpy" in line and "0.0.1" in line
+
+    def test_missing_stored_field_is_tolerated(self):
+        # Schema growth: an old table without a newer field still loads.
+        fp = machine_fingerprint()
+        stored = {k: v for k, v in fp.items() if k != "compiler"}
+        assert fingerprint_mismatches(stored, fp) == ()
+
+
+# ----------------------------------------------------------------------
+# The policy: measured / interpolated / static, never an exception
+
+
+class TestTuningPolicy:
+    def seeded_policy(self, tmp_path, entries) -> TuningPolicy:
+        path = tmp_path / "seeded.json"
+        write_table(path, entries)
+        return TuningPolicy(path=path)
+
+    def test_cold_table_gives_static_with_reason(self, tmp_path):
+        policy = TuningPolicy(path=tmp_path / "absent.json")
+        decision = policy.decide(FIB, 1000, np.int32)
+        assert decision.source == "static"
+        assert decision.backend in ("single", "native")
+        assert "plr tune" in decision.reason
+
+    def test_measured_bucket_wins(self, tmp_path):
+        policy = self.seeded_policy(
+            tmp_path,
+            [
+                make_entry(backend="single", wall_s=3.0),
+                make_entry(backend="process", workers=5, wall_s=0.1),
+            ],
+        )
+        decision = policy.decide(FIB, 65536, np.int32)
+        assert decision.source == "measured"
+        assert decision.backend == "process"
+        assert decision.workers == 5  # the measured pool size rides along
+
+    def test_interpolation_uses_nearest_log2_bucket(self, tmp_path):
+        policy = self.seeded_policy(
+            tmp_path,
+            [
+                make_entry(bucket=4096, backend="process", workers=2, wall_s=0.1),
+                make_entry(bucket=4096, backend="single", wall_s=3.0),
+                make_entry(bucket=1 << 20, backend="single", wall_s=0.1),
+                make_entry(bucket=1 << 20, backend="process", workers=2, wall_s=3.0),
+            ],
+        )
+        near_small = policy.decide(FIB, 8192, np.int32)
+        near_large = policy.decide(FIB, 1 << 19, np.int32)
+        assert near_small.source == near_large.source == "interpolated"
+        assert near_small.backend == "process"
+        assert near_large.backend == "single"
+
+    def test_unmeasured_class_falls_back_static(self, tmp_path):
+        policy = self.seeded_policy(tmp_path, [make_entry()])
+        decision = policy.decide("(0.2: 0.8)", 65536, np.float32)
+        assert decision.source == "static"
+        assert "no measurements" in decision.reason
+
+    def test_native_entries_filtered_without_compiler(self, tmp_path, monkeypatch):
+        policy = self.seeded_policy(
+            tmp_path,
+            [
+                make_entry(backend="native", wall_s=0.1),
+                make_entry(backend="single", wall_s=2.0),
+            ],
+        )
+        monkeypatch.setattr(TuningPolicy, "_native_available", lambda self: False)
+        decision = policy.decide(FIB, 65536, np.int32)
+        assert decision.backend == "single"  # the winner it can actually run
+
+    def test_disable_env_forces_static(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PLR_TUNE_DISABLE", "1")
+        policy = self.seeded_policy(tmp_path, [make_entry(backend="native")])
+        decision = policy.decide(FIB, 65536, np.int32)
+        assert decision.source == "static"
+        assert "PLR_TUNE_DISABLE" in decision.reason
+
+    def test_garbage_signature_never_raises(self, tmp_path):
+        policy = TuningPolicy(path=tmp_path / "absent.json")
+        decision = policy.decide("not a signature", 100, np.int32)
+        assert decision.source == "static"
+        assert "tuning lookup failed" in decision.reason
+
+    def test_recommend_workers_from_nearest_bucket(self, tmp_path):
+        policy = self.seeded_policy(
+            tmp_path,
+            [make_entry(backend="process", workers=3, wall_s=0.1)],
+        )
+        assert policy.recommend_workers(50000) == 3
+        assert TuningPolicy(path=tmp_path / "absent.json").recommend_workers(50000) is None
+
+    def test_describe_carries_database_health(self, tmp_path):
+        policy = TuningPolicy(path=tmp_path / "absent.json")
+        block = policy.describe()
+        assert block["database"]["status"] == "cold"
+        assert "enabled" in block and "decisions" in block
+
+    def test_reload_picks_up_retuning(self, tmp_path):
+        path = tmp_path / "t.json"
+        policy = TuningPolicy(path=path)
+        assert policy.decide(FIB, 65536, np.int32).source == "static"
+        write_table(path, [make_entry(backend="process", workers=2, wall_s=0.1)])
+        policy.reload()
+        assert policy.decide(FIB, 65536, np.int32).source == "measured"
+
+
+# ----------------------------------------------------------------------
+# backend="auto" on the solve path
+
+
+class TestAutoBackend:
+    def fib_input(self, n: int) -> np.ndarray:
+        return np.random.default_rng(0).integers(-9, 9, size=n).astype(np.int32)
+
+    def seed_default_table(self, entries) -> None:
+        """Write entries into the path the default policy reads."""
+        write_table(default_db_path(), entries)
+
+    def test_auto_dispatches_to_measured_winner(self):
+        n = 4096
+        self.seed_default_table(
+            [
+                make_entry(bucket=n, backend="process", workers=1, wall_s=0.1),
+                make_entry(bucket=n, backend="single", wall_s=3.0),
+            ]
+        )
+        values = self.fib_input(n)
+        solver = PLRSolver(FIB, backend="auto")
+        out, artifacts = solver.solve_with_artifacts(values)
+        assert np.array_equal(
+            out, serial_full(values, Recurrence.parse(FIB).signature)
+        )
+        assert artifacts.backend == "process"
+        assert artifacts.tuning.source == "measured"
+
+    def test_cold_table_solves_via_static_with_typed_reason(self):
+        values = self.fib_input(600)
+        out, artifacts = PLRSolver(FIB, backend="auto").solve_with_artifacts(values)
+        assert np.array_equal(
+            out, serial_full(values, Recurrence.parse(FIB).signature)
+        )
+        assert artifacts.backend in ("single", "native")
+        assert artifacts.tuning.source == "static"
+        assert "plr tune" in artifacts.tuning.reason
+
+    def test_corrupt_table_never_raises_on_solve(self):
+        default_db_path().parent.mkdir(parents=True, exist_ok=True)
+        default_db_path().write_text("]]garbage[[")
+        values = self.fib_input(600)
+        out, artifacts = PLRSolver(FIB, backend="auto").solve_with_artifacts(values)
+        assert np.array_equal(
+            out, serial_full(values, Recurrence.parse(FIB).signature)
+        )
+        assert artifacts.tuning.source == "static"
+        assert "unreadable" in artifacts.tuning.reason
+
+    def test_fixed_backends_record_no_decision(self):
+        _, artifacts = PLRSolver(FIB).solve_with_artifacts(self.fib_input(100))
+        assert artifacts.tuning is None and artifacts.backend == "single"
+
+    def test_batch_solver_accepts_auto(self):
+        n = 512
+        self.seed_default_table(
+            [make_entry(bucket=n, backend="single", wall_s=0.1)]
+        )
+        from repro.batch.solver import BatchSolver
+
+        batch = np.stack([self.fib_input(n), self.fib_input(n)])
+        out = BatchSolver(FIB, backend="auto").solve(batch)
+        expected = serial_full(batch[0], Recurrence.parse(FIB).signature)
+        assert np.array_equal(out[0], expected)
+
+    def test_planner_consults_measured_values_per_thread(self):
+        n = 65536
+        heuristic = plan_execution(Recurrence.parse(FIB).signature, n, policy=None)
+        assert heuristic.values_per_thread != 1
+        self.seed_default_table(
+            [make_entry(bucket=n, backend="single", wall_s=0.1, values_per_thread=1)]
+        )
+        tuned = plan_execution(Recurrence.parse(FIB).signature, n)
+        assert tuned.values_per_thread == 1
+        # policy=None is the explicit off-switch (what the tuner uses).
+        untouched = plan_execution(Recurrence.parse(FIB).signature, n, policy=None)
+        assert untouched.values_per_thread == heuristic.values_per_thread
+
+    def test_sharded_workers_follow_recommendation(self):
+        from repro.parallel.backend import _tuned_workers
+
+        self.seed_default_table(
+            [make_entry(bucket=65536, backend="process", workers=1, wall_s=0.1)]
+        )
+        assert _tuned_workers(65536) == 1
+        # Cold table: no recommendation, machine default applies.
+        default_db_path().unlink()
+        from repro.tune.policy import reset_default_policy
+
+        reset_default_policy()
+        assert _tuned_workers(65536) is None
+
+
+# ----------------------------------------------------------------------
+# The tuner itself
+
+
+class TestRunTuning:
+    def test_quick_sweep_records_and_persists(self, tmp_path):
+        path = tmp_path / "t.json"
+        db, points = run_tuning(
+            path=path, signatures=("(1: 1)",), sizes=(1024,), quick=True
+        )
+        assert db.status == "ok"
+        assert any(p.backend == "single" and p.recorded for p in points)
+        # Unrunnable backends are skipped with a note, never recorded.
+        for point in points:
+            assert point.recorded or point.note
+        # The written table steers a fresh policy.
+        decision = TuningPolicy(path=path).decide("(1: 1)", 1024, np.int32)
+        assert decision.source == "measured"
+
+    def test_sweep_overwrites_foreign_table(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_table(path, [make_entry()])
+        payload = json.loads(path.read_text())
+        payload["fingerprint"]["numpy"] = "0.0.1"
+        path.write_text(json.dumps(payload))
+        db, _ = run_tuning(
+            path=path, signatures=("(1: 1)",), sizes=(1024,), quick=True
+        )
+        assert db.status == "ok"
+        assert CalibrationDatabase.load(path).status == "ok"
+
+
+# ----------------------------------------------------------------------
+# Wiring: bench payload and serving surface
+
+
+class TestWiring:
+    def test_bench_payload_carries_fingerprint_and_row_workers(self):
+        from repro.cli import _bench_payload
+
+        payload = _bench_payload(
+            signature="(1: 1)", n=2048, dtype=None, workers=None, repeat=1, seed=0
+        )
+        assert payload["workers"] is None  # requested, not resolved
+        assert payload["fingerprint"] == machine_fingerprint()
+        by_backend = {row["backend"]: row for row in payload["results"]}
+        assert by_backend["serial"]["workers"] == 1
+        assert by_backend["process"]["workers"] >= 1
+
+    def test_serve_config_accepts_auto(self):
+        from repro.serve import ServeConfig
+
+        assert ServeConfig(backend="auto").backend == "auto"
+        with pytest.raises(ValueError):
+            ServeConfig(backend="turbo")
+
+    def test_metrics_reply_has_tuning_block(self):
+        from repro.serve import PLRServer, ServeConfig
+
+        server = PLRServer(ServeConfig())
+        reply = server._metrics_reply(1)
+        tuning = reply["serving"]["tuning"]
+        assert tuning["database"]["status"] in (
+            "ok",
+            "cold",
+            "corrupt",
+            "version-mismatch",
+            "fingerprint-mismatch",
+        )
